@@ -1,0 +1,53 @@
+// Reproduces Fig. 7: contribution of each item-popularity group (G1 least
+// popular .. G5 most popular, equal item counts) to overall Recall@20, for
+// the GNN-based models LightGCN, TGCN, KGAT, KGCL and L-IMCAT. Expected
+// shape: plain LightGCN concentrates its recall on the popular groups;
+// the auxiliary-information and SSL models shift mass toward the long
+// tail; L-IMCAT has the strongest long-tail (G1-G3) contributions.
+
+#include <cstdio>
+
+#include "bench/runner.h"
+#include "eval/group_eval.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using imcat::bench::BenchEnv;
+  const BenchEnv env = BenchEnv::FromEnvironment();
+  imcat::bench::PrintBanner(
+      "Fig. 7 — Recall@20 contribution by item-popularity group", env);
+
+  const char* datasets[] = {"CiteULike"};
+  const char* models[] = {"LightGCN", "TGCN", "KGAT", "KGCL", "L-IMCAT"};
+  constexpr int kGroups = 5;
+
+  for (const char* dataset : datasets) {
+    imcat::bench::Workload workload =
+        imcat::bench::MakeWorkload(dataset, env, /*seed=*/1);
+    const std::vector<int> groups =
+        imcat::PopularityGroups(workload.evaluator, kGroups);
+    std::printf("\n--- %s ---\n", dataset);
+    imcat::TablePrinter table({"Model", "G1 (tail)", "G2", "G3", "G4",
+                               "G5 (head)", "overall R@20"});
+    for (const char* model : models) {
+      imcat::bench::TrainedModel trained =
+          imcat::bench::TrainModel(model, &workload, env, /*seed=*/13);
+      const std::vector<double> contributions =
+          imcat::GroupRecallContribution(workload.evaluator, *trained.model,
+                                         workload.split.test, 20, groups,
+                                         kGroups);
+      std::vector<std::string> row = {model};
+      double total = 0.0;
+      for (double c : contributions) {
+        row.push_back(imcat::FormatDouble(100.0 * c, 2));
+        total += c;
+      }
+      row.push_back(imcat::FormatDouble(100.0 * total, 2));
+      table.AddRow(row);
+      std::fflush(stdout);
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Table I: the statistics of the seven (synthetic-preset)
+// datasets. Prints the generated statistics next to the paper's original
+// full-scale numbers so the preserved properties (relative sizes, density
+// ordering, average degrees) can be compared directly.
+
+#include <cstdio>
+
+#include "bench/runner.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  long long users, items, tags, ui, it;
+  double ui_density, ui_degree, it_density, it_degree;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"HetRec-MV", 2107, 3872, 2071, 471482, 38742, 5.78, 223.77, 0.48, 10.01},
+    {"HetRec-FM", 1026, 5817, 2283, 57976, 77925, 0.97, 56.51, 0.59, 13.40},
+    {"HetRec-Del", 1274, 5169, 4595, 19951, 62147, 0.30, 15.66, 0.26, 12.02},
+    {"CiteULike", 4011, 12408, 1579, 94512, 125013, 0.19, 23.56, 0.64, 10.08},
+    {"Last.fm-Tag", 18149, 14548, 6822, 582791, 97201, 0.22, 32.11, 0.10,
+     13.79},
+    {"AMZBook-Tag", 50022, 22370, 2345, 731777, 246175, 0.07, 14.63, 0.47,
+     11.00},
+    {"Yelp-Tag", 39856, 26669, 1073, 1009922, 569780, 0.10, 25.34, 1.99,
+     21.36},
+};
+
+}  // namespace
+
+int main() {
+  using imcat::bench::BenchEnv;
+  const BenchEnv env = BenchEnv::FromEnvironment();
+  imcat::bench::PrintBanner("Table I — dataset statistics", env);
+
+  imcat::TablePrinter table({"Dataset", "#User", "#Item", "#Tag", "#UI",
+                             "UI-dens%", "UI-deg", "#IT", "IT-dens%",
+                             "IT-deg"});
+  for (const PaperRow& paper : kPaper) {
+    imcat::bench::Workload workload =
+        imcat::bench::MakeWorkload(paper.name, env, /*seed=*/1);
+    imcat::DatasetStats stats = imcat::ComputeStats(workload.dataset);
+    table.AddRow({std::string(paper.name) + " (generated)",
+                  std::to_string(stats.num_users),
+                  std::to_string(stats.num_items),
+                  std::to_string(stats.num_tags),
+                  std::to_string(stats.num_interactions),
+                  imcat::FormatDouble(stats.ui_density_percent, 2),
+                  imcat::FormatDouble(stats.ui_avg_degree, 2),
+                  std::to_string(stats.num_item_tags),
+                  imcat::FormatDouble(stats.it_density_percent, 2),
+                  imcat::FormatDouble(stats.it_avg_degree, 2)});
+    table.AddRow({std::string(paper.name) + " (paper)",
+                  std::to_string(paper.users), std::to_string(paper.items),
+                  std::to_string(paper.tags), std::to_string(paper.ui),
+                  imcat::FormatDouble(paper.ui_density, 2),
+                  imcat::FormatDouble(paper.ui_degree, 2),
+                  std::to_string(paper.it),
+                  imcat::FormatDouble(paper.it_density, 2),
+                  imcat::FormatDouble(paper.it_degree, 2)});
+  }
+  table.Print();
+  std::printf("\nNote: entity/edge counts scale with the preset factor, so\n"
+              "average degrees are preserved while densities rise by the\n"
+              "inverse scale (documented in src/data/presets.h).\n");
+  return 0;
+}

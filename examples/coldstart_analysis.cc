@@ -1,0 +1,105 @@
+// Cold-start study (the paper's Fig. 7/8 motivation): compare LightGCN
+// with and without IMCAT on long-tail items and sparse users, showing
+// where the contrastive tag alignment pays off most.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/imcat.h"
+#include "data/synthetic.h"
+#include "data/split.h"
+#include "eval/evaluator.h"
+#include "eval/group_eval.h"
+#include "models/backbone.h"
+#include "models/lightgcn.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace imcat;  // Example code only.
+
+std::unique_ptr<LightGcn> MakeBackbone(const Dataset& dataset,
+                                       const DataSplit& split) {
+  BackboneOptions options;
+  options.embedding_dim = 16;
+  return std::make_unique<LightGcn>(dataset.num_users, dataset.num_items,
+                                    split.train, options);
+}
+
+void Report(const char* label, const Evaluator& evaluator,
+            const Ranker& model, const DataSplit& split,
+            const std::vector<int>& groups,
+            const std::vector<int64_t>& sparse_users) {
+  const EvalResult overall = evaluator.Evaluate(model, split.test, 20);
+  const EvalResult sparse =
+      evaluator.Evaluate(model, split.test, 20, sparse_users);
+  const std::vector<double> contribution =
+      GroupRecallContribution(evaluator, model, split.test, 20, groups, 5);
+  std::printf("%-10s overall R@20=%.4f | sparse-user R@20=%.4f | "
+              "tail G1-G3 share=%.1f%%\n",
+              label, overall.recall, sparse.recall,
+              overall.recall > 0
+                  ? 100.0 * (contribution[0] + contribution[1] +
+                             contribution[2]) / overall.recall
+                  : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  // A CiteULike-flavoured dataset with a wide user-degree spread (the
+  // presets enforce a uniform >=10 floor, which would make every user
+  // "sparse"; here activity follows a steep power law instead).
+  SyntheticConfig config;
+  config.name = "coldstart-study";
+  config.num_users = 220;
+  config.num_items = 650;
+  config.num_tags = 80;
+  config.num_interactions = 4200;
+  config.num_item_tags = 2600;
+  config.user_activity_exponent = 1.0;
+  config.user_intent_alpha = 0.1;
+  config.item_intent_alpha = 0.15;
+  config.min_user_degree = 6;
+  config.seed = 9;
+  Dataset dataset = GenerateSynthetic(config);
+  DataSplit split = SplitByUser(dataset, SplitOptions{});
+  Evaluator evaluator(dataset, split);
+  std::printf("dataset: %lld users, %lld items\n",
+              (long long)dataset.num_users, (long long)dataset.num_items);
+
+  const std::vector<int> groups = PopularityGroups(evaluator, 5);
+  const std::vector<int64_t> sparse_users =
+      SparseUsers(evaluator, dataset.num_users, 10);
+  std::printf("%zu sparse users (train degree < 10) of %lld\n\n",
+              sparse_users.size(), (long long)dataset.num_users);
+
+  Trainer trainer(&evaluator, &split);
+  TrainerOptions options;
+  options.max_epochs = 150;
+  options.eval_every = 10;
+  options.patience = 6;
+
+  // Plain LightGCN.
+  BprModel lightgcn(MakeBackbone(dataset, split), dataset, split,
+                    AdamOptions{}, 512);
+  trainer.Fit(&lightgcn, options);
+  Report("LightGCN", evaluator, lightgcn, split, groups, sparse_users);
+
+  // L-IMCAT: same backbone, plus the intent-aware alignment.
+  ImcatConfig imcat_config;
+  imcat_config.num_intents = 4;
+  imcat_config.pretrain_steps = 60;
+  imcat_config.batch_size = 512;
+  ImcatModel l_imcat(MakeBackbone(dataset, split), dataset, split,
+                     imcat_config, AdamOptions{});
+  trainer.Fit(&l_imcat, options);
+  Report("L-IMCAT", evaluator, l_imcat, split, groups, sparse_users);
+
+  std::printf(
+      "\nPaper context (Figs. 7-8): IMCAT's advantage concentrates on\n"
+      "sparse users and long-tail items. Single runs at this scale are\n"
+      "noisy (~1-2 points of R@20); bench/fig7_longtail and\n"
+      "bench/fig8_coldstart run the full comparison.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Demonstrates IMCAT's model-agnostic design: plug a user-defined
+// recommendation backbone into the framework. The backbone below is a
+// deliberately simple "biased matrix factorisation" (inner product plus a
+// learned per-item popularity bias) — anything that implements the
+// Backbone interface gets the full IMCAT treatment.
+
+#include <cstdio>
+#include <memory>
+#include <numeric>
+
+#include "core/imcat.h"
+#include "data/synthetic.h"
+#include "data/split.h"
+#include "eval/evaluator.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace imcat;  // Example code only.
+
+/// MF with a per-item bias column: score(u, v) = <e_u, e_v> + b_v.
+class BiasedMf : public Backbone {
+ public:
+  BiasedMf(int64_t num_users, int64_t num_items, int64_t dim, uint64_t seed)
+      : num_users_(num_users), num_items_(num_items), dim_(dim) {
+    Rng rng(seed);
+    user_table_ = XavierUniform(num_users, dim, &rng, true);
+    item_table_ = XavierUniform(num_items, dim, &rng, true);
+    item_bias_ = ZerosParameter(num_items, 1);
+  }
+
+  std::string name() const override { return "BiasedMF"; }
+  int64_t embedding_dim() const override { return dim_; }
+  int64_t num_users() const override { return num_users_; }
+  int64_t num_items() const override { return num_items_; }
+
+  Tensor UserEmbeddings() override { return user_table_; }
+  Tensor ItemEmbeddings() override { return item_table_; }
+
+  Tensor PairScores(const std::vector<int64_t>& users,
+                    const std::vector<int64_t>& items) override {
+    Tensor u = ops::Gather(user_table_, users);
+    Tensor v = ops::Gather(item_table_, items);
+    Tensor bias = ops::Gather(item_bias_, items);
+    return ops::Add(ops::RowSum(ops::Mul(u, v)), bias);
+  }
+
+  std::vector<Tensor> Parameters() override {
+    return {user_table_, item_table_, item_bias_};
+  }
+
+  void ScoreItemsForUser(int64_t user,
+                         std::vector<float>* scores) const override {
+    scores->assign(num_items_, 0.0f);
+    const float* u = user_table_.data() + user * dim_;
+    for (int64_t v = 0; v < num_items_; ++v) {
+      const float* iv = item_table_.data() + v * dim_;
+      float acc = item_bias_.data()[v];
+      for (int64_t c = 0; c < dim_; ++c) acc += u[c] * iv[c];
+      (*scores)[v] = acc;
+    }
+  }
+
+ private:
+  int64_t num_users_;
+  int64_t num_items_;
+  int64_t dim_;
+  Tensor user_table_;
+  Tensor item_table_;
+  Tensor item_bias_;
+};
+
+}  // namespace
+
+int main() {
+  SyntheticConfig data_config;
+  data_config.num_users = 150;
+  data_config.num_items = 300;
+  data_config.num_tags = 48;
+  data_config.num_interactions = 4500;
+  data_config.num_item_tags = 1200;
+  Dataset dataset = GenerateSynthetic(data_config);
+  DataSplit split = SplitByUser(dataset, SplitOptions{});
+  Evaluator evaluator(dataset, split);
+
+  Trainer trainer(&evaluator, &split);
+  TrainerOptions options;
+  options.max_epochs = 80;
+  options.eval_every = 10;
+  options.patience = 4;
+
+  // The custom backbone trained standalone with BPR...
+  BprModel bare(std::make_unique<BiasedMf>(dataset.num_users,
+                                           dataset.num_items, 16, 7),
+                dataset, split, AdamOptions{}, 1024);
+  trainer.Fit(&bare, options);
+  const double bare_recall =
+      evaluator.Evaluate(bare, split.test, 20).recall;
+
+  // ...and the same backbone wrapped in IMCAT.
+  ImcatConfig config;
+  config.num_intents = 4;
+  config.pretrain_steps = 40;
+  ImcatModel imcat(std::make_unique<BiasedMf>(dataset.num_users,
+                                              dataset.num_items, 16, 7),
+                   dataset, split, config, AdamOptions{});
+  trainer.Fit(&imcat, options);
+  const double imcat_recall =
+      evaluator.Evaluate(imcat, split.test, 20).recall;
+
+  std::printf("%s:       test Recall@20 = %.4f\n", bare.name().c_str(),
+              bare_recall);
+  std::printf("%s: test Recall@20 = %.4f\n", imcat.name().c_str(),
+              imcat_recall);
+  std::printf("\nIMCAT wrapped a backbone it had never seen — the only\n"
+              "contract is the Backbone interface (models/backbone.h).\n");
+  return 0;
+}

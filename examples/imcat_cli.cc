@@ -1,0 +1,272 @@
+// imcat_cli — command-line front end for the library.
+//
+//   imcat_cli stats     --preset CiteULike [--scale 0.05]
+//   imcat_cli stats     --ui ui.tsv --it it.tsv
+//   imcat_cli train     --model L-IMCAT --preset CiteULike
+//                       [--epochs 150] [--dim 32] [--seed 13]
+//                       [--out model.ckpt]
+//   imcat_cli evaluate  --model L-IMCAT --preset CiteULike --ckpt model.ckpt
+//   imcat_cli recommend --model L-IMCAT --preset CiteULike --ckpt model.ckpt
+//                       --user 5 [--top 10]
+//
+// Data can come from a Table-I preset (--preset, --scale) or from TSV
+// files (--ui interactions, --it item-tags). Model names are the Table-II
+// names (see `imcat_cli models`). Train/evaluate/recommend all rebuild the
+// same deterministic split, so a checkpoint trained by `train` is
+// evaluated on the same held-out data by `evaluate`.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "baselines/registry.h"
+#include "data/loader.h"
+#include "data/presets.h"
+#include "data/split.h"
+#include "eval/evaluator.h"
+#include "tensor/checkpoint.h"
+#include "train/trainer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace imcat;  // CLI tool; library code never does this.
+
+/// Minimal --key value flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int begin) {
+    for (int i = begin; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --%s\n", key.c_str());
+        std::exit(2);
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  double GetDouble(const std::string& key, double dflt) const {
+    return Has(key) ? std::atof(values_.at(key).c_str()) : dflt;
+  }
+  int64_t GetInt(const std::string& key, int64_t dflt) const {
+    return Has(key) ? std::atoll(values_.at(key).c_str()) : dflt;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+Dataset LoadData(const Flags& flags) {
+  if (flags.Has("ui") || flags.Has("it")) {
+    if (!flags.Has("ui") || !flags.Has("it")) {
+      std::fprintf(stderr, "--ui and --it must be given together\n");
+      std::exit(2);
+    }
+    LoaderOptions options;
+    options.min_user_interactions = flags.GetInt("min-user", 0);
+    options.min_item_interactions = flags.GetInt("min-item", 0);
+    options.min_tag_items = flags.GetInt("min-tag", 0);
+    auto loaded =
+        LoadDatasetFromTsv(flags.Get("ui", ""), flags.Get("it", ""), options);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "failed to load data: %s\n",
+                   loaded.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(loaded).value();
+  }
+  const std::string preset = flags.Get("preset", "CiteULike");
+  const double scale = flags.GetDouble("scale", 0.05);
+  auto config = PresetConfig(preset, scale, flags.GetInt("data-seed", 1));
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    std::exit(1);
+  }
+  return GenerateSynthetic(config.value());
+}
+
+struct Session {
+  Dataset dataset;
+  DataSplit split;
+  Evaluator evaluator;
+  std::unique_ptr<TrainableModel> model;
+};
+
+Session MakeSession(const Flags& flags) {
+  Dataset dataset = LoadData(flags);
+  DataSplit split = SplitByUser(dataset, SplitOptions{});
+  Evaluator evaluator(dataset, split);
+
+  ModelFactoryOptions options;
+  options.embedding_dim = flags.GetInt("dim", 32);
+  options.seed = flags.GetInt("seed", 13);
+  options.batch_size = flags.GetInt("batch", 1024);
+  options.imcat.num_intents = static_cast<int>(flags.GetInt("intents", 4));
+  options.imcat.beta = static_cast<float>(flags.GetDouble("beta", 0.3));
+  options.imcat.alpha = static_cast<float>(flags.GetDouble("alpha", 0.1));
+  const std::string model_name = flags.Get("model", "L-IMCAT");
+  auto created = CreateModel(model_name, dataset, split, options);
+  if (!created.ok()) {
+    std::fprintf(stderr, "%s (see `imcat_cli models`)\n",
+                 created.status().ToString().c_str());
+    std::exit(1);
+  }
+  Session session{std::move(dataset), std::move(split),
+                  std::move(evaluator), nullptr};
+  session.model = std::move(created).value();
+  return session;
+}
+
+void LoadCheckpointOrDie(const Flags& flags, TrainableModel* model) {
+  const std::string path = flags.Get("ckpt", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "--ckpt is required\n");
+    std::exit(2);
+  }
+  std::vector<Tensor> params = model->Parameters();
+  Status status = LoadCheckpoint(path, &params);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to load %s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+void PrintMetrics(const char* label, const EvalResult& result, int top_n) {
+  std::printf("%s (N=%d, %lld users): Recall=%.4f NDCG=%.4f Precision=%.4f "
+              "HitRate=%.4f MRR=%.4f\n",
+              label, top_n, static_cast<long long>(result.num_users),
+              result.recall, result.ndcg, result.precision, result.hit_rate,
+              result.mrr);
+}
+
+int CmdStats(const Flags& flags) {
+  Dataset dataset = LoadData(flags);
+  DatasetStats stats = ComputeStats(dataset);
+  TablePrinter table({"#User", "#Item", "#Tag", "#UI", "UI-dens%", "UI-deg",
+                      "#IT", "IT-dens%", "IT-deg"});
+  table.AddRow({std::to_string(stats.num_users),
+                std::to_string(stats.num_items),
+                std::to_string(stats.num_tags),
+                std::to_string(stats.num_interactions),
+                FormatDouble(stats.ui_density_percent, 2),
+                FormatDouble(stats.ui_avg_degree, 2),
+                std::to_string(stats.num_item_tags),
+                FormatDouble(stats.it_density_percent, 2),
+                FormatDouble(stats.it_avg_degree, 2)});
+  table.Print();
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  Session session = MakeSession(flags);
+  Trainer trainer(&session.evaluator, &session.split);
+  TrainerOptions options;
+  options.max_epochs = flags.GetInt("epochs", 150);
+  options.eval_every = flags.GetInt("eval-every", 10);
+  options.patience = flags.GetInt("patience", 8);
+  options.verbose = true;
+  SetLogLevel(LogLevel::kInfo);
+  TrainHistory history = trainer.Fit(session.model.get(), options);
+  std::printf("trained %s for %lld epochs (%.1fs), best epoch %lld\n",
+              session.model->name().c_str(),
+              static_cast<long long>(history.epochs_run),
+              history.train_seconds,
+              static_cast<long long>(history.best_epoch));
+  const int top_n = static_cast<int>(flags.GetInt("top", 20));
+  PrintMetrics("test", session.evaluator.Evaluate(
+                           *session.model, session.split.test, top_n),
+               top_n);
+  const std::string out = flags.Get("out", "");
+  if (!out.empty()) {
+    Status status = SaveCheckpoint(out, session.model->Parameters());
+    if (!status.ok()) {
+      std::fprintf(stderr, "failed to save %s: %s\n", out.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved checkpoint to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  Session session = MakeSession(flags);
+  LoadCheckpointOrDie(flags, session.model.get());
+  const int top_n = static_cast<int>(flags.GetInt("top", 20));
+  PrintMetrics("validation",
+               session.evaluator.Evaluate(*session.model,
+                                          session.split.validation, top_n),
+               top_n);
+  PrintMetrics("test", session.evaluator.Evaluate(
+                           *session.model, session.split.test, top_n),
+               top_n);
+  return 0;
+}
+
+int CmdRecommend(const Flags& flags) {
+  Session session = MakeSession(flags);
+  LoadCheckpointOrDie(flags, session.model.get());
+  const int64_t user = flags.GetInt("user", 0);
+  if (user < 0 || user >= session.dataset.num_users) {
+    std::fprintf(stderr, "--user out of range [0, %lld)\n",
+                 static_cast<long long>(session.dataset.num_users));
+    return 1;
+  }
+  const int top_n = static_cast<int>(flags.GetInt("top", 10));
+  std::printf("top-%d for user %lld:", top_n, static_cast<long long>(user));
+  for (int64_t item :
+       session.evaluator.TopNForUser(*session.model, user, top_n)) {
+    std::printf(" %lld", static_cast<long long>(item));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int CmdModels() {
+  for (const std::string& name : AllModelNames()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: imcat_cli <stats|train|evaluate|recommend|models> "
+               "[--flags]\n"
+               "data:  --preset NAME --scale S | --ui FILE --it FILE\n"
+               "model: --model NAME --dim D --seed S --intents K\n"
+               "train: --epochs E --out CKPT   eval/rec: --ckpt CKPT\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "recommend") return CmdRecommend(flags);
+  if (command == "models") return CmdModels();
+  Usage();
+  return 2;
+}

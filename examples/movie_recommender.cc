@@ -1,0 +1,95 @@
+// Movie recommendation scenario (the paper's HetRec-MV setting): train
+// N-IMCAT on the HetRec-MV preset and inspect what the intent machinery
+// learned — the tag clusters, each item's intent-relatedness (the M matrix
+// of Eq. 9), and per-intent similar-item sets (ISA). This demonstrates the
+// interpretability angle the paper motivates: each user-intent chunk is
+// tied to a coherent cluster of tags.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/imcat.h"
+#include "data/presets.h"
+#include "data/split.h"
+#include "eval/evaluator.h"
+#include "models/neumf.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace imcat;  // Example code only.
+
+  Dataset dataset = GeneratePreset("HetRec-MV", /*scale=*/0.05, /*seed=*/3);
+  std::printf("HetRec-MV preset: %lld users, %lld items, %lld tags\n",
+              (long long)dataset.num_users, (long long)dataset.num_items,
+              (long long)dataset.num_tags);
+  DataSplit split = SplitByUser(dataset, SplitOptions{});
+  Evaluator evaluator(dataset, split);
+
+  BackboneOptions backbone_options;
+  backbone_options.embedding_dim = 16;
+  ImcatConfig config;
+  config.num_intents = 4;
+  config.pretrain_steps = 50;
+  ImcatModel model(std::make_unique<NeuMf>(dataset.num_users,
+                                           dataset.num_items,
+                                           backbone_options),
+                   dataset, split, config, AdamOptions{});
+
+  Trainer trainer(&evaluator, &split);
+  TrainerOptions train_options;
+  train_options.max_epochs = 80;
+  train_options.eval_every = 10;
+  train_options.patience = 4;
+  trainer.Fit(&model, train_options);
+
+  EvalResult test = evaluator.Evaluate(model, split.test, 20);
+  std::printf("N-IMCAT test Recall@20=%.4f NDCG@20=%.4f\n\n", test.recall,
+              test.ndcg);
+
+  // --- Learned tag clusters (each cluster identifies one user intent). ---
+  const std::vector<int>& assignments = model.clustering().assignments();
+  std::vector<int> cluster_sizes(config.num_intents, 0);
+  for (int a : assignments) ++cluster_sizes[a];
+  std::printf("Tag clusters (intents):\n");
+  for (int k = 0; k < config.num_intents; ++k) {
+    std::printf("  intent %d: %d tags, e.g. tags", k, cluster_sizes[k]);
+    int shown = 0;
+    for (size_t t = 0; t < assignments.size() && shown < 6; ++t) {
+      if (assignments[t] == k) {
+        std::printf(" %zu", t);
+        ++shown;
+      }
+    }
+    std::printf("\n");
+  }
+
+  // --- Intent-relatedness of a few movies (Eq. 9's M matrix). ---
+  std::printf("\nItem intent-relatedness M[j, k]:\n");
+  const PositiveSampleIndex& index = model.positive_index();
+  for (int64_t item = 0; item < 5; ++item) {
+    std::printf("  movie %lld:", (long long)item);
+    for (int k = 0; k < config.num_intents; ++k) {
+      std::printf(" %.2f", index.Relatedness(item, k));
+    }
+    std::printf("\n");
+  }
+
+  // --- ISA similar-movie sets under each intent. ---
+  std::printf("\nPer-intent similar movies (Jaccard > %.1f):\n",
+              config.jaccard_threshold);
+  int printed = 0;
+  for (int64_t item = 0; item < dataset.num_items && printed < 5; ++item) {
+    for (int k = 0; k < config.num_intents; ++k) {
+      const auto& similar = index.SimilarSet(item, k);
+      if (similar.empty()) continue;
+      std::printf("  movie %lld ~ intent %d:", (long long)item, k);
+      for (size_t i = 0; i < similar.size() && i < 5; ++i) {
+        std::printf(" %lld", (long long)similar[i]);
+      }
+      std::printf("\n");
+      ++printed;
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "baselines/cfa.h"
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace imcat {
+
+Cfa::Cfa(const Dataset& dataset, const DataSplit& split,
+         const AdamOptions& adam, int64_t batch_size, int64_t embedding_dim,
+         uint64_t seed)
+    : FactorModelBase("CFA", dataset, split, adam, batch_size, embedding_dim),
+      user_profiles_(BuildUserTagProfiles(dataset, split.train)) {
+  Rng rng(seed);
+  const int64_t hidden = 2 * embedding_dim;
+  encoder_w1_ = XavierUniform(dataset.num_tags, hidden, &rng);
+  encoder_b1_ = ZerosParameter(1, hidden);
+  encoder_w2_ = XavierUniform(hidden, embedding_dim, &rng);
+  encoder_b2_ = ZerosParameter(1, embedding_dim);
+  item_table_ = XavierUniform(dataset.num_items, embedding_dim, &rng,
+                              /*treat_as_embedding=*/true);
+  RegisterParameters(
+      {encoder_w1_, encoder_b1_, encoder_w2_, encoder_b2_, item_table_});
+}
+
+Tensor Cfa::EncodeUsers() const {
+  Tensor hidden = ops::Sigmoid(ops::AddRowBroadcast(
+      ops::SpMM(user_profiles_, encoder_w1_), encoder_b1_));
+  return ops::AddRowBroadcast(ops::MatMul(hidden, encoder_w2_), encoder_b2_);
+}
+
+Tensor Cfa::BuildLoss(const TripletBatch& batch, Rng* rng) {
+  (void)rng;
+  Tensor users = ops::Gather(EncodeUsers(), batch.anchors);
+  Tensor pos = ops::Gather(item_table_, batch.positives);
+  Tensor neg = ops::Gather(item_table_, batch.negatives);
+  return BprLossFromScores(ops::RowSum(ops::Mul(users, pos)),
+                           ops::RowSum(ops::Mul(users, neg)));
+}
+
+void Cfa::ComputeEvalFactors(std::vector<float>* user_factors,
+                             std::vector<float>* item_factors) const {
+  Tensor users = EncodeUsers();
+  user_factors->assign(users.data(), users.data() + users.size());
+  item_factors->assign(item_table_.data(),
+                       item_table_.data() + item_table_.size());
+}
+
+}  // namespace imcat

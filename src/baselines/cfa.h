@@ -1,0 +1,41 @@
+#ifndef IMCAT_BASELINES_CFA_H_
+#define IMCAT_BASELINES_CFA_H_
+
+#include "baselines/factor_model.h"
+#include "baselines/tag_profiles.h"
+
+/// \file cfa.h
+/// CFA [4]: tag-aware recommendation with an autoencoder-style encoder.
+/// The original stacks a sparse autoencoder over tag-based user profiles
+/// and applies user-based CF on the latent codes. We keep the architecture
+/// (tag profile -> nonlinear encoder -> latent user representation) and
+/// train the latent space discriminatively with a BPR ranking loss against
+/// a learned item table — the standard adaptation for top-N evaluation.
+
+namespace imcat {
+
+class Cfa : public FactorModelBase {
+ public:
+  Cfa(const Dataset& dataset, const DataSplit& split, const AdamOptions& adam,
+      int64_t batch_size, int64_t embedding_dim, uint64_t seed);
+
+ protected:
+  Tensor BuildLoss(const TripletBatch& batch, Rng* rng) override;
+  void ComputeEvalFactors(std::vector<float>* user_factors,
+                          std::vector<float>* item_factors) const override;
+
+ private:
+  /// Encodes all user profiles: sigmoid(P W1 + b1) W2 + b2, (U x d).
+  Tensor EncodeUsers() const;
+
+  SparseMatrix user_profiles_;  ///< (U x T), row-normalised tag frequencies.
+  Tensor encoder_w1_;           ///< (T x h).
+  Tensor encoder_b1_;           ///< (1 x h).
+  Tensor encoder_w2_;           ///< (h x d).
+  Tensor encoder_b2_;           ///< (1 x d).
+  Tensor item_table_;           ///< (V x d).
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_BASELINES_CFA_H_

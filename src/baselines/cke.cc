@@ -1,0 +1,55 @@
+#include "baselines/cke.h"
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace imcat {
+
+Cke::Cke(const Dataset& dataset, const DataSplit& split,
+         const AdamOptions& adam, int64_t batch_size, int64_t embedding_dim,
+         uint64_t seed, float kg_weight)
+    : FactorModelBase("CKE", dataset, split, adam, batch_size, embedding_dim),
+      kg_weight_(kg_weight),
+      kg_sampler_(dataset.num_items, dataset.num_tags, dataset.item_tags) {
+  Rng rng(seed);
+  user_table_ = XavierUniform(dataset.num_users, embedding_dim, &rng, true);
+  item_table_ = XavierUniform(dataset.num_items, embedding_dim, &rng, true);
+  tag_table_ = XavierUniform(dataset.num_tags, embedding_dim, &rng, true);
+  relation_ = RandomNormal(1, embedding_dim, &rng, 0.0f, 0.1f);
+  relation_proj_ = XavierUniform(embedding_dim, embedding_dim, &rng);
+  RegisterParameters(
+      {user_table_, item_table_, tag_table_, relation_, relation_proj_});
+}
+
+Tensor Cke::TransRScore(const std::vector<int64_t>& items,
+                        const std::vector<int64_t>& tags) const {
+  Tensor v = ops::MatMul(ops::Gather(item_table_, items), relation_proj_);
+  Tensor t = ops::MatMul(ops::Gather(tag_table_, tags), relation_proj_);
+  Tensor translated = ops::AddRowBroadcast(v, relation_);
+  Tensor diff = ops::Sub(translated, t);
+  return ops::ScalarMul(ops::RowSum(ops::Mul(diff, diff)), -1.0f);
+}
+
+Tensor Cke::BuildLoss(const TripletBatch& batch, Rng* rng) {
+  Tensor users = ops::Gather(user_table_, batch.anchors);
+  Tensor pos = ops::Gather(item_table_, batch.positives);
+  Tensor neg = ops::Gather(item_table_, batch.negatives);
+  Tensor cf = BprLossFromScores(ops::RowSum(ops::Mul(users, pos)),
+                                ops::RowSum(ops::Mul(users, neg)));
+
+  TripletBatch kg;
+  kg_sampler_.SampleBatch(batch_size(), rng, &kg);
+  Tensor kg_loss = BprLossFromScores(TransRScore(kg.anchors, kg.positives),
+                                     TransRScore(kg.anchors, kg.negatives));
+  return ops::Add(cf, ops::ScalarMul(kg_loss, kg_weight_));
+}
+
+void Cke::ComputeEvalFactors(std::vector<float>* user_factors,
+                             std::vector<float>* item_factors) const {
+  user_factors->assign(user_table_.data(),
+                       user_table_.data() + user_table_.size());
+  item_factors->assign(item_table_.data(),
+                       item_table_.data() + item_table_.size());
+}
+
+}  // namespace imcat

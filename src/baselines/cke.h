@@ -1,0 +1,44 @@
+#ifndef IMCAT_BASELINES_CKE_H_
+#define IMCAT_BASELINES_CKE_H_
+
+#include "baselines/factor_model.h"
+
+/// \file cke.h
+/// CKE [11]: collaborative knowledge-base embedding. Collaborative
+/// filtering (BPR) is regularised by a TransR structural loss over the
+/// knowledge triples. Following the paper's adaptation rule for the
+/// tag-enhanced setting (Sec. II-B), (item, has-tag, tag) triples form the
+/// knowledge graph; TransR projects items and tags into a relation space
+/// with a learned matrix and ranks true triples above corrupted ones by
+/// the translation distance -|| v W + r - t W ||^2.
+
+namespace imcat {
+
+class Cke : public FactorModelBase {
+ public:
+  Cke(const Dataset& dataset, const DataSplit& split, const AdamOptions& adam,
+      int64_t batch_size, int64_t embedding_dim, uint64_t seed,
+      float kg_weight = 1.0f);
+
+ protected:
+  Tensor BuildLoss(const TripletBatch& batch, Rng* rng) override;
+  void ComputeEvalFactors(std::vector<float>* user_factors,
+                          std::vector<float>* item_factors) const override;
+
+ private:
+  /// TransR plausibility -||vW + r - tW||^2 for (item, tag) rows.
+  Tensor TransRScore(const std::vector<int64_t>& items,
+                     const std::vector<int64_t>& tags) const;
+
+  float kg_weight_;
+  TripletSampler kg_sampler_;  ///< (item, tag+, tag-) triples.
+  Tensor user_table_;
+  Tensor item_table_;
+  Tensor tag_table_;
+  Tensor relation_;         ///< (1 x d) translation vector of "has-tag".
+  Tensor relation_proj_;    ///< (d x d) TransR projection.
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_BASELINES_CKE_H_

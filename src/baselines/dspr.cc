@@ -1,0 +1,47 @@
+#include "baselines/dspr.h"
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace imcat {
+
+Dspr::Dspr(const Dataset& dataset, const DataSplit& split,
+           const AdamOptions& adam, int64_t batch_size, int64_t embedding_dim,
+           uint64_t seed)
+    : FactorModelBase("DSPR", dataset, split, adam, batch_size, embedding_dim),
+      user_profiles_(BuildUserTagProfiles(dataset, split.train)),
+      item_profiles_(BuildItemTagProfiles(dataset)) {
+  Rng rng(seed);
+  const int64_t hidden = 2 * embedding_dim;
+  w1_ = XavierUniform(dataset.num_tags, hidden, &rng);
+  b1_ = ZerosParameter(1, hidden);
+  w2_ = XavierUniform(hidden, embedding_dim, &rng);
+  b2_ = ZerosParameter(1, embedding_dim);
+  RegisterParameters({w1_, b1_, w2_, b2_});
+}
+
+Tensor Dspr::Encode(const SparseMatrix& profiles) const {
+  Tensor hidden =
+      ops::Tanh(ops::AddRowBroadcast(ops::SpMM(profiles, w1_), b1_));
+  return ops::AddRowBroadcast(ops::MatMul(hidden, w2_), b2_);
+}
+
+Tensor Dspr::BuildLoss(const TripletBatch& batch, Rng* rng) {
+  (void)rng;
+  Tensor users = ops::Gather(Encode(user_profiles_), batch.anchors);
+  Tensor items = Encode(item_profiles_);
+  Tensor pos = ops::Gather(items, batch.positives);
+  Tensor neg = ops::Gather(items, batch.negatives);
+  return BprLossFromScores(ops::RowSum(ops::Mul(users, pos)),
+                           ops::RowSum(ops::Mul(users, neg)));
+}
+
+void Dspr::ComputeEvalFactors(std::vector<float>* user_factors,
+                              std::vector<float>* item_factors) const {
+  Tensor users = Encode(user_profiles_);
+  Tensor items = Encode(item_profiles_);
+  user_factors->assign(users.data(), users.data() + users.size());
+  item_factors->assign(items.data(), items.data() + items.size());
+}
+
+}  // namespace imcat

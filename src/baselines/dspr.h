@@ -1,0 +1,41 @@
+#ifndef IMCAT_BASELINES_DSPR_H_
+#define IMCAT_BASELINES_DSPR_H_
+
+#include "baselines/factor_model.h"
+#include "baselines/tag_profiles.h"
+
+/// \file dspr.h
+/// DSPR [5]: deep-semantic similarity over tag-based profiles. A single
+/// MLP with shared parameters maps both the user's tag profile and the
+/// item's tag profile into a common latent space, and the similarity of
+/// relevant pairs is maximised against sampled negatives. We use the
+/// tanh MLP of the original and the pairwise ranking form of the
+/// maximum-similarity objective.
+
+namespace imcat {
+
+class Dspr : public FactorModelBase {
+ public:
+  Dspr(const Dataset& dataset, const DataSplit& split, const AdamOptions& adam,
+       int64_t batch_size, int64_t embedding_dim, uint64_t seed);
+
+ protected:
+  Tensor BuildLoss(const TripletBatch& batch, Rng* rng) override;
+  void ComputeEvalFactors(std::vector<float>* user_factors,
+                          std::vector<float>* item_factors) const override;
+
+ private:
+  /// Shared encoder: tanh(P W1 + b1) W2 + b2 over a profile matrix.
+  Tensor Encode(const SparseMatrix& profiles) const;
+
+  SparseMatrix user_profiles_;  ///< (U x T).
+  SparseMatrix item_profiles_;  ///< (V x T).
+  Tensor w1_;                   ///< (T x h), shared between user/item sides.
+  Tensor b1_;
+  Tensor w2_;                   ///< (h x d).
+  Tensor b2_;
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_BASELINES_DSPR_H_

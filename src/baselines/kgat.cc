@@ -1,0 +1,153 @@
+#include "baselines/kgat.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace imcat {
+
+Kgat::Kgat(const Dataset& dataset, const DataSplit& split,
+           const AdamOptions& adam, int64_t batch_size, int64_t embedding_dim,
+           uint64_t seed, int num_layers, float kg_weight)
+    : FactorModelBase("KGAT", dataset, split, adam, batch_size, embedding_dim),
+      num_layers_(num_layers),
+      kg_weight_(kg_weight),
+      num_tags_(dataset.num_tags),
+      kg_sampler_(dataset.num_items, dataset.num_tags, dataset.item_tags) {
+  // Directed edge list over the unified node space, both directions.
+  for (const auto& [u, v] : split.train) {
+    directed_edges_.emplace_back(u, ItemNode(v));
+    edge_relation_.push_back(0);
+    directed_edges_.emplace_back(ItemNode(v), u);
+    edge_relation_.push_back(0);
+  }
+  for (const auto& [v, t] : dataset.item_tags) {
+    directed_edges_.emplace_back(ItemNode(v), TagNode(t));
+    edge_relation_.push_back(1);
+    directed_edges_.emplace_back(TagNode(t), ItemNode(v));
+    edge_relation_.push_back(1);
+  }
+
+  Rng rng(seed);
+  const int64_t n = dataset.num_users + dataset.num_items + dataset.num_tags;
+  node_table_ = XavierUniform(n, embedding_dim, &rng, true);
+  relation_interact_ = RandomNormal(1, embedding_dim, &rng, 0.0f, 0.1f);
+  relation_hastag_ = RandomNormal(1, embedding_dim, &rng, 0.0f, 0.1f);
+  relation_proj_ = XavierUniform(embedding_dim, embedding_dim, &rng);
+  RegisterParameters({node_table_, relation_interact_, relation_hastag_,
+                      relation_proj_});
+  RefreshAttention();
+}
+
+void Kgat::OnEpochBegin(int64_t epoch) {
+  if (epoch > 0) RefreshAttention();
+}
+
+void Kgat::RefreshAttention() {
+  const int64_t n = node_table_.rows();
+  const int64_t d = embedding_dim();
+  // Projected embeddings P = E W (raw forward computation).
+  std::vector<float> projected(n * d, 0.0f);
+  const float* e = node_table_.data();
+  const float* w = relation_proj_.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t k = 0; k < d; ++k) {
+      const float ev = e[i * d + k];
+      if (ev == 0.0f) continue;
+      const float* wr = w + k * d;
+      float* pr = projected.data() + i * d;
+      for (int64_t c = 0; c < d; ++c) pr[c] += ev * wr[c];
+    }
+  }
+  // Raw attention logits pi(h, t) = (P_t) . tanh(P_h + e_r).
+  const int64_t num_edges = static_cast<int64_t>(directed_edges_.size());
+  std::vector<float> logits(num_edges);
+  for (int64_t idx = 0; idx < num_edges; ++idx) {
+    const auto& [h, t] = directed_edges_[idx];
+    const float* rel = edge_relation_[idx] == 0 ? relation_interact_.data()
+                                                : relation_hastag_.data();
+    const float* ph = projected.data() + h * d;
+    const float* pt = projected.data() + t * d;
+    float acc = 0.0f;
+    for (int64_t c = 0; c < d; ++c) acc += pt[c] * std::tanh(ph[c] + rel[c]);
+    logits[idx] = acc;
+  }
+  // Per-head softmax.
+  std::vector<float> head_max(n, -1e30f);
+  for (int64_t idx = 0; idx < num_edges; ++idx) {
+    head_max[directed_edges_[idx].first] =
+        std::max(head_max[directed_edges_[idx].first], logits[idx]);
+  }
+  std::vector<double> head_sum(n, 0.0);
+  std::vector<float> weights(num_edges);
+  for (int64_t idx = 0; idx < num_edges; ++idx) {
+    weights[idx] = std::exp(logits[idx] - head_max[directed_edges_[idx].first]);
+    head_sum[directed_edges_[idx].first] += weights[idx];
+  }
+  std::vector<int64_t> rows(num_edges), cols(num_edges);
+  for (int64_t idx = 0; idx < num_edges; ++idx) {
+    rows[idx] = directed_edges_[idx].first;
+    cols[idx] = directed_edges_[idx].second;
+    weights[idx] = static_cast<float>(weights[idx] /
+                                      head_sum[directed_edges_[idx].first]);
+  }
+  attention_adj_ = SparseMatrix::FromTriplets(n, n, rows, cols, weights);
+}
+
+Tensor Kgat::Propagate() const {
+  Tensor layer = node_table_;
+  Tensor sum = node_table_;
+  for (int l = 0; l < num_layers_; ++l) {
+    layer = ops::SpMM(attention_adj_, layer);
+    sum = ops::Add(sum, layer);
+  }
+  return ops::ScalarMul(sum, 1.0f / static_cast<float>(num_layers_ + 1));
+}
+
+Tensor Kgat::TransRScore(const std::vector<int64_t>& heads,
+                         const std::vector<int64_t>& tails,
+                         const Tensor& relation) const {
+  Tensor h = ops::MatMul(ops::Gather(node_table_, heads), relation_proj_);
+  Tensor t = ops::MatMul(ops::Gather(node_table_, tails), relation_proj_);
+  Tensor diff = ops::Sub(ops::AddRowBroadcast(h, relation), t);
+  return ops::ScalarMul(ops::RowSum(ops::Mul(diff, diff)), -1.0f);
+}
+
+Tensor Kgat::BuildLoss(const TripletBatch& batch, Rng* rng) {
+  Tensor propagated = Propagate();
+  Tensor users = ops::Gather(propagated, batch.anchors);
+  std::vector<int64_t> pos_nodes, neg_nodes;
+  pos_nodes.reserve(batch.positives.size());
+  neg_nodes.reserve(batch.negatives.size());
+  for (int64_t v : batch.positives) pos_nodes.push_back(ItemNode(v));
+  for (int64_t v : batch.negatives) neg_nodes.push_back(ItemNode(v));
+  Tensor pos = ops::Gather(propagated, pos_nodes);
+  Tensor neg = ops::Gather(propagated, neg_nodes);
+  Tensor cf = BprLossFromScores(ops::RowSum(ops::Mul(users, pos)),
+                                ops::RowSum(ops::Mul(users, neg)));
+
+  TripletBatch kg;
+  kg_sampler_.SampleBatch(batch_size(), rng, &kg);
+  std::vector<int64_t> heads, pos_tags, neg_tags;
+  for (int64_t v : kg.anchors) heads.push_back(ItemNode(v));
+  for (int64_t t : kg.positives) pos_tags.push_back(TagNode(t));
+  for (int64_t t : kg.negatives) neg_tags.push_back(TagNode(t));
+  Tensor kg_loss =
+      BprLossFromScores(TransRScore(heads, pos_tags, relation_hastag_),
+                        TransRScore(heads, neg_tags, relation_hastag_));
+  return ops::Add(cf, ops::ScalarMul(kg_loss, kg_weight_));
+}
+
+void Kgat::ComputeEvalFactors(std::vector<float>* user_factors,
+                              std::vector<float>* item_factors) const {
+  Tensor propagated = Propagate();
+  const float* data = propagated.data();
+  const int64_t d = embedding_dim();
+  user_factors->assign(data, data + num_users() * d);
+  item_factors->assign(data + num_users() * d,
+                       data + (num_users() + num_items()) * d);
+}
+
+}  // namespace imcat

@@ -1,0 +1,65 @@
+#ifndef IMCAT_BASELINES_KGAT_H_
+#define IMCAT_BASELINES_KGAT_H_
+
+#include "baselines/factor_model.h"
+#include "tensor/sparse.h"
+
+/// \file kgat.h
+/// KGAT [8]: knowledge graph attention network. A collaborative knowledge
+/// graph joins user-item edges ("interact" relation) and item-tag edges
+/// ("has-tag" relation, per the paper's tag adaptation). TransR embeds the
+/// relations, the TransR energies provide attention weights
+/// pi(h, r, t) = (W e_t)^T tanh(W e_h + e_r), softmax-normalised per head
+/// node, and graph convolution propagates over the attention-weighted
+/// adjacency. The attention matrix is refreshed once per epoch (the
+/// original alternates attention and embedding updates similarly).
+
+namespace imcat {
+
+class Kgat : public FactorModelBase {
+ public:
+  Kgat(const Dataset& dataset, const DataSplit& split, const AdamOptions& adam,
+       int64_t batch_size, int64_t embedding_dim, uint64_t seed,
+       int num_layers = 2, float kg_weight = 1.0f);
+
+  void OnEpochBegin(int64_t epoch) override;
+
+ protected:
+  Tensor BuildLoss(const TripletBatch& batch, Rng* rng) override;
+  void ComputeEvalFactors(std::vector<float>* user_factors,
+                          std::vector<float>* item_factors) const override;
+
+ private:
+  /// Node-id helpers into the unified table [users | items | tags].
+  int64_t ItemNode(int64_t item) const { return num_users() + item; }
+  int64_t TagNode(int64_t tag) const {
+    return num_users() + num_items() + tag;
+  }
+
+  /// Recomputes the attention-weighted adjacency from current embeddings.
+  void RefreshAttention();
+
+  /// Layer-averaged propagation of the node table.
+  Tensor Propagate() const;
+
+  /// TransR energy rows for (head node, tail node) pairs under a relation.
+  Tensor TransRScore(const std::vector<int64_t>& heads,
+                     const std::vector<int64_t>& tails,
+                     const Tensor& relation) const;
+
+  int num_layers_;
+  float kg_weight_;
+  int64_t num_tags_;
+  EdgeList directed_edges_;  ///< All (head, tail) node pairs, both ways.
+  std::vector<int> edge_relation_;  ///< 0 = interact, 1 = has-tag.
+  SparseMatrix attention_adj_;
+  TripletSampler kg_sampler_;  ///< (item, tag+, tag-) corruption triples.
+  Tensor node_table_;          ///< (U+V+T x d).
+  Tensor relation_interact_;   ///< (1 x d).
+  Tensor relation_hastag_;     ///< (1 x d).
+  Tensor relation_proj_;       ///< (d x d) shared TransR projection.
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_BASELINES_KGAT_H_

@@ -1,0 +1,45 @@
+#ifndef IMCAT_BASELINES_KGCL_H_
+#define IMCAT_BASELINES_KGCL_H_
+
+#include "baselines/factor_model.h"
+#include "tensor/sparse.h"
+
+/// \file kgcl.h
+/// KGCL [41]: knowledge graph contrastive learning. Item representations
+/// are computed from two views — propagation over the collaborative
+/// (user-item) graph and propagation over the knowledge (item-tag) graph —
+/// and a cross-view InfoNCE objective aligns the two per item, denoising
+/// both structures. Recommendation runs on the CF view with BPR.
+
+namespace imcat {
+
+class Kgcl : public FactorModelBase {
+ public:
+  Kgcl(const Dataset& dataset, const DataSplit& split, const AdamOptions& adam,
+       int64_t batch_size, int64_t embedding_dim, uint64_t seed,
+       int num_layers = 2, float ssl_weight = 0.1f, float ssl_tau = 1.0f);
+
+ protected:
+  Tensor BuildLoss(const TripletBatch& batch, Rng* rng) override;
+  void ComputeEvalFactors(std::vector<float>* user_factors,
+                          std::vector<float>* item_factors) const override;
+
+ private:
+  /// CF-view propagation of [users | items].
+  Tensor PropagateCf() const;
+
+  /// KG-view propagation of [items | tags]; returns the item rows' table.
+  Tensor PropagateKg() const;
+
+  int num_layers_;
+  float ssl_weight_;
+  float ssl_tau_;
+  SparseMatrix cf_adjacency_;  ///< (U+V) square.
+  SparseMatrix kg_adjacency_;  ///< (V+T) square.
+  Tensor cf_table_;            ///< (U+V x d).
+  Tensor kg_table_;            ///< (V+T x d) — item rows are the KG view.
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_BASELINES_KGCL_H_

@@ -1,0 +1,101 @@
+#include "baselines/kgin.h"
+
+#include "baselines/tgcn.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace imcat {
+
+Kgin::Kgin(const Dataset& dataset, const DataSplit& split,
+           const AdamOptions& adam, int64_t batch_size, int64_t embedding_dim,
+           uint64_t seed, int num_intents, int num_layers,
+           float independence_weight)
+    : FactorModelBase("KGIN", dataset, split, adam, batch_size, embedding_dim),
+      num_intents_(num_intents),
+      num_layers_(num_layers),
+      independence_weight_(independence_weight),
+      user_from_item_(RowStochasticFromEdges(dataset.num_users,
+                                             dataset.num_items, split.train)),
+      item_from_tag_(RowStochasticFromEdges(dataset.num_items,
+                                            dataset.num_tags,
+                                            dataset.item_tags)) {
+  Rng rng(seed);
+  user_table_ = XavierUniform(dataset.num_users, embedding_dim, &rng, true);
+  item_table_ = XavierUniform(dataset.num_items, embedding_dim, &rng, true);
+  tag_table_ = XavierUniform(dataset.num_tags, embedding_dim, &rng, true);
+  intent_logits_ = RandomNormal(num_intents, dataset.num_tags, &rng, 0.0f,
+                                0.1f);
+  RegisterParameters({user_table_, item_table_, tag_table_, intent_logits_});
+}
+
+Tensor Kgin::IntentEmbeddings() const {
+  // softmax over relations per intent, then combine the tag embeddings.
+  Tensor weights = ops::RowNormalize(ops::Exp(intent_logits_));
+  return ops::MatMul(weights, tag_table_);
+}
+
+Kgin::Propagated Kgin::Propagate() const {
+  Tensor intents = IntentEmbeddings();  // (K x d).
+  Tensor u = user_table_, i = item_table_;
+  Tensor u_sum = u, i_sum = i;
+  for (int layer = 0; layer < num_layers_; ++layer) {
+    // Per-user intent attention beta = softmax_k(u . e_k).
+    Tensor beta = ops::RowNormalize(ops::Exp(ops::MatMulNT(u, intents)));
+    Tensor u_next;  // Intent-attention-weighted relational message.
+    for (int k = 0; k < num_intents_; ++k) {
+      Tensor e_k = ops::Gather(intents, {k});              // (1 x d).
+      Tensor modulated = ops::MulRowBroadcast(i, e_k);     // e_k (.) items.
+      Tensor message = ops::SpMM(user_from_item_, modulated);
+      Tensor beta_k = ops::SliceCols(beta, k, k + 1);      // (U x 1).
+      Tensor weighted = ops::MulColBroadcast(message, beta_k);
+      u_next = u_next.defined() ? ops::Add(u_next, weighted) : weighted;
+    }
+    // Self-connections keep the entity identity through the layers.
+    u = ops::Add(u, u_next);
+    i = ops::Add(i, ops::SpMM(item_from_tag_, tag_table_));
+    u_sum = ops::Add(u_sum, u);
+    i_sum = ops::Add(i_sum, i);
+  }
+  const float scale = 1.0f / static_cast<float>(num_layers_ + 1);
+  return {ops::ScalarMul(u_sum, scale), ops::ScalarMul(i_sum, scale)};
+}
+
+Tensor Kgin::IndependencePenalty() const {
+  Tensor normalized = ops::L2NormalizeRows(IntentEmbeddings());
+  Tensor gram = ops::MatMulNT(normalized, normalized);  // (K x K).
+  // Zero the diagonal with a constant mask; penalise squared cosines.
+  Tensor mask(num_intents_, num_intents_);
+  for (int a = 0; a < num_intents_; ++a) {
+    for (int b = 0; b < num_intents_; ++b) {
+      mask.set(a, b, a == b ? 0.0f : 1.0f);
+    }
+  }
+  Tensor penalty = ops::Sum(ops::Mul(ops::Mul(gram, gram), mask));
+  const float pairs =
+      static_cast<float>(num_intents_) * (num_intents_ - 1);
+  return ops::ScalarMul(penalty, pairs > 0.0f ? 1.0f / pairs : 0.0f);
+}
+
+Tensor Kgin::BuildLoss(const TripletBatch& batch, Rng* rng) {
+  (void)rng;
+  Propagated prop = Propagate();
+  Tensor users = ops::Gather(prop.users, batch.anchors);
+  Tensor pos = ops::Gather(prop.items, batch.positives);
+  Tensor neg = ops::Gather(prop.items, batch.negatives);
+  Tensor cf = BprLossFromScores(ops::RowSum(ops::Mul(users, pos)),
+                                ops::RowSum(ops::Mul(users, neg)));
+  if (num_intents_ < 2 || independence_weight_ <= 0.0f) return cf;
+  return ops::Add(cf,
+                  ops::ScalarMul(IndependencePenalty(), independence_weight_));
+}
+
+void Kgin::ComputeEvalFactors(std::vector<float>* user_factors,
+                              std::vector<float>* item_factors) const {
+  Propagated prop = Propagate();
+  user_factors->assign(prop.users.data(),
+                       prop.users.data() + prop.users.size());
+  item_factors->assign(prop.items.data(),
+                       prop.items.data() + prop.items.size());
+}
+
+}  // namespace imcat

@@ -1,0 +1,60 @@
+#ifndef IMCAT_BASELINES_KGIN_H_
+#define IMCAT_BASELINES_KGIN_H_
+
+#include "baselines/factor_model.h"
+#include "tensor/sparse.h"
+
+/// \file kgin.h
+/// KGIN [31]: learning intents behind interactions with a knowledge graph.
+/// Each of K latent intents is a learned softmax combination of relation
+/// embeddings (here: tag embeddings, following the paper's tag
+/// adaptation). User aggregation is intent-aware: messages from interacted
+/// items are modulated elementwise by the intent embedding and combined
+/// with per-user intent attention; items aggregate their tags through a
+/// relational layer. Intents are kept independent with a pairwise
+/// correlation penalty (the original uses distance correlation; we use the
+/// squared-cosine variant the authors also report).
+
+namespace imcat {
+
+class Kgin : public FactorModelBase {
+ public:
+  Kgin(const Dataset& dataset, const DataSplit& split, const AdamOptions& adam,
+       int64_t batch_size, int64_t embedding_dim, uint64_t seed,
+       int num_intents = 4, int num_layers = 2,
+       float independence_weight = 1e-2f);
+
+ protected:
+  Tensor BuildLoss(const TripletBatch& batch, Rng* rng) override;
+  void ComputeEvalFactors(std::vector<float>* user_factors,
+                          std::vector<float>* item_factors) const override;
+
+ private:
+  struct Propagated {
+    Tensor users;
+    Tensor items;
+  };
+
+  /// Intent embeddings e_k = softmax(w_k) Tags, (K x d).
+  Tensor IntentEmbeddings() const;
+
+  /// Intent-aware relational propagation.
+  Propagated Propagate() const;
+
+  /// Pairwise squared-cosine penalty between intent embeddings.
+  Tensor IndependencePenalty() const;
+
+  int num_intents_;
+  int num_layers_;
+  float independence_weight_;
+  SparseMatrix user_from_item_;  ///< (U x V) row-stochastic.
+  SparseMatrix item_from_tag_;   ///< (V x T) row-stochastic.
+  Tensor user_table_;
+  Tensor item_table_;
+  Tensor tag_table_;
+  Tensor intent_logits_;  ///< (K x T) over relations (tags).
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_BASELINES_KGIN_H_

@@ -1,0 +1,121 @@
+#include "baselines/registry.h"
+
+#include "baselines/cfa.h"
+#include "baselines/cke.h"
+#include "baselines/dspr.h"
+#include "baselines/kgat.h"
+#include "baselines/kgcl.h"
+#include "baselines/kgin.h"
+#include "baselines/ripplenet.h"
+#include "baselines/sgl.h"
+#include "baselines/tgcn.h"
+#include "core/imcat.h"
+#include "models/bprmf.h"
+#include "models/lightgcn.h"
+#include "models/neumf.h"
+
+namespace imcat {
+
+namespace {
+
+std::unique_ptr<Backbone> MakeBackbone(const std::string& kind,
+                                       const Dataset& dataset,
+                                       const DataSplit& split,
+                                       const ModelFactoryOptions& options) {
+  BackboneOptions backbone_options;
+  backbone_options.embedding_dim = options.embedding_dim;
+  backbone_options.seed = options.seed;
+  if (kind == "BPRMF") {
+    return std::make_unique<Bprmf>(dataset.num_users, dataset.num_items,
+                                   backbone_options);
+  }
+  if (kind == "NeuMF") {
+    return std::make_unique<NeuMf>(dataset.num_users, dataset.num_items,
+                                   backbone_options);
+  }
+  if (kind == "LightGCN") {
+    return std::make_unique<LightGcn>(dataset.num_users, dataset.num_items,
+                                      split.train, backbone_options);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const std::vector<std::string>& AllModelNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      "BPRMF", "NeuMF",     "LightGCN", "CFA",  "DSPR",    "TGCN",
+      "CKE",   "RippleNet", "KGAT",     "KGIN", "SGL",     "KGCL",
+      "B-IMCAT", "N-IMCAT", "L-IMCAT"};
+  return names;
+}
+
+StatusOr<std::unique_ptr<TrainableModel>> CreateModel(
+    const std::string& name, const Dataset& dataset, const DataSplit& split,
+    const ModelFactoryOptions& options) {
+  const int64_t dim = options.embedding_dim;
+  const int64_t batch = options.batch_size;
+  const uint64_t seed = options.seed;
+
+  // Bare backbones trained with plain BPR.
+  if (name == "BPRMF" || name == "NeuMF" || name == "LightGCN") {
+    return std::unique_ptr<TrainableModel>(
+        std::make_unique<BprModel>(MakeBackbone(name, dataset, split, options),
+                                   dataset, split, options.adam, batch));
+  }
+  // IMCAT variants.
+  if (name == "B-IMCAT" || name == "N-IMCAT" || name == "L-IMCAT") {
+    const std::string backbone = name == "B-IMCAT"   ? "BPRMF"
+                                 : name == "N-IMCAT" ? "NeuMF"
+                                                     : "LightGCN";
+    ImcatConfig config = options.imcat;
+    config.batch_size = batch;
+    config.seed = seed;
+    return std::unique_ptr<TrainableModel>(std::make_unique<ImcatModel>(
+        MakeBackbone(backbone, dataset, split, options), dataset, split,
+        config, options.adam));
+  }
+  // Tag-enhanced baselines.
+  if (name == "CFA") {
+    return std::unique_ptr<TrainableModel>(std::make_unique<Cfa>(
+        dataset, split, options.adam, batch, dim, seed));
+  }
+  if (name == "DSPR") {
+    return std::unique_ptr<TrainableModel>(std::make_unique<Dspr>(
+        dataset, split, options.adam, batch, dim, seed));
+  }
+  if (name == "TGCN") {
+    return std::unique_ptr<TrainableModel>(std::make_unique<Tgcn>(
+        dataset, split, options.adam, batch, dim, seed));
+  }
+  // KG-enhanced baselines.
+  if (name == "CKE") {
+    return std::unique_ptr<TrainableModel>(std::make_unique<Cke>(
+        dataset, split, options.adam, batch, dim, seed));
+  }
+  if (name == "RippleNet") {
+    return std::unique_ptr<TrainableModel>(std::make_unique<RippleNet>(
+        dataset, split, options.adam, batch, dim, seed));
+  }
+  if (name == "KGAT") {
+    return std::unique_ptr<TrainableModel>(std::make_unique<Kgat>(
+        dataset, split, options.adam, batch, dim, seed));
+  }
+  if (name == "KGIN") {
+    return std::unique_ptr<TrainableModel>(std::make_unique<Kgin>(
+        dataset, split, options.adam, batch, dim, seed,
+        options.imcat.num_intents));
+  }
+  // SSL-based baselines.
+  if (name == "SGL") {
+    return std::unique_ptr<TrainableModel>(std::make_unique<Sgl>(
+        dataset, split, options.adam, batch, dim, seed));
+  }
+  if (name == "KGCL") {
+    return std::unique_ptr<TrainableModel>(std::make_unique<Kgcl>(
+        dataset, split, options.adam, batch, dim, seed));
+  }
+  return Status::NotFound("unknown model: " + name);
+}
+
+}  // namespace imcat

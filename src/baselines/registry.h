@@ -1,0 +1,49 @@
+#ifndef IMCAT_BASELINES_REGISTRY_H_
+#define IMCAT_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "data/split.h"
+#include "tensor/optimizer.h"
+#include "train/trainer.h"
+#include "util/status.h"
+
+/// \file registry.h
+/// The model factory behind the benchmark harness and examples: every
+/// method of the paper's Table II can be instantiated by name against a
+/// dataset/split pair.
+
+namespace imcat {
+
+/// Options applied to every model the factory creates.
+struct ModelFactoryOptions {
+  int64_t embedding_dim = 64;
+  int64_t batch_size = 1024;
+  uint64_t seed = 13;
+  AdamOptions adam;  ///< Defaults follow the paper: lr = wd = 1e-3.
+  /// IMCAT-specific knobs, used by the *-IMCAT variants.
+  ImcatConfig imcat;
+
+  ModelFactoryOptions() {
+    adam.learning_rate = 1e-3f;
+    adam.weight_decay = 1e-3f;
+  }
+};
+
+/// The method names of Table II, in paper order:
+/// BPRMF, NeuMF, LightGCN, CFA, DSPR, TGCN, CKE, RippleNet, KGAT, KGIN,
+/// SGL, KGCL, B-IMCAT, N-IMCAT, L-IMCAT.
+const std::vector<std::string>& AllModelNames();
+
+/// Instantiates a model by Table-II name. The dataset and split must
+/// outlive the model. Unknown names yield NotFound.
+StatusOr<std::unique_ptr<TrainableModel>> CreateModel(
+    const std::string& name, const Dataset& dataset, const DataSplit& split,
+    const ModelFactoryOptions& options);
+
+}  // namespace imcat
+
+#endif  // IMCAT_BASELINES_REGISTRY_H_

@@ -1,0 +1,107 @@
+#include "baselines/ripplenet.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace imcat {
+
+namespace {
+
+/// Caps each user's hop set and row-normalises.
+SparseMatrix BuildHopMatrix(
+    int64_t num_users, int64_t num_cols,
+    const std::vector<std::unordered_map<int64_t, float>>& weights) {
+  std::vector<int64_t> rows, cols;
+  std::vector<float> values;
+  for (int64_t u = 0; u < num_users; ++u) {
+    float total = 0.0f;
+    for (const auto& [c, w] : weights[u]) total += w;
+    if (total <= 0.0f) continue;
+    for (const auto& [c, w] : weights[u]) {
+      rows.push_back(u);
+      cols.push_back(c);
+      values.push_back(w / total);
+    }
+  }
+  return SparseMatrix::FromTriplets(num_users, num_cols, rows, cols, values);
+}
+
+Tensor GateScale(const Tensor& x, const Tensor& gate) {
+  Tensor ones(x.rows(), 1);
+  for (int64_t r = 0; r < x.rows(); ++r) ones.data()[r] = 1.0f;
+  return ops::MulColBroadcast(x, ops::MatMul(ones, ops::Sigmoid(gate)));
+}
+
+}  // namespace
+
+RippleNet::RippleNet(const Dataset& dataset, const DataSplit& split,
+                     const AdamOptions& adam, int64_t batch_size,
+                     int64_t embedding_dim, uint64_t seed)
+    : FactorModelBase("RippleNet", dataset, split, adam, batch_size,
+                      embedding_dim) {
+  BipartiteIndex item_tags(dataset.num_items, dataset.num_tags,
+                           dataset.item_tags);
+  BipartiteIndex interactions(dataset.num_users, dataset.num_items,
+                              split.train);
+
+  // Hop 1: tag frequencies over the user's training items.
+  std::vector<std::unordered_map<int64_t, float>> hop1(dataset.num_users);
+  // Hop 2: items reachable through those tags (excluding the seed items).
+  std::vector<std::unordered_map<int64_t, float>> hop2(dataset.num_users);
+  constexpr int64_t kMaxHop2PerTag = 50;
+  for (int64_t u = 0; u < dataset.num_users; ++u) {
+    std::unordered_set<int64_t> seeds(interactions.Forward(u).begin(),
+                                      interactions.Forward(u).end());
+    for (int64_t v : interactions.Forward(u)) {
+      for (int64_t t : item_tags.Forward(v)) {
+        hop1[u][t] += 1.0f;
+        const auto& carriers = item_tags.Backward(t);
+        const int64_t limit =
+            std::min<int64_t>(kMaxHop2PerTag,
+                              static_cast<int64_t>(carriers.size()));
+        for (int64_t i = 0; i < limit; ++i) {
+          if (!seeds.count(carriers[i])) hop2[u][carriers[i]] += 1.0f;
+        }
+      }
+    }
+  }
+  hop1_ = BuildHopMatrix(dataset.num_users, dataset.num_tags, hop1);
+  hop2_ = BuildHopMatrix(dataset.num_users, dataset.num_items, hop2);
+
+  Rng rng(seed);
+  user_table_ = XavierUniform(dataset.num_users, embedding_dim, &rng, true);
+  item_table_ = XavierUniform(dataset.num_items, embedding_dim, &rng, true);
+  tag_table_ = XavierUniform(dataset.num_tags, embedding_dim, &rng, true);
+  hop1_gate_ = ZerosParameter(1, 1);
+  hop2_gate_ = ZerosParameter(1, 1);
+  RegisterParameters(
+      {user_table_, item_table_, tag_table_, hop1_gate_, hop2_gate_});
+}
+
+Tensor RippleNet::EnrichedUsers() const {
+  Tensor h1 = GateScale(ops::SpMM(hop1_, tag_table_), hop1_gate_);
+  Tensor h2 = GateScale(ops::SpMM(hop2_, item_table_), hop2_gate_);
+  return ops::Add(user_table_, ops::Add(h1, h2));
+}
+
+Tensor RippleNet::BuildLoss(const TripletBatch& batch, Rng* rng) {
+  (void)rng;
+  Tensor users = ops::Gather(EnrichedUsers(), batch.anchors);
+  Tensor pos = ops::Gather(item_table_, batch.positives);
+  Tensor neg = ops::Gather(item_table_, batch.negatives);
+  return BprLossFromScores(ops::RowSum(ops::Mul(users, pos)),
+                           ops::RowSum(ops::Mul(users, neg)));
+}
+
+void RippleNet::ComputeEvalFactors(std::vector<float>* user_factors,
+                                   std::vector<float>* item_factors) const {
+  Tensor users = EnrichedUsers();
+  user_factors->assign(users.data(), users.data() + users.size());
+  item_factors->assign(item_table_.data(),
+                       item_table_.data() + item_table_.size());
+}
+
+}  // namespace imcat

@@ -1,0 +1,49 @@
+#ifndef IMCAT_BASELINES_RIPPLENET_H_
+#define IMCAT_BASELINES_RIPPLENET_H_
+
+#include "baselines/factor_model.h"
+#include "tensor/sparse.h"
+
+/// \file ripplenet.h
+/// RippleNet [6]: user preferences propagate along knowledge-graph paths
+/// rooted at the user's history. In the tag-enhanced adaptation the ripple
+/// sets are: hop 1 — the tags of the user's training items; hop 2 — the
+/// items carrying those tags. The user representation is her base
+/// embedding enriched with the (fixed-structure, learned-content)
+/// aggregations of both hops through learned hop gates.
+///
+/// Simplification vs the original (documented in DESIGN.md): the
+/// per-candidate attention over ripple entries is replaced by uniform
+/// in-set averaging with learned hop weights — the propagation structure
+/// and the learned hop embeddings are preserved, the per-pair attention
+/// (quadratic in catalogue size at ranking time) is not.
+
+namespace imcat {
+
+class RippleNet : public FactorModelBase {
+ public:
+  RippleNet(const Dataset& dataset, const DataSplit& split,
+            const AdamOptions& adam, int64_t batch_size,
+            int64_t embedding_dim, uint64_t seed);
+
+ protected:
+  Tensor BuildLoss(const TripletBatch& batch, Rng* rng) override;
+  void ComputeEvalFactors(std::vector<float>* user_factors,
+                          std::vector<float>* item_factors) const override;
+
+ private:
+  /// Enriched user table: u + g1 * H1 tags + g2 * H2 items, (U x d).
+  Tensor EnrichedUsers() const;
+
+  SparseMatrix hop1_;  ///< (U x T): user -> tags of her training items.
+  SparseMatrix hop2_;  ///< (U x V): user -> items sharing those tags.
+  Tensor user_table_;
+  Tensor item_table_;
+  Tensor tag_table_;
+  Tensor hop1_gate_;  ///< (1 x 1) pre-sigmoid weight.
+  Tensor hop2_gate_;  ///< (1 x 1).
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_BASELINES_RIPPLENET_H_

@@ -1,0 +1,103 @@
+#include "baselines/sgl.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/adjacency.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace imcat {
+
+Sgl::Sgl(const Dataset& dataset, const DataSplit& split,
+         const AdamOptions& adam, int64_t batch_size, int64_t embedding_dim,
+         uint64_t seed, int num_layers, float ssl_weight, float ssl_tau,
+         float edge_keep_prob)
+    : FactorModelBase("SGL", dataset, split, adam, batch_size, embedding_dim),
+      num_layers_(num_layers),
+      ssl_weight_(ssl_weight),
+      ssl_tau_(ssl_tau),
+      edge_keep_prob_(edge_keep_prob),
+      train_edges_(split.train),
+      adjacency_(BuildUserItemAdjacency(dataset.num_users, dataset.num_items,
+                                        split.train)),
+      augmentation_rng_(seed ^ 0xd20f0b5cULL) {
+  Rng rng(seed);
+  base_table_ = XavierUniform(dataset.num_users + dataset.num_items,
+                              embedding_dim, &rng, true);
+  RegisterParameters({base_table_});
+  OnEpochBegin(0);
+}
+
+void Sgl::OnEpochBegin(int64_t epoch) {
+  (void)epoch;
+  view_a_ = BuildUserItemAdjacency(
+      num_users(), num_items(),
+      DropEdges(train_edges_, edge_keep_prob_, &augmentation_rng_));
+  view_b_ = BuildUserItemAdjacency(
+      num_users(), num_items(),
+      DropEdges(train_edges_, edge_keep_prob_, &augmentation_rng_));
+}
+
+Tensor Sgl::Propagate(const SparseMatrix& adjacency) const {
+  Tensor layer = base_table_;
+  Tensor sum = base_table_;
+  for (int l = 0; l < num_layers_; ++l) {
+    layer = ops::SpMM(adjacency, layer);
+    sum = ops::Add(sum, layer);
+  }
+  return ops::ScalarMul(sum, 1.0f / static_cast<float>(num_layers_ + 1));
+}
+
+Tensor Sgl::ViewContrast(const Tensor& view_a, const Tensor& view_b,
+                         const std::vector<int64_t>& nodes) const {
+  Tensor a = ops::L2NormalizeRows(ops::Gather(view_a, nodes));
+  Tensor b = ops::L2NormalizeRows(ops::Gather(view_b, nodes));
+  Tensor logits = ops::ScalarMul(ops::MatMulNT(a, b), 1.0f / ssl_tau_);
+  std::vector<int64_t> diagonal(nodes.size());
+  std::iota(diagonal.begin(), diagonal.end(), 0);
+  std::vector<float> weights(nodes.size(),
+                             1.0f / static_cast<float>(nodes.size()));
+  return ops::SoftmaxCrossEntropy(logits, diagonal, weights);
+}
+
+Tensor Sgl::BuildLoss(const TripletBatch& batch, Rng* rng) {
+  (void)rng;
+  Tensor main = Propagate(adjacency_);
+  Tensor users = ops::Gather(main, batch.anchors);
+  std::vector<int64_t> pos_nodes, neg_nodes;
+  for (int64_t v : batch.positives) pos_nodes.push_back(num_users() + v);
+  for (int64_t v : batch.negatives) neg_nodes.push_back(num_users() + v);
+  Tensor pos = ops::Gather(main, pos_nodes);
+  Tensor neg = ops::Gather(main, neg_nodes);
+  Tensor cf = BprLossFromScores(ops::RowSum(ops::Mul(users, pos)),
+                                ops::RowSum(ops::Mul(users, neg)));
+
+  // Self-discrimination between the two augmented views on the batch's
+  // users and positive items. Nodes must be unique within the SSL batch:
+  // duplicate nodes would appear as false negatives of themselves, which
+  // wrecks the InfoNCE objective.
+  auto unique_sorted = [](std::vector<int64_t> nodes) {
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    return nodes;
+  };
+  Tensor view_a = Propagate(view_a_);
+  Tensor view_b = Propagate(view_b_);
+  Tensor ssl_users = ViewContrast(view_a, view_b, unique_sorted(batch.anchors));
+  Tensor ssl_items = ViewContrast(view_a, view_b, unique_sorted(pos_nodes));
+  Tensor ssl = ops::Add(ssl_users, ssl_items);
+  return ops::Add(cf, ops::ScalarMul(ssl, ssl_weight_));
+}
+
+void Sgl::ComputeEvalFactors(std::vector<float>* user_factors,
+                             std::vector<float>* item_factors) const {
+  Tensor propagated = Propagate(adjacency_);
+  const float* data = propagated.data();
+  const int64_t d = embedding_dim();
+  user_factors->assign(data, data + num_users() * d);
+  item_factors->assign(data + num_users() * d,
+                       data + (num_users() + num_items()) * d);
+}
+
+}  // namespace imcat

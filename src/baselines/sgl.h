@@ -1,0 +1,58 @@
+#ifndef IMCAT_BASELINES_SGL_H_
+#define IMCAT_BASELINES_SGL_H_
+
+#include "baselines/factor_model.h"
+#include "tensor/sparse.h"
+
+/// \file sgl.h
+/// SGL [40]: self-supervised graph learning. A LightGCN backbone is
+/// augmented with a structural contrastive task: two edge-dropout views of
+/// the interaction graph are propagated independently and each node's two
+/// views form a positive pair under an InfoNCE objective (SGL-ED variant).
+/// The augmentation graphs are resampled at the start of every epoch, as
+/// in the original.
+///
+/// Note on tau: the original uses tau ~= 0.2 on datasets with 10^4-10^5
+/// items. At the scaled-down sizes this library targets, that temperature
+/// makes the uniformity pressure of the self-discrimination task overwhelm
+/// the ranking objective, so the default here is tau = 1.
+
+namespace imcat {
+
+class Sgl : public FactorModelBase {
+ public:
+  Sgl(const Dataset& dataset, const DataSplit& split, const AdamOptions& adam,
+      int64_t batch_size, int64_t embedding_dim, uint64_t seed,
+      int num_layers = 2, float ssl_weight = 0.02f, float ssl_tau = 1.0f,
+      float edge_keep_prob = 0.8f);
+
+  void OnEpochBegin(int64_t epoch) override;
+
+ protected:
+  Tensor BuildLoss(const TripletBatch& batch, Rng* rng) override;
+  void ComputeEvalFactors(std::vector<float>* user_factors,
+                          std::vector<float>* item_factors) const override;
+
+ private:
+  /// Layer-averaged propagation of the base table over an adjacency.
+  Tensor Propagate(const SparseMatrix& adjacency) const;
+
+  /// InfoNCE between two views restricted to `nodes` rows.
+  Tensor ViewContrast(const Tensor& view_a, const Tensor& view_b,
+                      const std::vector<int64_t>& nodes) const;
+
+  int num_layers_;
+  float ssl_weight_;
+  float ssl_tau_;
+  float edge_keep_prob_;
+  EdgeList train_edges_;
+  SparseMatrix adjacency_;        ///< Full graph.
+  SparseMatrix view_a_;           ///< Dropout view 1 (per-epoch).
+  SparseMatrix view_b_;           ///< Dropout view 2 (per-epoch).
+  Tensor base_table_;             ///< (U+V x d).
+  Rng augmentation_rng_;
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_BASELINES_SGL_H_

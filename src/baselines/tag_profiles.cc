@@ -1,0 +1,51 @@
+#include "baselines/tag_profiles.h"
+
+#include <unordered_map>
+
+namespace imcat {
+
+SparseMatrix BuildUserTagProfiles(const Dataset& dataset,
+                                  const EdgeList& train_interactions) {
+  BipartiteIndex item_tags(dataset.num_items, dataset.num_tags,
+                           dataset.item_tags);
+  // Accumulate tag counts per user.
+  std::vector<std::unordered_map<int64_t, float>> counts(dataset.num_users);
+  for (const auto& [u, v] : train_interactions) {
+    for (int64_t t : item_tags.Forward(v)) counts[u][t] += 1.0f;
+  }
+  std::vector<int64_t> rows, cols;
+  std::vector<float> values;
+  for (int64_t u = 0; u < dataset.num_users; ++u) {
+    float total = 0.0f;
+    for (const auto& [t, c] : counts[u]) total += c;
+    if (total <= 0.0f) continue;
+    for (const auto& [t, c] : counts[u]) {
+      rows.push_back(u);
+      cols.push_back(t);
+      values.push_back(c / total);
+    }
+  }
+  return SparseMatrix::FromTriplets(dataset.num_users, dataset.num_tags, rows,
+                                    cols, values);
+}
+
+SparseMatrix BuildItemTagProfiles(const Dataset& dataset) {
+  BipartiteIndex item_tags(dataset.num_items, dataset.num_tags,
+                           dataset.item_tags);
+  std::vector<int64_t> rows, cols;
+  std::vector<float> values;
+  for (int64_t v = 0; v < dataset.num_items; ++v) {
+    const auto& tags = item_tags.Forward(v);
+    if (tags.empty()) continue;
+    const float w = 1.0f / static_cast<float>(tags.size());
+    for (int64_t t : tags) {
+      rows.push_back(v);
+      cols.push_back(t);
+      values.push_back(w);
+    }
+  }
+  return SparseMatrix::FromTriplets(dataset.num_items, dataset.num_tags, rows,
+                                    cols, values);
+}
+
+}  // namespace imcat

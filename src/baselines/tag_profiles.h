@@ -1,0 +1,28 @@
+#ifndef IMCAT_BASELINES_TAG_PROFILES_H_
+#define IMCAT_BASELINES_TAG_PROFILES_H_
+
+#include "data/dataset.h"
+#include "tensor/sparse.h"
+
+/// \file tag_profiles.h
+/// Tag-based user and item profiles shared by the tag-profile baselines
+/// (CFA [4], DSPR [5]). A user's profile is the frequency-normalised bag
+/// of tags over the items she interacted with in training; an item's
+/// profile is the normalised indicator of its own tags. The paper
+/// (Sec. V-E) notes that per-user tag attributions are unavailable, so
+/// user profiles necessarily pool all tags of all interacted items.
+
+namespace imcat {
+
+/// (num_users x num_tags) row-normalised user tag-frequency matrix built
+/// from the training interactions and the item-tag labels. Users without
+/// any tagged interactions get an all-zero row.
+SparseMatrix BuildUserTagProfiles(const Dataset& dataset,
+                                  const EdgeList& train_interactions);
+
+/// (num_items x num_tags) row-normalised item tag-indicator matrix.
+SparseMatrix BuildItemTagProfiles(const Dataset& dataset);
+
+}  // namespace imcat
+
+#endif  // IMCAT_BASELINES_TAG_PROFILES_H_

@@ -1,0 +1,119 @@
+#include "baselines/tgcn.h"
+
+#include <unordered_map>
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace imcat {
+
+SparseMatrix RowStochasticFromEdges(int64_t num_rows, int64_t num_cols,
+                                    const EdgeList& edges) {
+  std::vector<int64_t> degree(num_rows, 0);
+  for (const auto& [r, c] : edges) {
+    (void)c;
+    ++degree[r];
+  }
+  std::vector<int64_t> rows, cols;
+  std::vector<float> values;
+  rows.reserve(edges.size());
+  cols.reserve(edges.size());
+  values.reserve(edges.size());
+  for (const auto& [r, c] : edges) {
+    rows.push_back(r);
+    cols.push_back(c);
+    values.push_back(1.0f / static_cast<float>(degree[r]));
+  }
+  return SparseMatrix::FromTriplets(num_rows, num_cols, rows, cols, values);
+}
+
+namespace {
+
+EdgeList Reversed(const EdgeList& edges) {
+  EdgeList reversed;
+  reversed.reserve(edges.size());
+  for (const auto& [a, b] : edges) reversed.emplace_back(b, a);
+  return reversed;
+}
+
+/// x scaled by sigmoid(gate), where gate is a trainable (1 x 1) tensor.
+Tensor GateScale(const Tensor& x, const Tensor& gate) {
+  Tensor ones(x.rows(), 1);
+  for (int64_t r = 0; r < x.rows(); ++r) ones.data()[r] = 1.0f;
+  Tensor gate_col = ops::MatMul(ones, ops::Sigmoid(gate));
+  return ops::MulColBroadcast(x, gate_col);
+}
+
+}  // namespace
+
+Tgcn::Tgcn(const Dataset& dataset, const DataSplit& split,
+           const AdamOptions& adam, int64_t batch_size, int64_t embedding_dim,
+           uint64_t seed, int num_layers)
+    : FactorModelBase("TGCN", dataset, split, adam, batch_size, embedding_dim),
+      num_layers_(num_layers),
+      num_tags_(dataset.num_tags),
+      user_from_item_(RowStochasticFromEdges(dataset.num_users,
+                                             dataset.num_items, split.train)),
+      item_from_user_(RowStochasticFromEdges(dataset.num_items,
+                                             dataset.num_users,
+                                             Reversed(split.train))),
+      item_from_tag_(RowStochasticFromEdges(dataset.num_items,
+                                            dataset.num_tags,
+                                            dataset.item_tags)),
+      tag_from_item_(RowStochasticFromEdges(dataset.num_tags,
+                                            dataset.num_items,
+                                            Reversed(dataset.item_tags))) {
+  Rng rng(seed);
+  user_table_ = XavierUniform(dataset.num_users, embedding_dim, &rng, true);
+  item_table_ = XavierUniform(dataset.num_items, embedding_dim, &rng, true);
+  tag_table_ = XavierUniform(dataset.num_tags, embedding_dim, &rng, true);
+  gate_user_ = ZerosParameter(1, 1);
+  gate_tag_ = ZerosParameter(1, 1);
+  RegisterParameters(
+      {user_table_, item_table_, tag_table_, gate_user_, gate_tag_});
+}
+
+Tgcn::Propagated Tgcn::Propagate() const {
+  Tensor u = user_table_, i = item_table_, t = tag_table_;
+  Tensor u_sum = u, i_sum = i, t_sum = t;
+  for (int layer = 0; layer < num_layers_; ++layer) {
+    // Type-aware aggregation: items fuse user and tag messages through
+    // learned gates; users and tags receive item messages.
+    Tensor u_next = ops::SpMM(user_from_item_, i);
+    Tensor i_next = ops::Add(GateScale(ops::SpMM(item_from_user_, u),
+                                       gate_user_),
+                             GateScale(ops::SpMM(item_from_tag_, t),
+                                       gate_tag_));
+    Tensor t_next = ops::SpMM(tag_from_item_, i);
+    u = u_next;
+    i = i_next;
+    t = t_next;
+    u_sum = ops::Add(u_sum, u);
+    i_sum = ops::Add(i_sum, i);
+    t_sum = ops::Add(t_sum, t);
+  }
+  const float scale = 1.0f / static_cast<float>(num_layers_ + 1);
+  return {ops::ScalarMul(u_sum, scale), ops::ScalarMul(i_sum, scale),
+          ops::ScalarMul(t_sum, scale)};
+}
+
+Tensor Tgcn::BuildLoss(const TripletBatch& batch, Rng* rng) {
+  (void)rng;
+  Propagated prop = Propagate();
+  Tensor users = ops::Gather(prop.users, batch.anchors);
+  Tensor pos = ops::Gather(prop.items, batch.positives);
+  Tensor neg = ops::Gather(prop.items, batch.negatives);
+  return BprLossFromScores(ops::RowSum(ops::Mul(users, pos)),
+                           ops::RowSum(ops::Mul(users, neg)));
+}
+
+void Tgcn::ComputeEvalFactors(std::vector<float>* user_factors,
+                              std::vector<float>* item_factors) const {
+  Propagated prop = Propagate();
+  user_factors->assign(prop.users.data(),
+                       prop.users.data() + prop.users.size());
+  item_factors->assign(prop.items.data(),
+                       prop.items.data() + prop.items.size());
+}
+
+}  // namespace imcat

@@ -1,0 +1,59 @@
+#ifndef IMCAT_BASELINES_TGCN_H_
+#define IMCAT_BASELINES_TGCN_H_
+
+#include "baselines/factor_model.h"
+#include "tensor/sparse.h"
+
+/// \file tgcn.h
+/// TGCN [9]: tag graph convolutional network. The original builds a
+/// unified user-item-tag graph and aggregates neighbours type-by-type with
+/// type-aware attention before fusing. We keep that structure: separate
+/// row-stochastic message matrices per (target-type, source-type) pair,
+/// learned per-type fusion gates on the item side (where two source types
+/// meet), and layer averaging over two convolution layers (the paper uses
+/// two layers for all GNN models).
+
+namespace imcat {
+
+class Tgcn : public FactorModelBase {
+ public:
+  Tgcn(const Dataset& dataset, const DataSplit& split, const AdamOptions& adam,
+       int64_t batch_size, int64_t embedding_dim, uint64_t seed,
+       int num_layers = 2);
+
+ protected:
+  Tensor BuildLoss(const TripletBatch& batch, Rng* rng) override;
+  void ComputeEvalFactors(std::vector<float>* user_factors,
+                          std::vector<float>* item_factors) const override;
+
+ private:
+  struct Propagated {
+    Tensor users;
+    Tensor items;
+    Tensor tags;
+  };
+  /// Runs the type-aware propagation from the current tables.
+  Propagated Propagate() const;
+
+  int num_layers_;
+  int64_t num_tags_;
+  SparseMatrix user_from_item_;  ///< (U x V) row-stochastic.
+  SparseMatrix item_from_user_;  ///< (V x U).
+  SparseMatrix item_from_tag_;   ///< (V x T).
+  SparseMatrix tag_from_item_;   ///< (T x V).
+  Tensor user_table_;
+  Tensor item_table_;
+  Tensor tag_table_;
+  Tensor gate_user_;  ///< (1 x 1) pre-sigmoid weight of user messages.
+  Tensor gate_tag_;   ///< (1 x 1) pre-sigmoid weight of tag messages.
+};
+
+/// Builds a (num_rows x num_cols) row-stochastic matrix averaging the
+/// neighbours given by `edges` ((row, col) pairs). Exposed for tests and
+/// reused by other graph baselines.
+SparseMatrix RowStochasticFromEdges(int64_t num_rows, int64_t num_cols,
+                                    const EdgeList& edges);
+
+}  // namespace imcat
+
+#endif  // IMCAT_BASELINES_TGCN_H_

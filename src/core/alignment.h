@@ -1,0 +1,63 @@
+#ifndef IMCAT_CORE_ALIGNMENT_H_
+#define IMCAT_CORE_ALIGNMENT_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+/// \file alignment.h
+/// The intent-aware multi-source contrastive alignment head (Sec. IV-B2/3):
+/// per-intent tag projection W_0^k (Eq. 10), the fused representation
+/// z = l2norm(t-hat) + l2norm(v) (with L2 normalisation before the
+/// addition, as the paper specifies), the non-linear transformation head
+/// (Eq. 14), and the bidirectional M-weighted InfoNCE loss (Eqs. 11-13).
+
+namespace imcat {
+
+class AlignmentHead {
+ public:
+  /// `dim` is the full embedding width d; the chunk width is d / K.
+  /// Parameters are Xavier-initialised from `seed`.
+  AlignmentHead(int num_intents, int64_t dim, uint64_t seed);
+
+  int num_intents() const { return num_intents_; }
+  int64_t chunk_dim() const { return chunk_; }
+
+  std::vector<Tensor> Parameters();
+
+  /// Builds the contrastive alignment loss L_CA (or L_CA*, depending on
+  /// how the caller paired the rows).
+  ///
+  /// \param user_agg   (B x d) per-item aggregated user embeddings, u-bar.
+  /// \param tag_aggs   K tensors (B x d): per-intent aggregated tag
+  ///                   embeddings t-bar^k of each row's *positive* item.
+  /// \param item_embs  K tensors (B x d): embedding of each row's positive
+  ///                   item under intent k (all identical when ISA is off).
+  /// \param row_weights K weight vectors of length B: the M_{j,k}
+  ///                   relatedness of each anchor row under intent k.
+  /// \param config     ablation switches (UI / UT / NLT) and tau.
+  ///
+  /// Returns the scalar loss averaged over intents, directions and rows:
+  ///   (1 / 2KB) sum_k (L^k_u2it + L^k_it2u).
+  Tensor Loss(const Tensor& user_agg, const std::vector<Tensor>& tag_aggs,
+              const std::vector<Tensor>& item_embs,
+              const std::vector<std::vector<float>>& row_weights,
+              const ImcatConfig& config) const;
+
+ private:
+  int num_intents_;
+  int64_t dim_;
+  int64_t chunk_;
+  // Per-intent parameters (Eqs. 10 and 14).
+  std::vector<Tensor> w0_;  ///< (d x chunk) tag projection.
+  std::vector<Tensor> b0_;  ///< (1 x chunk).
+  std::vector<Tensor> w1_;  ///< (chunk x chunk) NLT layer 1.
+  std::vector<Tensor> b1_;  ///< (1 x chunk).
+  std::vector<Tensor> w2_;  ///< (chunk x chunk) NLT layer 2.
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_CORE_ALIGNMENT_H_

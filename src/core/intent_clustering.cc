@@ -1,0 +1,128 @@
+#include "core/intent_clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace imcat {
+
+IntentClustering::IntentClustering(int num_clusters, int64_t dim, float eta,
+                                   uint64_t seed)
+    : num_clusters_(num_clusters), dim_(dim), eta_(eta) {
+  IMCAT_CHECK_GE(num_clusters, 1);
+  IMCAT_CHECK_GT(eta, 0.0f);
+  Rng rng(seed);
+  centers_ = RandomNormal(num_clusters, dim, &rng, 0.0f, 0.1f);
+}
+
+void IntentClustering::WarmStart(const Tensor& tag_table, Rng* rng) {
+  const int64_t num_tags = tag_table.rows();
+  IMCAT_CHECK_EQ(tag_table.cols(), dim_);
+  IMCAT_CHECK_GE(num_tags, num_clusters_);
+  const float* tags = tag_table.data();
+
+  // k-means++ seeding: first centre uniform, then proportional to the
+  // squared distance to the nearest chosen centre.
+  std::vector<int64_t> chosen;
+  chosen.push_back(rng->UniformInt(num_tags));
+  std::vector<double> min_dist(num_tags,
+                               std::numeric_limits<double>::infinity());
+  while (static_cast<int>(chosen.size()) < num_clusters_) {
+    const float* last = tags + chosen.back() * dim_;
+    for (int64_t t = 0; t < num_tags; ++t) {
+      double d = 0.0;
+      const float* row = tags + t * dim_;
+      for (int64_t c = 0; c < dim_; ++c) {
+        const double diff = row[c] - last[c];
+        d += diff * diff;
+      }
+      min_dist[t] = std::min(min_dist[t], d);
+    }
+    chosen.push_back(rng->Categorical(min_dist));
+  }
+  float* centers = centers_.data();
+  for (int k = 0; k < num_clusters_; ++k) {
+    const float* row = tags + chosen[k] * dim_;
+    for (int64_t c = 0; c < dim_; ++c) centers[k * dim_ + c] = row[c];
+  }
+}
+
+Tensor IntentClustering::SoftAssignments(const Tensor& tag_table) const {
+  IMCAT_CHECK_EQ(tag_table.cols(), dim_);
+  // Q_lk ∝ (1 + ||t_l - mu_k||^2 / eta)^{-(eta+1)/2}.
+  Tensor dist = ops::PairwiseSqDist(tag_table, centers_);
+  Tensor kernel = ops::Pow(ops::ScalarAdd(ops::ScalarMul(dist, 1.0f / eta_),
+                                          1.0f),
+                           -(eta_ + 1.0f) / 2.0f);
+  return ops::RowNormalize(kernel);
+}
+
+std::vector<float> IntentClustering::TargetDistribution(
+    const std::vector<float>& q, int64_t rows, int64_t cols) {
+  IMCAT_CHECK_EQ(static_cast<int64_t>(q.size()), rows * cols);
+  // Column frequencies f_k = sum_l Q_lk.
+  std::vector<double> freq(cols, 0.0);
+  for (int64_t l = 0; l < rows; ++l) {
+    for (int64_t k = 0; k < cols; ++k) freq[k] += q[l * cols + k];
+  }
+  std::vector<float> target(q.size());
+  for (int64_t l = 0; l < rows; ++l) {
+    double row_sum = 0.0;
+    for (int64_t k = 0; k < cols; ++k) {
+      const double v =
+          freq[k] > 0.0
+              ? static_cast<double>(q[l * cols + k]) * q[l * cols + k] / freq[k]
+              : 0.0;
+      target[l * cols + k] = static_cast<float>(v);
+      row_sum += v;
+    }
+    if (row_sum > 0.0) {
+      for (int64_t k = 0; k < cols; ++k) {
+        target[l * cols + k] = static_cast<float>(target[l * cols + k] / row_sum);
+      }
+    }
+  }
+  return target;
+}
+
+Tensor IntentClustering::KlLoss(const Tensor& tag_table) const {
+  Tensor q = SoftAssignments(tag_table);
+  const int64_t rows = q.rows(), cols = q.cols();
+  std::vector<float> q_values(q.data(), q.data() + q.size());
+  const std::vector<float> target = TargetDistribution(q_values, rows, cols);
+  Tensor target_const(rows, cols, target);
+
+  // KL(Q_hat || Q) = sum Q_hat log Q_hat - sum Q_hat log Q. The first term
+  // is a constant w.r.t. parameters; adding it keeps the reported value a
+  // true KL divergence.
+  double entropy_term = 0.0;
+  for (float p : target) {
+    if (p > 1e-12f) entropy_term += static_cast<double>(p) * std::log(p);
+  }
+  Tensor cross = ops::Sum(ops::Mul(target_const, ops::Log(q)));
+  return ops::ScalarAdd(ops::ScalarMul(cross, -1.0f),
+                        static_cast<float>(entropy_term));
+}
+
+void IntentClustering::UpdateHardAssignments(const Tensor& tag_table) {
+  Tensor detached = tag_table.DetachedCopy();
+  Tensor q = SoftAssignments(detached);
+  const int64_t rows = q.rows();
+  assignments_.resize(rows);
+  for (int64_t l = 0; l < rows; ++l) {
+    int best = 0;
+    float best_v = q.at(l, 0);
+    for (int k = 1; k < num_clusters_; ++k) {
+      if (q.at(l, k) > best_v) {
+        best_v = q.at(l, k);
+        best = k;
+      }
+    }
+    assignments_[l] = best;
+  }
+}
+
+}  // namespace imcat

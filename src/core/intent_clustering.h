@@ -1,0 +1,62 @@
+#ifndef IMCAT_CORE_INTENT_CLUSTERING_H_
+#define IMCAT_CORE_INTENT_CLUSTERING_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+/// \file intent_clustering.h
+/// Self-supervised end-to-end tag clustering (Sec. IV-A2): learnable
+/// cluster centres mu in R^{K x d}, a Student-t soft assignment Q (Eq. 4),
+/// a self-sharpening target distribution Q-hat (Eq. 5) and the KL
+/// clustering loss (Eq. 6). Hard memberships (argmax_k Q_lk) connect each
+/// tag to one intent.
+
+namespace imcat {
+
+class IntentClustering {
+ public:
+  /// Creates K trainable centres of width `dim`, randomly initialised
+  /// from `seed`.
+  IntentClustering(int num_clusters, int64_t dim, float eta, uint64_t seed);
+
+  int num_clusters() const { return num_clusters_; }
+  Tensor centers() { return centers_; }
+
+  /// Re-initialises the centres from the current tag embeddings with
+  /// k-means++ seeding (called once when clustering activates, after the
+  /// pre-training phase has made tag embeddings informative).
+  void WarmStart(const Tensor& tag_table, Rng* rng);
+
+  /// Soft assignment matrix Q (num_tags x K) as a graph-connected tensor;
+  /// gradients flow to both the tag table and the centres.
+  Tensor SoftAssignments(const Tensor& tag_table) const;
+
+  /// The KL clustering loss KL(Q-hat || Q) of Eq. 6, with Q-hat treated as
+  /// a constant target (standard DEC-style self-supervision). The constant
+  /// entropy term of Q-hat is included so the value is a true KL >= 0.
+  Tensor KlLoss(const Tensor& tag_table) const;
+
+  /// Recomputes the hard memberships argmax_k(Q_lk) from the current
+  /// embeddings (done every few iterations for stability, Sec. V-D).
+  void UpdateHardAssignments(const Tensor& tag_table);
+
+  /// Hard membership per tag; empty until the first update.
+  const std::vector<int>& assignments() const { return assignments_; }
+
+  /// Computes Q-hat (Eq. 5) from a row-stochastic Q, exposed for testing.
+  static std::vector<float> TargetDistribution(const std::vector<float>& q,
+                                               int64_t rows, int64_t cols);
+
+ private:
+  int num_clusters_;
+  int64_t dim_;
+  float eta_;
+  Tensor centers_;
+  std::vector<int> assignments_;
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_CORE_INTENT_CLUSTERING_H_

@@ -1,0 +1,104 @@
+#ifndef IMCAT_CORE_POSITIVE_SAMPLES_H_
+#define IMCAT_CORE_POSITIVE_SAMPLES_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/sparse.h"
+#include "util/rng.h"
+
+/// \file positive_samples.h
+/// Multi-source positive-sample construction for the IMCA module
+/// (Sec. IV-B1): per-item user aggregations (Eq. 7), per-item per-cluster
+/// tag aggregations (Eq. 8), the intent-relatedness matrix M (Eq. 9), and
+/// the ISA similar-item sets based on the per-intent Jaccard index
+/// (Eq. 15).
+///
+/// Aggregations are materialised as per-batch sparse averaging matrices so
+/// the whole construction stays differentiable through a single SpMM.
+
+namespace imcat {
+
+class PositiveSampleIndex {
+ public:
+  /// `train_interactions` are the (user, item) training edges; item-tag
+  /// labels come from the dataset (auxiliary information is not split).
+  PositiveSampleIndex(const Dataset& dataset,
+                      const EdgeList& train_interactions, int num_intents);
+
+  int num_intents() const { return num_intents_; }
+  int64_t num_items() const { return num_items_; }
+
+  /// Installs new hard tag-cluster memberships and recomputes the
+  /// cluster-dependent state (per-cluster tag lists and M). Does NOT
+  /// rebuild the ISA sets; call BuildSimilarSets for that.
+  void SetAssignments(const std::vector<int>& tag_assignments);
+
+  /// True once SetAssignments has been called.
+  bool has_assignments() const { return !tags_by_item_cluster_.empty(); }
+
+  /// M_{j,k} of Eq. 9 (softmax over per-cluster tag counts of item j).
+  float Relatedness(int64_t item, int intent) const;
+
+  /// T^k(v_j): tags of `item` lying in cluster `intent`.
+  const std::vector<int64_t>& TagsOfItemInCluster(int64_t item,
+                                                  int intent) const;
+
+  /// Users who interacted with `item` in training.
+  const std::vector<int64_t>& UsersOfItem(int64_t item) const {
+    return users_of_item_.Backward(item);
+  }
+
+  /// Builds the (batch x num_users) row-stochastic averaging matrix whose
+  /// SpMM with the user table yields u-bar (Eq. 7). At most `max_users`
+  /// interacting users are uniformly subsampled per item; items without
+  /// training users get an all-zero row. The caller owns the matrix and
+  /// must keep it alive until Backward() has run.
+  std::unique_ptr<SparseMatrix> BuildUserAggregation(
+      const std::vector<int64_t>& items, int64_t max_users, Rng* rng) const;
+
+  /// Builds the (batch x num_tags) averaging matrix for t-bar^k (Eq. 8):
+  /// row j averages the tags of items[j] lying in cluster `intent`
+  /// (all-zero row when the item has no tag in that cluster, as specified
+  /// in the paper). Same lifetime contract as BuildUserAggregation.
+  std::unique_ptr<SparseMatrix> BuildTagAggregation(
+      const std::vector<int64_t>& items, int intent) const;
+
+  /// Rebuilds the per-intent similar-item sets S_j^k: items whose
+  /// per-intent Jaccard similarity (Eq. 15) exceeds `threshold`, capped at
+  /// `max_per_item` (closest first). Requires assignments.
+  void BuildSimilarSets(float threshold, int64_t max_per_item);
+
+  /// S_j^k (empty when ISA sets were never built or no neighbour passed
+  /// the threshold).
+  const std::vector<int64_t>& SimilarSet(int64_t item, int intent) const;
+
+  /// Samples a positive partner for (item, intent): a member of S_j^k
+  /// uniformly at random, or `item` itself when the set is empty — this
+  /// realises Eq. 17's positive set P_j^k (which always contains j).
+  int64_t SamplePositive(int64_t item, int intent, Rng* rng) const;
+
+ private:
+  int64_t IndexOf(int64_t item, int intent) const {
+    return item * num_intents_ + intent;
+  }
+
+  int num_intents_;
+  int64_t num_users_;
+  int64_t num_items_;
+  int64_t num_tags_;
+  BipartiteIndex users_of_item_;  ///< (user -> item) edges; Backward = users.
+  BipartiteIndex item_tag_index_;
+
+  // Cluster-dependent state (rebuilt by SetAssignments).
+  std::vector<std::vector<int64_t>> tags_by_item_cluster_;  ///< V*K entries.
+  std::vector<float> relatedness_;                          ///< V*K (M).
+
+  // ISA state (rebuilt by BuildSimilarSets).
+  std::vector<std::vector<int64_t>> similar_sets_;  ///< V*K entries.
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_CORE_POSITIVE_SAMPLES_H_

@@ -1,0 +1,51 @@
+#include "core/set_alignment.h"
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace imcat {
+
+CaBatch BuildCaBatch(const PositiveSampleIndex& index,
+                     const Tensor& user_table, const Tensor& tag_table,
+                     const Tensor& item_table,
+                     const std::vector<int64_t>& anchors,
+                     const ImcatConfig& config, Rng* rng) {
+  IMCAT_CHECK(index.has_assignments());
+  IMCAT_CHECK(!anchors.empty());
+  const int num_intents = index.num_intents();
+
+  CaBatch batch;
+  batch.anchors = anchors;
+
+  // u-bar: intent-aware aggregation of the anchors' interacting users
+  // (Eq. 7) via one row-stochastic SpMM over the full width (slicing into
+  // chunks afterwards is equivalent because the mean is linear).
+  auto user_mat =
+      index.BuildUserAggregation(anchors, config.max_users_per_item, rng);
+  batch.user_agg = ops::SpMM(*user_mat, user_table);
+  batch.aggregation_matrices.push_back(std::move(user_mat));
+
+  batch.positives.resize(num_intents);
+  batch.weights.resize(num_intents);
+  batch.tag_aggs.reserve(num_intents);
+  batch.item_embs.reserve(num_intents);
+  for (int k = 0; k < num_intents; ++k) {
+    auto& positives = batch.positives[k];
+    positives.resize(anchors.size());
+    auto& weights = batch.weights[k];
+    weights.resize(anchors.size());
+    for (size_t i = 0; i < anchors.size(); ++i) {
+      positives[i] = config.enable_isa
+                         ? index.SamplePositive(anchors[i], k, rng)
+                         : anchors[i];
+      weights[i] = index.Relatedness(anchors[i], k);
+    }
+    auto tag_mat = index.BuildTagAggregation(positives, k);
+    batch.tag_aggs.push_back(ops::SpMM(*tag_mat, tag_table));
+    batch.aggregation_matrices.push_back(std::move(tag_mat));
+    batch.item_embs.push_back(ops::Gather(item_table, positives));
+  }
+  return batch;
+}
+
+}  // namespace imcat

@@ -1,0 +1,47 @@
+#ifndef IMCAT_CORE_SET_ALIGNMENT_H_
+#define IMCAT_CORE_SET_ALIGNMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/positive_samples.h"
+#include "tensor/tensor.h"
+
+/// \file set_alignment.h
+/// Per-batch construction of the contrastive-alignment inputs. With ISA
+/// enabled (Sec. IV-C), each anchor item's z-side under intent k is drawn
+/// from its similar-item set S_j^k (Eq. 17), turning IMCA into the
+/// set-to-set alignment L_CA*; with ISA disabled, the positive item is the
+/// anchor itself (plain L_CA, Eq. 11).
+
+namespace imcat {
+
+/// Everything the AlignmentHead needs for one step, plus the sparse
+/// aggregation matrices that MUST outlive the Backward() call of the step
+/// (their backward closures reference them).
+struct CaBatch {
+  std::vector<int64_t> anchors;                 ///< B anchor item ids.
+  std::vector<std::vector<int64_t>> positives;  ///< K x B positive item ids.
+  std::vector<std::vector<float>> weights;      ///< K x B: M_{anchor, k}.
+  Tensor user_agg;                              ///< (B x d) u-bar.
+  std::vector<Tensor> tag_aggs;                 ///< K x (B x d) t-bar^k.
+  std::vector<Tensor> item_embs;                ///< K x (B x d) v of positives.
+  std::vector<std::unique_ptr<SparseMatrix>> aggregation_matrices;
+};
+
+/// Builds a CaBatch from the current embeddings.
+///
+/// \param index       positive-sample index with assignments installed.
+/// \param user_table  (U x d) graph-connected user embeddings.
+/// \param tag_table   (T x d) graph-connected tag embeddings.
+/// \param item_table  (V x d) graph-connected item embeddings.
+/// \param anchors     the B anchor items of this step.
+CaBatch BuildCaBatch(const PositiveSampleIndex& index, const Tensor& user_table,
+                     const Tensor& tag_table, const Tensor& item_table,
+                     const std::vector<int64_t>& anchors,
+                     const ImcatConfig& config, Rng* rng);
+
+}  // namespace imcat
+
+#endif  // IMCAT_CORE_SET_ALIGNMENT_H_

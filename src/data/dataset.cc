@@ -1,0 +1,86 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace imcat {
+
+BipartiteIndex::BipartiteIndex(int64_t num_left, int64_t num_right,
+                               const EdgeList& edges)
+    : num_left_(num_left), num_right_(num_right) {
+  forward_.resize(num_left);
+  backward_.resize(num_right);
+  for (const auto& [l, r] : edges) {
+    IMCAT_CHECK(l >= 0 && l < num_left);
+    IMCAT_CHECK(r >= 0 && r < num_right);
+    forward_[l].push_back(r);
+    backward_[r].push_back(l);
+  }
+  auto dedup = [](std::vector<std::vector<int64_t>>* adj) {
+    int64_t total = 0;
+    for (auto& v : *adj) {
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+      total += static_cast<int64_t>(v.size());
+    }
+    return total;
+  };
+  num_edges_ = dedup(&forward_);
+  dedup(&backward_);
+}
+
+const std::vector<int64_t>& BipartiteIndex::Forward(int64_t l) const {
+  IMCAT_CHECK(l >= 0 && l < num_left_);
+  return forward_[l];
+}
+
+const std::vector<int64_t>& BipartiteIndex::Backward(int64_t r) const {
+  IMCAT_CHECK(r >= 0 && r < num_right_);
+  return backward_[r];
+}
+
+bool BipartiteIndex::Contains(int64_t l, int64_t r) const {
+  const auto& f = Forward(l);
+  return std::binary_search(f.begin(), f.end(), r);
+}
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.num_users = dataset.num_users;
+  stats.num_items = dataset.num_items;
+  stats.num_tags = dataset.num_tags;
+  stats.num_interactions = static_cast<int64_t>(dataset.interactions.size());
+  stats.num_item_tags = static_cast<int64_t>(dataset.item_tags.size());
+  if (dataset.num_users > 0 && dataset.num_items > 0) {
+    stats.ui_density_percent =
+        100.0 * static_cast<double>(stats.num_interactions) /
+        (static_cast<double>(dataset.num_users) *
+         static_cast<double>(dataset.num_items));
+    stats.ui_avg_degree = static_cast<double>(stats.num_interactions) /
+                          static_cast<double>(dataset.num_users);
+  }
+  if (dataset.num_items > 0 && dataset.num_tags > 0) {
+    stats.it_density_percent =
+        100.0 * static_cast<double>(stats.num_item_tags) /
+        (static_cast<double>(dataset.num_items) *
+         static_cast<double>(dataset.num_tags));
+    stats.it_avg_degree = static_cast<double>(stats.num_item_tags) /
+                          static_cast<double>(dataset.num_items);
+  }
+  return stats;
+}
+
+int64_t DeduplicateEdges(int64_t num_left, int64_t num_right,
+                         EdgeList* edges) {
+  for (const auto& [l, r] : *edges) {
+    IMCAT_CHECK(l >= 0 && l < num_left);
+    IMCAT_CHECK(r >= 0 && r < num_right);
+  }
+  const int64_t before = static_cast<int64_t>(edges->size());
+  std::sort(edges->begin(), edges->end());
+  edges->erase(std::unique(edges->begin(), edges->end()), edges->end());
+  return before - static_cast<int64_t>(edges->size());
+}
+
+}  // namespace imcat

@@ -1,0 +1,88 @@
+#ifndef IMCAT_DATA_DATASET_H_
+#define IMCAT_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file dataset.h
+/// The tag-enhanced recommendation dataset abstraction (Sec. III-A of the
+/// paper): users U, items V, tags T, a binary user-item interaction matrix
+/// Y and a binary item-tag labelling matrix Y'. Both matrices are stored as
+/// edge lists plus CSR-style adjacency indexes.
+
+namespace imcat {
+
+/// An edge list between two entity domains (e.g. user-item or item-tag).
+using EdgeList = std::vector<std::pair<int64_t, int64_t>>;
+
+/// CSR-style adjacency built from an edge list: for each left-hand entity,
+/// the sorted list of right-hand neighbours, and the reverse direction.
+class BipartiteIndex {
+ public:
+  BipartiteIndex() = default;
+
+  /// Builds forward (left -> rights) and backward (right -> lefts) adjacency
+  /// from `edges`. Duplicate edges are kept once.
+  BipartiteIndex(int64_t num_left, int64_t num_right, const EdgeList& edges);
+
+  int64_t num_left() const { return num_left_; }
+  int64_t num_right() const { return num_right_; }
+  int64_t num_edges() const { return num_edges_; }
+
+  /// Right-hand neighbours of left entity `l` (sorted, deduplicated).
+  const std::vector<int64_t>& Forward(int64_t l) const;
+
+  /// Left-hand neighbours of right entity `r` (sorted, deduplicated).
+  const std::vector<int64_t>& Backward(int64_t r) const;
+
+  /// Degree helpers.
+  int64_t ForwardDegree(int64_t l) const { return Forward(l).size(); }
+  int64_t BackwardDegree(int64_t r) const { return Backward(r).size(); }
+
+  /// True if the (l, r) edge exists (binary search).
+  bool Contains(int64_t l, int64_t r) const;
+
+ private:
+  int64_t num_left_ = 0;
+  int64_t num_right_ = 0;
+  int64_t num_edges_ = 0;
+  std::vector<std::vector<int64_t>> forward_;
+  std::vector<std::vector<int64_t>> backward_;
+};
+
+/// A full tag-enhanced dataset: interaction and labelling edge lists over
+/// dense integer ids.
+struct Dataset {
+  std::string name;
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  int64_t num_tags = 0;
+  EdgeList interactions;  ///< (user, item) pairs, deduplicated.
+  EdgeList item_tags;     ///< (item, tag) pairs, deduplicated.
+};
+
+/// Summary statistics in the format of the paper's Table I.
+struct DatasetStats {
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  int64_t num_tags = 0;
+  int64_t num_interactions = 0;
+  double ui_density_percent = 0.0;  ///< 100 * |UI| / (|U| * |I|).
+  double ui_avg_degree = 0.0;       ///< |UI| / |U|.
+  int64_t num_item_tags = 0;
+  double it_density_percent = 0.0;  ///< 100 * |IT| / (|I| * |T|).
+  double it_avg_degree = 0.0;       ///< |IT| / |I|.
+};
+
+/// Computes the Table-I statistics for a dataset.
+DatasetStats ComputeStats(const Dataset& dataset);
+
+/// Removes duplicate edges (in place) and validates id ranges, aborting on
+/// out-of-range ids. Returns the number of duplicates removed.
+int64_t DeduplicateEdges(int64_t num_left, int64_t num_right, EdgeList* edges);
+
+}  // namespace imcat
+
+#endif  // IMCAT_DATA_DATASET_H_

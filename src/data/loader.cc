@@ -1,0 +1,134 @@
+#include "data/loader.h"
+
+#include <cstdio>
+#include <fstream>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace imcat {
+
+namespace {
+
+/// Reads a two-column integer edge file into raw (left, right) id pairs.
+Status ReadEdgeFile(const std::string& path, EdgeList* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv = StripWhitespace(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    // Accept tab or any run of spaces as the separator.
+    size_t sep = sv.find_first_of(" \t");
+    if (sep == std::string_view::npos) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": expected two columns");
+    }
+    int64_t left = 0, right = 0;
+    if (!ParseInt64(sv.substr(0, sep), &left) ||
+        !ParseInt64(sv.substr(sep + 1), &right) || left < 0 || right < 0) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": malformed ids");
+    }
+    out->emplace_back(left, right);
+  }
+  return Status::OK();
+}
+
+/// Dense-id remapper in first-appearance order.
+class IdMap {
+ public:
+  int64_t Map(int64_t raw) {
+    auto [it, inserted] = map_.emplace(raw, next_);
+    if (inserted) ++next_;
+    return it->second;
+  }
+  /// Returns the dense id or -1 if unseen.
+  int64_t Lookup(int64_t raw) const {
+    auto it = map_.find(raw);
+    return it == map_.end() ? -1 : it->second;
+  }
+  int64_t size() const { return next_; }
+
+ private:
+  std::unordered_map<int64_t, int64_t> map_;
+  int64_t next_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Dataset> LoadDatasetFromTsv(const std::string& interactions_path,
+                                     const std::string& item_tags_path,
+                                     const LoaderOptions& options) {
+  EdgeList raw_ui, raw_it;
+  IMCAT_RETURN_IF_ERROR(ReadEdgeFile(interactions_path, &raw_ui));
+  IMCAT_RETURN_IF_ERROR(ReadEdgeFile(item_tags_path, &raw_it));
+
+  // One filtering pass on raw ids.
+  if (options.min_user_interactions > 0 || options.min_item_interactions > 0 ||
+      options.min_tag_items > 0) {
+    std::unordered_map<int64_t, int64_t> user_deg, item_deg, tag_deg;
+    for (const auto& [u, v] : raw_ui) {
+      ++user_deg[u];
+      ++item_deg[v];
+    }
+    std::unordered_map<int64_t, std::unordered_map<int64_t, bool>> seen_ti;
+    for (const auto& [v, t] : raw_it) {
+      if (!seen_ti[t].count(v)) {
+        seen_ti[t][v] = true;
+        ++tag_deg[t];
+      }
+    }
+    EdgeList ui_kept, it_kept;
+    for (const auto& [u, v] : raw_ui) {
+      if (user_deg[u] >= options.min_user_interactions &&
+          item_deg[v] >= options.min_item_interactions) {
+        ui_kept.emplace_back(u, v);
+      }
+    }
+    for (const auto& [v, t] : raw_it) {
+      if (item_deg.count(v) &&
+          item_deg[v] >= options.min_item_interactions &&
+          tag_deg[t] >= options.min_tag_items) {
+        it_kept.emplace_back(v, t);
+      }
+    }
+    raw_ui = std::move(ui_kept);
+    raw_it = std::move(it_kept);
+  }
+
+  Dataset ds;
+  ds.name = interactions_path;
+  IdMap users, items, tags;
+  for (const auto& [u, v] : raw_ui) {
+    ds.interactions.emplace_back(users.Map(u), items.Map(v));
+  }
+  for (const auto& [v, t] : raw_it) {
+    // Keep tags only for items that survived / appeared in interactions or
+    // earlier tag lines; new items from the tag file are allowed too.
+    ds.item_tags.emplace_back(items.Map(v), tags.Map(t));
+  }
+  ds.num_users = users.size();
+  ds.num_items = items.size();
+  ds.num_tags = tags.size();
+  DeduplicateEdges(ds.num_users, ds.num_items, &ds.interactions);
+  DeduplicateEdges(ds.num_items, ds.num_tags, &ds.item_tags);
+  return ds;
+}
+
+Status SaveDatasetToTsv(const Dataset& dataset,
+                        const std::string& interactions_path,
+                        const std::string& item_tags_path) {
+  std::ofstream ui(interactions_path);
+  if (!ui.is_open())
+    return Status::IoError("cannot write " + interactions_path);
+  for (const auto& [u, v] : dataset.interactions) ui << u << '\t' << v << '\n';
+  std::ofstream it(item_tags_path);
+  if (!it.is_open()) return Status::IoError("cannot write " + item_tags_path);
+  for (const auto& [v, t] : dataset.item_tags) it << v << '\t' << t << '\n';
+  return Status::OK();
+}
+
+}  // namespace imcat

@@ -1,0 +1,47 @@
+#ifndef IMCAT_DATA_LOADER_H_
+#define IMCAT_DATA_LOADER_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+/// \file loader.h
+/// TSV dataset loading so that real public datasets (HetRec, CiteULike,
+/// ...) can be dropped in as an alternative to the synthetic generator.
+///
+/// File format: one edge per line, two tab- or space-separated integer
+/// columns. Lines starting with '#' and blank lines are skipped. Ids may be
+/// arbitrary non-negative integers; they are remapped to dense [0, n) ids
+/// in first-appearance order.
+
+namespace imcat {
+
+/// Options for LoadDatasetFromTsv.
+struct LoaderOptions {
+  /// Users/items/tags with fewer edges than these thresholds are dropped
+  /// (the paper filters users/items with < 10 interactions and tags
+  /// assigned to < 5 items). Filtering is applied once (a single pass), as
+  /// is common practice. Set to 0 to disable.
+  int64_t min_user_interactions = 0;
+  int64_t min_item_interactions = 0;
+  int64_t min_tag_items = 0;
+};
+
+/// Loads user-item interactions from `interactions_path` and item-tag
+/// labels from `item_tags_path`. Items missing from the interaction file
+/// but present in the tag file are kept; tags for unknown items are
+/// dropped.
+StatusOr<Dataset> LoadDatasetFromTsv(const std::string& interactions_path,
+                                     const std::string& item_tags_path,
+                                     const LoaderOptions& options = {});
+
+/// Writes a dataset back to the two-file TSV format (useful for exporting
+/// synthetic data). Overwrites existing files.
+Status SaveDatasetToTsv(const Dataset& dataset,
+                        const std::string& interactions_path,
+                        const std::string& item_tags_path);
+
+}  // namespace imcat
+
+#endif  // IMCAT_DATA_LOADER_H_

@@ -1,0 +1,112 @@
+#include "data/presets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace imcat {
+
+namespace {
+
+/// Raw Table-I statistics plus latent-structure knobs per dataset.
+struct PresetSpec {
+  const char* name;
+  int64_t users;
+  int64_t items;
+  int64_t tags;
+  int64_t interactions;
+  int64_t item_tags;
+  int latent_intents;   ///< Ground-truth intent count planted in the data.
+  double user_alpha;    ///< Peakedness of user intent mixtures.
+  double popularity;    ///< Item popularity power-law exponent.
+};
+
+// HetRec-Del gets more latent intents (the paper attributes its larger
+// optimal K to its 3-4x larger tag vocabulary); the two e-commerce-scale
+// sets get heavier-tailed popularity.
+constexpr PresetSpec kPresets[] = {
+    {"HetRec-MV", 2107, 3872, 2071, 471482, 38742, 4, 0.12, 0.8},
+    {"HetRec-FM", 1026, 5817, 2283, 57976, 77925, 4, 0.10, 0.9},
+    {"HetRec-Del", 1274, 5169, 4595, 19951, 62147, 8, 0.10, 0.9},
+    {"CiteULike", 4011, 12408, 1579, 94512, 125013, 4, 0.10, 0.9},
+    {"Last.fm-Tag", 18149, 14548, 6822, 582791, 97201, 4, 0.10, 1.0},
+    {"AMZBook-Tag", 50022, 22370, 2345, 731777, 246175, 4, 0.10, 1.1},
+    {"Yelp-Tag", 39856, 26669, 1073, 1009922, 569780, 4, 0.10, 1.0},
+};
+
+int64_t ScaleCount(int64_t count, double scale, int64_t minimum) {
+  const int64_t scaled = static_cast<int64_t>(std::llround(count * scale));
+  return std::max(scaled, minimum);
+}
+
+// Interactions scale sub-linearly (exponent 1.3 on the scale factor): a
+// linear edge scale would inflate density by 1/scale and make the CF
+// signal far easier than the original datasets', drowning out the effect
+// of auxiliary information. The sub-linear rule keeps the scaled presets
+// in the sparse regime the paper's datasets occupy while the per-user
+// minimum degree keeps the split usable. Tag labels keep the linear scale
+// (auxiliary information stays relatively rich, as in the originals).
+int64_t ScaleInteractions(int64_t count, double scale, int64_t minimum) {
+  const double factor = std::pow(scale, 1.3);
+  const int64_t scaled = static_cast<int64_t>(std::llround(count * factor));
+  return std::max(scaled, minimum);
+}
+
+}  // namespace
+
+const std::vector<std::string>& PresetNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      "HetRec-MV",   "HetRec-FM",   "HetRec-Del", "CiteULike",
+      "Last.fm-Tag", "AMZBook-Tag", "Yelp-Tag"};
+  return names;
+}
+
+StatusOr<SyntheticConfig> PresetConfig(const std::string& name, double scale,
+                                       uint64_t seed) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  for (const PresetSpec& spec : kPresets) {
+    if (name != spec.name) continue;
+    SyntheticConfig config;
+    config.name = spec.name;
+    config.seed = seed;
+    config.num_users = ScaleCount(spec.users, scale, 30);
+    config.num_items = ScaleCount(spec.items, scale, 50);
+    config.num_tags = ScaleCount(spec.tags, scale, 24);
+    config.num_interactions = ScaleInteractions(spec.interactions, scale, 300);
+    config.num_item_tags = ScaleCount(spec.item_tags, scale, 100);
+    // Cap the interaction density at 6%: denser scaled graphs make
+    // 2-layer propagation reach the whole catalogue and over-smooth,
+    // which no original dataset exhibits (Table I tops out at 5.78%).
+    config.num_interactions =
+        std::min(config.num_interactions,
+                 config.num_users * config.num_items * 6 / 100);
+    config.num_item_tags = std::min(config.num_item_tags,
+                                    config.num_items * config.num_tags / 4);
+    config.num_latent_intents = spec.latent_intents;
+    config.user_intent_alpha = spec.user_alpha;
+    config.item_intent_alpha = 0.15;
+    config.item_popularity_exponent = spec.popularity;
+    // The presets keep tags informative (as the curated tag vocabularies
+    // of the original datasets are): low assignment noise and few random
+    // clicks.
+    config.tag_noise = 0.05;
+    config.interaction_noise = 0.03;
+    // The paper filters out users with fewer than ten interactions; the
+    // generator enforces the same floor so every user receives at least
+    // one validation item under the 7:1:2 split.
+    config.min_user_degree = 10;
+    return config;
+  }
+  return Status::NotFound("unknown preset: " + name);
+}
+
+Dataset GeneratePreset(const std::string& name, double scale, uint64_t seed) {
+  StatusOr<SyntheticConfig> config = PresetConfig(name, scale, seed);
+  IMCAT_CHECK(config.ok());
+  return GenerateSynthetic(config.value());
+}
+
+}  // namespace imcat

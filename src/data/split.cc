@@ -1,0 +1,43 @@
+#include "data/split.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace imcat {
+
+DataSplit SplitByUser(const Dataset& dataset, const SplitOptions& options) {
+  IMCAT_CHECK_GT(options.train_fraction, 0.0);
+  IMCAT_CHECK_GE(options.validation_fraction, 0.0);
+  IMCAT_CHECK_LT(options.train_fraction + options.validation_fraction, 1.0 + 1e-9);
+
+  std::vector<std::vector<int64_t>> per_user(dataset.num_users);
+  for (const auto& [u, v] : dataset.interactions) per_user[u].push_back(v);
+
+  DataSplit split;
+  Rng rng(options.seed);
+  for (int64_t u = 0; u < dataset.num_users; ++u) {
+    auto& items = per_user[u];
+    if (items.empty()) continue;
+    std::sort(items.begin(), items.end());
+    rng.Shuffle(&items);
+    const int64_t n = static_cast<int64_t>(items.size());
+    int64_t n_train = static_cast<int64_t>(options.train_fraction * n);
+    int64_t n_val = static_cast<int64_t>(options.validation_fraction * n);
+    if (n_train == 0) n_train = 1;  // Every user keeps a training item.
+    if (n_train > n) n_train = n;
+    if (n_train + n_val > n) n_val = n - n_train;
+    for (int64_t i = 0; i < n; ++i) {
+      if (i < n_train) {
+        split.train.emplace_back(u, items[i]);
+      } else if (i < n_train + n_val) {
+        split.validation.emplace_back(u, items[i]);
+      } else {
+        split.test.emplace_back(u, items[i]);
+      }
+    }
+  }
+  return split;
+}
+
+}  // namespace imcat

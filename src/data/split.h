@@ -1,0 +1,39 @@
+#ifndef IMCAT_DATA_SPLIT_H_
+#define IMCAT_DATA_SPLIT_H_
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+/// \file split.h
+/// Train/validation/test partitioning of the user-item interactions,
+/// following the paper's evaluation protocol (Sec. V-B): a per-user 7:1:2
+/// split. Item-tag labels are not split; they are auxiliary training
+/// information.
+
+namespace imcat {
+
+/// The partitioned interaction sets. All three share the dataset's id
+/// space; their union is the dataset's interaction list.
+struct DataSplit {
+  EdgeList train;
+  EdgeList validation;
+  EdgeList test;
+};
+
+/// Options controlling the split.
+struct SplitOptions {
+  double train_fraction = 0.7;
+  double validation_fraction = 0.1;
+  // Test receives the remainder.
+  uint64_t seed = 17;
+};
+
+/// Splits interactions per user with the given fractions. Each user's items
+/// are shuffled deterministically (seeded per user) and partitioned; users
+/// with very few interactions always keep at least one training item, and
+/// receive validation/test items only when enough interactions exist.
+DataSplit SplitByUser(const Dataset& dataset, const SplitOptions& options);
+
+}  // namespace imcat
+
+#endif  // IMCAT_DATA_SPLIT_H_

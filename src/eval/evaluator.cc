@@ -1,0 +1,91 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace imcat {
+
+Evaluator::Evaluator(const Dataset& dataset, const DataSplit& split)
+    : num_users_(dataset.num_users), num_items_(dataset.num_items) {
+  train_items_.resize(num_users_);
+  item_degree_.assign(num_items_, 0);
+  for (const auto& [u, v] : split.train) {
+    IMCAT_CHECK(u >= 0 && u < num_users_);
+    IMCAT_CHECK(v >= 0 && v < num_items_);
+    train_items_[u].push_back(v);
+    ++item_degree_[v];
+  }
+  for (auto& items : train_items_) std::sort(items.begin(), items.end());
+}
+
+std::vector<ItemSet> Evaluator::RelevantSets(const EdgeList& eval_edges) const {
+  std::vector<ItemSet> relevant(num_users_);
+  for (const auto& [u, v] : eval_edges) {
+    IMCAT_CHECK(u >= 0 && u < num_users_);
+    relevant[u].insert(v);
+  }
+  return relevant;
+}
+
+std::vector<int64_t> Evaluator::TopNForUser(const Ranker& ranker, int64_t user,
+                                            int top_n) const {
+  std::vector<float> scores;
+  ranker.ScoreItemsForUser(user, &scores);
+  IMCAT_CHECK_EQ(static_cast<int64_t>(scores.size()), num_items_);
+  for (int64_t v : train_items_[user]) {
+    scores[v] = -std::numeric_limits<float>::infinity();
+  }
+  const int64_t limit = std::min<int64_t>(top_n, num_items_);
+  std::vector<int64_t> order(num_items_);
+  for (int64_t i = 0; i < num_items_; ++i) order[i] = i;
+  std::partial_sort(order.begin(), order.begin() + limit, order.end(),
+                    [&scores](int64_t a, int64_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;  // Deterministic tie-break.
+                    });
+  order.resize(limit);
+  // Truncate masked (training) items: when top_n exceeds the number of
+  // unseen items they would otherwise pad the tail of the list.
+  while (!order.empty() &&
+         scores[order.back()] == -std::numeric_limits<float>::infinity()) {
+    order.pop_back();
+  }
+  return order;
+}
+
+EvalResult Evaluator::Evaluate(const Ranker& ranker,
+                               const EdgeList& eval_edges, int top_n,
+                               const std::vector<int64_t>& user_subset) const {
+  const std::vector<ItemSet> relevant = RelevantSets(eval_edges);
+  std::vector<int64_t> users;
+  if (user_subset.empty()) {
+    for (int64_t u = 0; u < num_users_; ++u) users.push_back(u);
+  } else {
+    users = user_subset;
+  }
+
+  EvalResult result;
+  for (int64_t u : users) {
+    if (relevant[u].empty()) continue;
+    const std::vector<int64_t> top = TopNForUser(ranker, u, top_n);
+    result.recall += RecallAtN(top, relevant[u], top_n);
+    result.ndcg += NdcgAtN(top, relevant[u], top_n);
+    result.precision += PrecisionAtN(top, relevant[u], top_n);
+    result.hit_rate += HitRateAtN(top, relevant[u], top_n);
+    result.mrr += MrrAtN(top, relevant[u], top_n);
+    ++result.num_users;
+  }
+  if (result.num_users > 0) {
+    const double n = static_cast<double>(result.num_users);
+    result.recall /= n;
+    result.ndcg /= n;
+    result.precision /= n;
+    result.hit_rate /= n;
+    result.mrr /= n;
+  }
+  return result;
+}
+
+}  // namespace imcat

@@ -1,0 +1,80 @@
+#ifndef IMCAT_EVAL_EVALUATOR_H_
+#define IMCAT_EVAL_EVALUATOR_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/split.h"
+#include "eval/metrics.h"
+
+/// \file evaluator.h
+/// Full-ranking evaluation (Sec. V-B): for every user with held-out items,
+/// score all items, mask the user's training items, take the top N and
+/// average the ranking metrics over users.
+
+namespace imcat {
+
+/// Anything that can score the full item catalogue for a user. Implemented
+/// by every model in the library.
+class Ranker {
+ public:
+  virtual ~Ranker() = default;
+
+  /// Writes a relevance score for every item (resizing `scores` to the
+  /// item count). Higher is better. Must not depend on held-out data.
+  virtual void ScoreItemsForUser(int64_t user,
+                                 std::vector<float>* scores) const = 0;
+};
+
+/// Averaged metrics over the evaluated users.
+struct EvalResult {
+  double recall = 0.0;
+  double ndcg = 0.0;
+  double precision = 0.0;
+  double hit_rate = 0.0;
+  double mrr = 0.0;
+  int64_t num_users = 0;  ///< Users with at least one held-out item.
+};
+
+/// Evaluates rankers against a fixed dataset/split. The evaluator
+/// precomputes each user's training-item mask and can evaluate on the
+/// validation or test partition (or any edge list).
+class Evaluator {
+ public:
+  Evaluator(const Dataset& dataset, const DataSplit& split);
+
+  /// Evaluates `ranker` at cutoff `top_n` on `eval_edges` (typically
+  /// split.validation or split.test). Training items are excluded from the
+  /// candidate ranking. Optionally restricts to `user_subset` (empty =>
+  /// all users).
+  EvalResult Evaluate(const Ranker& ranker, const EdgeList& eval_edges,
+                      int top_n,
+                      const std::vector<int64_t>& user_subset = {}) const;
+
+  /// Returns the ranked top-N items for one user (training items masked).
+  std::vector<int64_t> TopNForUser(const Ranker& ranker, int64_t user,
+                                   int top_n) const;
+
+  int64_t num_items() const { return num_items_; }
+
+  /// Training-degree of a user (number of training interactions).
+  int64_t UserTrainDegree(int64_t user) const {
+    return static_cast<int64_t>(train_items_[user].size());
+  }
+
+  /// Training-degree of an item.
+  int64_t ItemTrainDegree(int64_t item) const { return item_degree_[item]; }
+
+  /// Per-user relevant sets for an edge list, exposed for group analyses.
+  std::vector<ItemSet> RelevantSets(const EdgeList& eval_edges) const;
+
+ private:
+  int64_t num_users_ = 0;
+  int64_t num_items_ = 0;
+  std::vector<std::vector<int64_t>> train_items_;  // Sorted per user.
+  std::vector<int64_t> item_degree_;
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_EVAL_EVALUATOR_H_

@@ -1,0 +1,64 @@
+#include "eval/group_eval.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace imcat {
+
+std::vector<int> PopularityGroups(const Evaluator& evaluator, int num_groups) {
+  IMCAT_CHECK_GT(num_groups, 0);
+  const int64_t n = evaluator.num_items();
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return evaluator.ItemTrainDegree(a) < evaluator.ItemTrainDegree(b);
+  });
+  std::vector<int> group(n, 0);
+  for (int64_t rank = 0; rank < n; ++rank) {
+    group[order[rank]] = static_cast<int>(
+        std::min<int64_t>(num_groups - 1, rank * num_groups / std::max<int64_t>(n, 1)));
+  }
+  return group;
+}
+
+std::vector<double> GroupRecallContribution(const Evaluator& evaluator,
+                                            const Ranker& ranker,
+                                            const EdgeList& eval_edges,
+                                            int top_n,
+                                            const std::vector<int>& item_group,
+                                            int num_groups) {
+  IMCAT_CHECK_EQ(static_cast<int64_t>(item_group.size()),
+                 evaluator.num_items());
+  const std::vector<ItemSet> relevant = evaluator.RelevantSets(eval_edges);
+  std::vector<double> contribution(num_groups, 0.0);
+  int64_t evaluated_users = 0;
+  for (int64_t u = 0; u < static_cast<int64_t>(relevant.size()); ++u) {
+    if (relevant[u].empty()) continue;
+    ++evaluated_users;
+    const std::vector<int64_t> top = evaluator.TopNForUser(ranker, u, top_n);
+    for (int64_t v : top) {
+      if (relevant[u].count(v)) {
+        contribution[item_group[v]] +=
+            1.0 / static_cast<double>(relevant[u].size());
+      }
+    }
+  }
+  if (evaluated_users > 0) {
+    for (double& c : contribution) c /= static_cast<double>(evaluated_users);
+  }
+  return contribution;
+}
+
+std::vector<int64_t> SparseUsers(const Evaluator& evaluator, int64_t num_users,
+                                 int64_t max_degree) {
+  std::vector<int64_t> users;
+  for (int64_t u = 0; u < num_users; ++u) {
+    const int64_t deg = evaluator.UserTrainDegree(u);
+    if (deg > 0 && deg < max_degree) users.push_back(u);
+  }
+  return users;
+}
+
+}  // namespace imcat

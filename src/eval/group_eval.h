@@ -1,0 +1,37 @@
+#ifndef IMCAT_EVAL_GROUP_EVAL_H_
+#define IMCAT_EVAL_GROUP_EVAL_H_
+
+#include <vector>
+
+#include "eval/evaluator.h"
+
+/// \file group_eval.h
+/// Group-wise analyses behind Fig. 7 (item-popularity groups) and Fig. 8
+/// (cold-start users).
+
+namespace imcat {
+
+/// Assigns every item to one of `num_groups` popularity groups with equal
+/// item counts; group 0 holds the least-interacted items and group
+/// num_groups-1 the most popular (matching the paper's G1..G5 ordering).
+std::vector<int> PopularityGroups(const Evaluator& evaluator, int num_groups);
+
+/// Per-group contribution to overall Recall@N, following [40]: for each
+/// user, hits are partitioned by the hit item's group; group g's
+/// contribution is mean over users of |hits in g| / |relevant|. The values
+/// sum to the overall Recall@N.
+std::vector<double> GroupRecallContribution(const Evaluator& evaluator,
+                                            const Ranker& ranker,
+                                            const EdgeList& eval_edges,
+                                            int top_n,
+                                            const std::vector<int>& item_group,
+                                            int num_groups);
+
+/// Users whose training degree is strictly below `max_degree` (the paper's
+/// sparse-user protocol for Fig. 8).
+std::vector<int64_t> SparseUsers(const Evaluator& evaluator,
+                                 int64_t num_users, int64_t max_degree);
+
+}  // namespace imcat
+
+#endif  // IMCAT_EVAL_GROUP_EVAL_H_

@@ -1,0 +1,72 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace imcat {
+
+namespace {
+int64_t TopLimit(const std::vector<int64_t>& ranked, int n) {
+  IMCAT_CHECK_GT(n, 0);
+  return std::min<int64_t>(n, static_cast<int64_t>(ranked.size()));
+}
+}  // namespace
+
+double RecallAtN(const std::vector<int64_t>& ranked, const ItemSet& relevant,
+                 int n) {
+  if (relevant.empty()) return 0.0;
+  const int64_t limit = TopLimit(ranked, n);
+  int64_t hits = 0;
+  for (int64_t i = 0; i < limit; ++i) hits += relevant.count(ranked[i]);
+  return static_cast<double>(hits) / static_cast<double>(relevant.size());
+}
+
+double PrecisionAtN(const std::vector<int64_t>& ranked, const ItemSet& relevant,
+                    int n) {
+  const int64_t limit = TopLimit(ranked, n);
+  if (limit == 0) return 0.0;
+  int64_t hits = 0;
+  for (int64_t i = 0; i < limit; ++i) hits += relevant.count(ranked[i]);
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+double NdcgAtN(const std::vector<int64_t>& ranked, const ItemSet& relevant,
+               int n) {
+  if (relevant.empty()) return 0.0;
+  const int64_t limit = TopLimit(ranked, n);
+  double dcg = 0.0;
+  for (int64_t i = 0; i < limit; ++i) {
+    if (relevant.count(ranked[i])) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  const int64_t ideal_hits =
+      std::min<int64_t>(n, static_cast<int64_t>(relevant.size()));
+  double idcg = 0.0;
+  for (int64_t i = 0; i < ideal_hits; ++i) {
+    idcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+double HitRateAtN(const std::vector<int64_t>& ranked, const ItemSet& relevant,
+                  int n) {
+  const int64_t limit = TopLimit(ranked, n);
+  for (int64_t i = 0; i < limit; ++i) {
+    if (relevant.count(ranked[i])) return 1.0;
+  }
+  return 0.0;
+}
+
+double MrrAtN(const std::vector<int64_t>& ranked, const ItemSet& relevant,
+              int n) {
+  const int64_t limit = TopLimit(ranked, n);
+  for (int64_t i = 0; i < limit; ++i) {
+    if (relevant.count(ranked[i])) return 1.0 / static_cast<double>(i + 1);
+  }
+  return 0.0;
+}
+
+}  // namespace imcat

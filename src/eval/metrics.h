@@ -1,0 +1,41 @@
+#ifndef IMCAT_EVAL_METRICS_H_
+#define IMCAT_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+/// \file metrics.h
+/// Per-user top-N ranking metrics (Sec. V-B). Each function takes the
+/// ranked recommendation list (best first, already truncated or not) and
+/// the user's set of relevant (held-out) items.
+
+namespace imcat {
+
+using ItemSet = std::unordered_set<int64_t>;
+
+/// Recall@N: fraction of relevant items appearing in the top N.
+double RecallAtN(const std::vector<int64_t>& ranked, const ItemSet& relevant,
+                 int n);
+
+/// Precision@N: fraction of the top N that is relevant.
+double PrecisionAtN(const std::vector<int64_t>& ranked, const ItemSet& relevant,
+                    int n);
+
+/// NDCG@N with binary relevance: DCG@N / IDCG@N, where
+/// DCG = sum over hits at rank r (1-based) of 1/log2(r+1).
+double NdcgAtN(const std::vector<int64_t>& ranked, const ItemSet& relevant,
+               int n);
+
+/// HitRate@N: 1 if any relevant item is in the top N, else 0.
+double HitRateAtN(const std::vector<int64_t>& ranked, const ItemSet& relevant,
+                  int n);
+
+/// MRR@N: reciprocal rank of the first relevant item in the top N (0 if
+/// none).
+double MrrAtN(const std::vector<int64_t>& ranked, const ItemSet& relevant,
+              int n);
+
+}  // namespace imcat
+
+#endif  // IMCAT_EVAL_METRICS_H_

@@ -1,0 +1,99 @@
+#include "eval/significance.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace imcat {
+
+namespace {
+
+/// Continued fraction for the incomplete beta function (Lentz's method,
+/// after Numerical Recipes' betacf).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 200;
+  constexpr double kEps = 3e-12;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  IMCAT_CHECK(x >= 0.0 && x <= 1.0);
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_beta =
+      std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+  const double front =
+      std::exp(ln_beta + a * std::log(x) + b * std::log(1.0 - x));
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+TTestResult PairedTTest(const std::vector<double>& x,
+                        const std::vector<double>& y) {
+  IMCAT_CHECK_EQ(x.size(), y.size());
+  IMCAT_CHECK_GE(x.size(), 2u);
+  const int64_t n = static_cast<int64_t>(x.size());
+
+  double mean_diff = 0.0;
+  for (int64_t i = 0; i < n; ++i) mean_diff += x[i] - y[i];
+  mean_diff /= static_cast<double>(n);
+
+  double ss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = (x[i] - y[i]) - mean_diff;
+    ss += d * d;
+  }
+  const double var = ss / static_cast<double>(n - 1);
+
+  TTestResult result;
+  result.degrees_of_freedom = static_cast<double>(n - 1);
+  if (var <= 0.0) {
+    result.t_statistic = mean_diff == 0.0 ? 0.0
+                         : (mean_diff > 0.0 ? 1e30 : -1e30);
+    result.p_value = mean_diff == 0.0 ? 1.0 : 0.0;
+    return result;
+  }
+  const double se = std::sqrt(var / static_cast<double>(n));
+  const double t = mean_diff / se;
+  result.t_statistic = t;
+  const double df = result.degrees_of_freedom;
+  // Two-sided p-value via the incomplete beta identity.
+  result.p_value = RegularizedIncompleteBeta(df / 2.0, 0.5,
+                                             df / (df + t * t));
+  return result;
+}
+
+}  // namespace imcat

@@ -1,0 +1,31 @@
+#ifndef IMCAT_EVAL_SIGNIFICANCE_H_
+#define IMCAT_EVAL_SIGNIFICANCE_H_
+
+#include <vector>
+
+/// \file significance.h
+/// Paired t-test used by the paper to compare the best model against the
+/// best baseline across repeated runs (Table II caption).
+
+namespace imcat {
+
+/// Result of a paired t-test on matched samples.
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_value = 1.0;  ///< Two-sided.
+};
+
+/// Paired two-sided t-test of H0: mean(x - y) == 0. Requires x and y to
+/// have the same size >= 2. Degenerate inputs (zero variance of the
+/// differences) yield p = 0 when the means differ and p = 1 otherwise.
+TTestResult PairedTTest(const std::vector<double>& x,
+                        const std::vector<double>& y);
+
+/// Regularised incomplete beta function I_x(a, b) (continued-fraction
+/// evaluation), exposed for testing.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+}  // namespace imcat
+
+#endif  // IMCAT_EVAL_SIGNIFICANCE_H_

@@ -1,0 +1,120 @@
+#include "graph/adjacency.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace imcat {
+
+namespace {
+
+/// Builds D^{-1/2} A D^{-1/2} for an undirected graph given as directed
+/// triplets (both directions must be present in the inputs).
+SparseMatrix NormalizeSymmetric(int64_t num_nodes,
+                                const std::vector<int64_t>& rows,
+                                const std::vector<int64_t>& cols,
+                                const std::vector<float>& weights) {
+  std::vector<double> degree(num_nodes, 0.0);
+  for (size_t e = 0; e < rows.size(); ++e) degree[rows[e]] += weights[e];
+  std::vector<float> norm_weights(weights.size());
+  for (size_t e = 0; e < rows.size(); ++e) {
+    const double dr = degree[rows[e]];
+    const double dc = degree[cols[e]];
+    norm_weights[e] =
+        dr > 0.0 && dc > 0.0
+            ? static_cast<float>(weights[e] / std::sqrt(dr * dc))
+            : 0.0f;
+  }
+  return SparseMatrix::FromTriplets(num_nodes, num_nodes, rows, cols,
+                                    norm_weights);
+}
+
+}  // namespace
+
+SparseMatrix BuildUserItemAdjacency(int64_t num_users, int64_t num_items,
+                                    const EdgeList& interactions) {
+  const int64_t n = num_users + num_items;
+  std::vector<int64_t> rows, cols;
+  std::vector<float> w;
+  rows.reserve(2 * interactions.size());
+  cols.reserve(2 * interactions.size());
+  w.reserve(2 * interactions.size());
+  for (const auto& [u, v] : interactions) {
+    IMCAT_CHECK(u >= 0 && u < num_users);
+    IMCAT_CHECK(v >= 0 && v < num_items);
+    rows.push_back(u);
+    cols.push_back(num_users + v);
+    w.push_back(1.0f);
+    rows.push_back(num_users + v);
+    cols.push_back(u);
+    w.push_back(1.0f);
+  }
+  return NormalizeSymmetric(n, rows, cols, w);
+}
+
+SparseMatrix BuildUnifiedAdjacency(int64_t num_users, int64_t num_items,
+                                   int64_t num_tags,
+                                   const EdgeList& interactions,
+                                   const EdgeList& item_tags,
+                                   float tag_edge_weight) {
+  const int64_t n = num_users + num_items + num_tags;
+  std::vector<int64_t> rows, cols;
+  std::vector<float> w;
+  const size_t total = 2 * (interactions.size() + item_tags.size());
+  rows.reserve(total);
+  cols.reserve(total);
+  w.reserve(total);
+  for (const auto& [u, v] : interactions) {
+    rows.push_back(u);
+    cols.push_back(num_users + v);
+    w.push_back(1.0f);
+    rows.push_back(num_users + v);
+    cols.push_back(u);
+    w.push_back(1.0f);
+  }
+  for (const auto& [v, t] : item_tags) {
+    IMCAT_CHECK(v >= 0 && v < num_items);
+    IMCAT_CHECK(t >= 0 && t < num_tags);
+    rows.push_back(num_users + v);
+    cols.push_back(num_users + num_items + t);
+    w.push_back(tag_edge_weight);
+    rows.push_back(num_users + num_items + t);
+    cols.push_back(num_users + v);
+    w.push_back(tag_edge_weight);
+  }
+  return NormalizeSymmetric(n, rows, cols, w);
+}
+
+SparseMatrix BuildItemTagAdjacency(int64_t num_items, int64_t num_tags,
+                                   const EdgeList& item_tags) {
+  const int64_t n = num_items + num_tags;
+  std::vector<int64_t> rows, cols;
+  std::vector<float> w;
+  rows.reserve(2 * item_tags.size());
+  cols.reserve(2 * item_tags.size());
+  w.reserve(2 * item_tags.size());
+  for (const auto& [v, t] : item_tags) {
+    rows.push_back(v);
+    cols.push_back(num_items + t);
+    w.push_back(1.0f);
+    rows.push_back(num_items + t);
+    cols.push_back(v);
+    w.push_back(1.0f);
+  }
+  return NormalizeSymmetric(n, rows, cols, w);
+}
+
+EdgeList DropEdges(const EdgeList& edges, double keep_prob, Rng* rng) {
+  IMCAT_CHECK(keep_prob > 0.0 && keep_prob <= 1.0);
+  EdgeList kept;
+  kept.reserve(static_cast<size_t>(edges.size() * keep_prob) + 1);
+  for (const auto& edge : edges) {
+    if (rng->Uniform() < keep_prob) kept.push_back(edge);
+  }
+  if (kept.empty() && !edges.empty()) {
+    kept.push_back(edges[rng->UniformInt(static_cast<int64_t>(edges.size()))]);
+  }
+  return kept;
+}
+
+}  // namespace imcat

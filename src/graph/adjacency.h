@@ -1,0 +1,42 @@
+#ifndef IMCAT_GRAPH_ADJACENCY_H_
+#define IMCAT_GRAPH_ADJACENCY_H_
+
+#include "data/dataset.h"
+#include "tensor/sparse.h"
+#include "util/rng.h"
+
+/// \file adjacency.h
+/// Builders for the normalised adjacency matrices used by the GNN models:
+/// LightGCN's bipartite user-item graph, the unified user-item-tag graph
+/// (TGCN/KGCL), and SGL's edge-dropout augmentations.
+
+namespace imcat {
+
+/// Builds the symmetrically normalised adjacency D^{-1/2} A D^{-1/2} over
+/// the node set [users (0..U-1), items (U..U+V-1)] from the (user, item)
+/// training edges. The matrix is symmetric, so it equals its own transpose
+/// for SpMM backward purposes.
+SparseMatrix BuildUserItemAdjacency(int64_t num_users, int64_t num_items,
+                                    const EdgeList& interactions);
+
+/// Builds the symmetrically normalised adjacency over the unified node set
+/// [users, items, tags] from (user, item) and (item, tag) edges. Item-tag
+/// edges are weighted by `tag_edge_weight` before normalisation.
+SparseMatrix BuildUnifiedAdjacency(int64_t num_users, int64_t num_items,
+                                   int64_t num_tags,
+                                   const EdgeList& interactions,
+                                   const EdgeList& item_tags,
+                                   float tag_edge_weight = 1.0f);
+
+/// Builds the symmetrically normalised adjacency over [items, tags] from
+/// the (item, tag) edges (the knowledge-graph view used by KGCL).
+SparseMatrix BuildItemTagAdjacency(int64_t num_items, int64_t num_tags,
+                                   const EdgeList& item_tags);
+
+/// Randomly keeps each edge with probability `keep_prob` (SGL's edge
+/// dropout augmentation). Always keeps at least one edge if any exist.
+EdgeList DropEdges(const EdgeList& edges, double keep_prob, Rng* rng);
+
+}  // namespace imcat
+
+#endif  // IMCAT_GRAPH_ADJACENCY_H_

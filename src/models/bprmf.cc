@@ -1,0 +1,39 @@
+#include "models/bprmf.h"
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace imcat {
+
+Bprmf::Bprmf(int64_t num_users, int64_t num_items,
+             const BackboneOptions& options)
+    : num_users_(num_users), num_items_(num_items),
+      dim_(options.embedding_dim) {
+  Rng rng(options.seed);
+  user_table_ = XavierUniform(num_users, dim_, &rng, /*treat_as_embedding=*/true);
+  item_table_ = XavierUniform(num_items, dim_, &rng, /*treat_as_embedding=*/true);
+}
+
+Tensor Bprmf::PairScores(const std::vector<int64_t>& users,
+                         const std::vector<int64_t>& items) {
+  Tensor u = ops::Gather(user_table_, users);
+  Tensor v = ops::Gather(item_table_, items);
+  return ops::RowSum(ops::Mul(u, v));
+}
+
+std::vector<Tensor> Bprmf::Parameters() { return {user_table_, item_table_}; }
+
+void Bprmf::ScoreItemsForUser(int64_t user,
+                              std::vector<float>* scores) const {
+  scores->assign(num_items_, 0.0f);
+  const float* u = user_table_.data() + user * dim_;
+  const float* items = item_table_.data();
+  for (int64_t v = 0; v < num_items_; ++v) {
+    const float* iv = items + v * dim_;
+    float acc = 0.0f;
+    for (int64_t c = 0; c < dim_; ++c) acc += u[c] * iv[c];
+    (*scores)[v] = acc;
+  }
+}
+
+}  // namespace imcat

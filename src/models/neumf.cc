@@ -1,0 +1,85 @@
+#include "models/neumf.h"
+
+#include <algorithm>
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace imcat {
+
+NeuMf::NeuMf(int64_t num_users, int64_t num_items,
+             const BackboneOptions& options)
+    : num_users_(num_users), num_items_(num_items),
+      dim_(options.embedding_dim), half_(options.embedding_dim / 2) {
+  IMCAT_CHECK_GE(half_, 1);
+  IMCAT_CHECK_EQ(half_ * 2, dim_);
+  Rng rng(options.seed);
+  user_table_ = XavierUniform(num_users, dim_, &rng, /*treat_as_embedding=*/true);
+  item_table_ = XavierUniform(num_items, dim_, &rng, /*treat_as_embedding=*/true);
+  mlp_w1_ = XavierUniform(dim_, half_, &rng);
+  mlp_b1_ = ZerosParameter(1, half_);
+  fusion_ = XavierUniform(dim_, 1, &rng);
+}
+
+Tensor NeuMf::PairScores(const std::vector<int64_t>& users,
+                         const std::vector<int64_t>& items) {
+  Tensor u = ops::Gather(user_table_, users);
+  Tensor v = ops::Gather(item_table_, items);
+  Tensor u_gmf = ops::SliceCols(u, 0, half_);
+  Tensor v_gmf = ops::SliceCols(v, 0, half_);
+  Tensor u_mlp = ops::SliceCols(u, half_, dim_);
+  Tensor v_mlp = ops::SliceCols(v, half_, dim_);
+
+  Tensor gmf = ops::Mul(u_gmf, v_gmf);                        // (B x half)
+  Tensor mlp_in = ops::ConcatCols({u_mlp, v_mlp});            // (B x d)
+  Tensor hidden = ops::Relu(
+      ops::AddRowBroadcast(ops::MatMul(mlp_in, mlp_w1_), mlp_b1_));
+  Tensor fused = ops::ConcatCols({gmf, hidden});              // (B x d)
+  return ops::MatMul(fused, fusion_);                          // (B x 1)
+}
+
+std::vector<Tensor> NeuMf::Parameters() {
+  return {user_table_, item_table_, mlp_w1_, mlp_b1_, fusion_};
+}
+
+void NeuMf::ScoreItemsForUser(int64_t user,
+                              std::vector<float>* scores) const {
+  scores->assign(num_items_, 0.0f);
+  const float* u = user_table_.data() + user * dim_;
+  const float* u_gmf = u;
+  const float* u_mlp = u + half_;
+  const float* w1 = mlp_w1_.data();       // (d x half), row-major.
+  const float* b1 = mlp_b1_.data();
+  const float* h = fusion_.data();        // (d x 1).
+
+  // Precompute the user's contribution to the hidden layer:
+  // hidden_j = relu(b1_j + sum_c u_mlp[c] * w1[c][j] + sum_c v_mlp[c] * w1[half+c][j]).
+  std::vector<float> user_hidden(half_, 0.0f);
+  for (int64_t j = 0; j < half_; ++j) {
+    float acc = b1[j];
+    for (int64_t c = 0; c < half_; ++c) acc += u_mlp[c] * w1[c * half_ + j];
+    user_hidden[j] = acc;
+  }
+
+  std::vector<float> hidden(half_);
+  for (int64_t v = 0; v < num_items_; ++v) {
+    const float* iv = item_table_.data() + v * dim_;
+    const float* v_gmf = iv;
+    const float* v_mlp = iv + half_;
+    float score = 0.0f;
+    for (int64_t c = 0; c < half_; ++c) score += h[c] * u_gmf[c] * v_gmf[c];
+    for (int64_t j = 0; j < half_; ++j) hidden[j] = user_hidden[j];
+    for (int64_t c = 0; c < half_; ++c) {
+      const float vm = v_mlp[c];
+      if (vm == 0.0f) continue;
+      const float* w_row = w1 + (half_ + c) * half_;
+      for (int64_t j = 0; j < half_; ++j) hidden[j] += vm * w_row[j];
+    }
+    for (int64_t j = 0; j < half_; ++j) {
+      score += h[half_ + j] * std::max(hidden[j], 0.0f);
+    }
+    (*scores)[v] = score;
+  }
+}
+
+}  // namespace imcat

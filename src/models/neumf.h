@@ -1,0 +1,55 @@
+#ifndef IMCAT_MODELS_NEUMF_H_
+#define IMCAT_MODELS_NEUMF_H_
+
+#include <string>
+#include <vector>
+
+#include "models/backbone.h"
+
+/// \file neumf.h
+/// Neural collaborative filtering backbone (NeuMF [56]): the user/item
+/// representations are split into a GMF half and an MLP half. The GMF half
+/// is an elementwise product; the MLP half passes the concatenated
+/// user/item vectors through a hidden layer. A fusion vector combines both
+/// paths into the final score. N-IMCAT plugs IMCAT into this model.
+///
+/// The total embedding width is `embedding_dim` (d), matching the paper's
+/// fair-comparison convention of equal parameter budgets: the GMF and MLP
+/// paths each use d/2 dimensions of the same table.
+
+namespace imcat {
+
+class NeuMf : public Backbone {
+ public:
+  NeuMf(int64_t num_users, int64_t num_items, const BackboneOptions& options);
+
+  std::string name() const override { return "NeuMF"; }
+  int64_t embedding_dim() const override { return dim_; }
+  int64_t num_users() const override { return num_users_; }
+  int64_t num_items() const override { return num_items_; }
+
+  Tensor UserEmbeddings() override { return user_table_; }
+  Tensor ItemEmbeddings() override { return item_table_; }
+  Tensor PairScores(const std::vector<int64_t>& users,
+                    const std::vector<int64_t>& items) override;
+  std::vector<Tensor> Parameters() override;
+
+  void ScoreItemsForUser(int64_t user,
+                         std::vector<float>* scores) const override;
+
+ private:
+  int64_t num_users_;
+  int64_t num_items_;
+  int64_t dim_;   ///< Total embedding width d.
+  int64_t half_;  ///< d / 2: width of each of the GMF and MLP paths.
+
+  Tensor user_table_;  ///< (U x d): [GMF | MLP] halves.
+  Tensor item_table_;  ///< (V x d).
+  Tensor mlp_w1_;      ///< (d x half): hidden layer over [u_mlp ; v_mlp].
+  Tensor mlp_b1_;      ///< (1 x half).
+  Tensor fusion_;      ///< (d x 1): weights over [gmf ; mlp_hidden].
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_MODELS_NEUMF_H_

@@ -1,0 +1,48 @@
+#include "tensor/autograd.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace imcat {
+
+void Backward(const Tensor& loss) {
+  IMCAT_CHECK_EQ(loss.size(), 1);
+  using Node = internal::TensorNode;
+  Node* root = loss.node_ptr().get();
+  if (!root->requires_grad) return;
+
+  // Iterative post-order DFS to produce a topological order (children after
+  // all parents-of-children... i.e. node appears after everything it feeds).
+  std::vector<Node*> topo;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, 0});
+  visited.insert(root);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      Node* p = f.node->parents[f.next_parent++].get();
+      if (p->requires_grad && visited.insert(p).second) {
+        stack.push_back({p, 0});
+      }
+    } else {
+      topo.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+
+  root->EnsureGrad();
+  root->grad[0] += 1.0f;
+
+  // topo holds nodes with all consumers later in the vector (post-order),
+  // so iterating in reverse visits each node before its producers.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn();
+  }
+}
+
+}  // namespace imcat

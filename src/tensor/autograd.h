@@ -1,0 +1,21 @@
+#ifndef IMCAT_TENSOR_AUTOGRAD_H_
+#define IMCAT_TENSOR_AUTOGRAD_H_
+
+#include "tensor/tensor.h"
+
+/// \file autograd.h
+/// Reverse-mode differentiation over the op graph built by ops.h.
+
+namespace imcat {
+
+/// Runs the backward pass from a scalar (1x1) `loss` tensor: seeds its
+/// gradient with 1 and accumulates d(loss)/d(node) into every node that
+/// requires gradients, in reverse topological order.
+///
+/// Gradients accumulate across calls; callers are responsible for zeroing
+/// parameter gradients between optimisation steps (Optimizer::ZeroGrad).
+void Backward(const Tensor& loss);
+
+}  // namespace imcat
+
+#endif  // IMCAT_TENSOR_AUTOGRAD_H_

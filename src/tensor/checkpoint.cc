@@ -1,0 +1,159 @@
+#include "tensor/checkpoint.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace imcat {
+
+namespace {
+
+constexpr char kMagic[4] = {'I', 'M', 'C', 'T'};
+constexpr uint32_t kVersion = 1;
+
+/// Incremental FNV-1a over byte ranges.
+class Fnv1a {
+ public:
+  void Update(const void* data, size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+template <typename T>
+void WriteValue(std::ofstream* out, Fnv1a* hash, T value) {
+  out->write(reinterpret_cast<const char*>(&value), sizeof(value));
+  hash->Update(&value, sizeof(value));
+}
+
+template <typename T>
+bool ReadValue(std::ifstream* in, Fnv1a* hash, T* value) {
+  in->read(reinterpret_cast<char*>(value), sizeof(*value));
+  if (!in->good()) return false;
+  if (hash != nullptr) hash->Update(value, sizeof(*value));
+  return true;
+}
+
+Status ReadHeader(std::ifstream* in, Fnv1a* hash, const std::string& path,
+                  uint64_t* count) {
+  char magic[4];
+  in->read(magic, sizeof(magic));
+  if (!in->good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + ": not an IMCAT checkpoint");
+  }
+  hash->Update(magic, sizeof(magic));
+  uint32_t version = 0;
+  if (!ReadValue(in, hash, &version) || version != kVersion) {
+    return Status::InvalidArgument(path + ": unsupported checkpoint version");
+  }
+  if (!ReadValue(in, hash, count)) {
+    return Status::InvalidArgument(path + ": truncated header");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const std::string& path,
+                      const std::vector<Tensor>& tensors) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot write " + path);
+  Fnv1a hash;
+  out.write(kMagic, sizeof(kMagic));
+  hash.Update(kMagic, sizeof(kMagic));
+  WriteValue(&out, &hash, kVersion);
+  WriteValue(&out, &hash, static_cast<uint64_t>(tensors.size()));
+  for (const Tensor& t : tensors) {
+    IMCAT_CHECK(t.defined());
+    WriteValue(&out, &hash, static_cast<uint64_t>(t.rows()));
+    WriteValue(&out, &hash, static_cast<uint64_t>(t.cols()));
+    const size_t bytes = static_cast<size_t>(t.size()) * sizeof(float);
+    out.write(reinterpret_cast<const char*>(t.data()), bytes);
+    hash.Update(t.data(), bytes);
+  }
+  const uint64_t checksum = hash.value();
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.flush();
+  if (!out.good()) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Status LoadCheckpoint(const std::string& path, std::vector<Tensor>* tensors) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  Fnv1a hash;
+  uint64_t count = 0;
+  IMCAT_RETURN_IF_ERROR(ReadHeader(&in, &hash, path, &count));
+  if (count != tensors->size()) {
+    return Status::InvalidArgument(
+        path + ": checkpoint holds " + std::to_string(count) +
+        " tensors, model expects " + std::to_string(tensors->size()));
+  }
+  // Stage into scratch buffers first so a corrupt file leaves the model
+  // parameters untouched.
+  std::vector<std::vector<float>> staged(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t rows = 0, cols = 0;
+    if (!ReadValue(&in, &hash, &rows) || !ReadValue(&in, &hash, &cols)) {
+      return Status::InvalidArgument(path + ": truncated tensor header");
+    }
+    const Tensor& target = (*tensors)[i];
+    if (static_cast<int64_t>(rows) != target.rows() ||
+        static_cast<int64_t>(cols) != target.cols()) {
+      return Status::InvalidArgument(
+          path + ": tensor " + std::to_string(i) + " shape mismatch");
+    }
+    staged[i].resize(rows * cols);
+    const size_t bytes = staged[i].size() * sizeof(float);
+    in.read(reinterpret_cast<char*>(staged[i].data()), bytes);
+    if (!in.good()) {
+      return Status::InvalidArgument(path + ": truncated tensor data");
+    }
+    hash.Update(staged[i].data(), bytes);
+  }
+  uint64_t stored_checksum = 0;
+  if (!ReadValue<uint64_t>(&in, nullptr, &stored_checksum) ||
+      stored_checksum != hash.value()) {
+    return Status::InvalidArgument(path + ": checksum mismatch");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    std::memcpy((*tensors)[i].data(), staged[i].data(),
+                staged[i].size() * sizeof(float));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::pair<int64_t, int64_t>>> ReadCheckpointShapes(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  Fnv1a hash;
+  uint64_t count = 0;
+  IMCAT_RETURN_IF_ERROR(ReadHeader(&in, &hash, path, &count));
+  std::vector<std::pair<int64_t, int64_t>> shapes;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t rows = 0, cols = 0;
+    if (!ReadValue(&in, &hash, &rows) || !ReadValue(&in, &hash, &cols)) {
+      return Status::InvalidArgument(path + ": truncated tensor header");
+    }
+    shapes.emplace_back(static_cast<int64_t>(rows),
+                        static_cast<int64_t>(cols));
+    in.seekg(static_cast<std::streamoff>(rows * cols * sizeof(float)),
+             std::ios::cur);
+    if (!in.good()) {
+      return Status::InvalidArgument(path + ": truncated tensor data");
+    }
+    // Checksum cannot be verified when skipping data; shapes only.
+  }
+  return shapes;
+}
+
+}  // namespace imcat

@@ -1,0 +1,39 @@
+#ifndef IMCAT_TENSOR_CHECKPOINT_H_
+#define IMCAT_TENSOR_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+/// \file checkpoint.h
+/// Binary parameter checkpointing. A checkpoint stores an ordered list of
+/// tensors (shapes + row-major float data) with a magic header and a
+/// trailing checksum, so trained models can be saved and restored across
+/// processes (see TrainableModel::Parameters()).
+///
+/// Format (little-endian):
+///   magic "IMCT" | u32 version | u64 tensor count |
+///   per tensor: u64 rows | u64 cols | rows*cols f32 |
+///   u64 FNV-1a checksum over everything before it.
+
+namespace imcat {
+
+/// Writes `tensors` to `path`, overwriting any existing file.
+Status SaveCheckpoint(const std::string& path,
+                      const std::vector<Tensor>& tensors);
+
+/// Reads a checkpoint and copies its data into `tensors` (which must
+/// already have matching count and shapes — obtain them from the same
+/// model architecture the checkpoint was saved from). Fails with
+/// InvalidArgument on shape/count mismatch or corruption.
+Status LoadCheckpoint(const std::string& path, std::vector<Tensor>* tensors);
+
+/// Reads only the shapes stored in a checkpoint (for inspection).
+StatusOr<std::vector<std::pair<int64_t, int64_t>>> ReadCheckpointShapes(
+    const std::string& path);
+
+}  // namespace imcat
+
+#endif  // IMCAT_TENSOR_CHECKPOINT_H_

@@ -1,0 +1,33 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+namespace imcat {
+
+Tensor XavierUniform(int64_t rows, int64_t cols, Rng* rng,
+                     bool treat_as_embedding) {
+  const double fan_sum =
+      treat_as_embedding ? 2.0 * static_cast<double>(cols)
+                         : static_cast<double>(rows + cols);
+  const double a = std::sqrt(6.0 / fan_sum);
+  Tensor t(rows, cols, /*requires_grad=*/true);
+  float* p = t.data();
+  for (int64_t i = 0; i < t.size(); ++i)
+    p[i] = static_cast<float>(rng->Uniform(-a, a));
+  return t;
+}
+
+Tensor RandomNormal(int64_t rows, int64_t cols, Rng* rng, float mean,
+                    float stddev) {
+  Tensor t(rows, cols, /*requires_grad=*/true);
+  float* p = t.data();
+  for (int64_t i = 0; i < t.size(); ++i)
+    p[i] = static_cast<float>(rng->Normal(mean, stddev));
+  return t;
+}
+
+Tensor ZerosParameter(int64_t rows, int64_t cols) {
+  return Tensor(rows, cols, /*requires_grad=*/true);
+}
+
+}  // namespace imcat

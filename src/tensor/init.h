@@ -1,0 +1,29 @@
+#ifndef IMCAT_TENSOR_INIT_H_
+#define IMCAT_TENSOR_INIT_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+/// \file init.h
+/// Parameter initialisers. The paper optimises all models with Adam and
+/// Xavier initialisation (Sec. V-D), so XavierUniform is the default for
+/// every trainable table and weight matrix in the library.
+
+namespace imcat {
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+/// For embedding tables we follow the common convention fan_in = fan_out =
+/// cols (so a = sqrt(3/cols)) when `treat_as_embedding` is true.
+Tensor XavierUniform(int64_t rows, int64_t cols, Rng* rng,
+                     bool treat_as_embedding = false);
+
+/// Normal(mean, stddev) initialised tensor.
+Tensor RandomNormal(int64_t rows, int64_t cols, Rng* rng, float mean = 0.0f,
+                    float stddev = 0.1f);
+
+/// Zero-filled trainable tensor (for biases).
+Tensor ZerosParameter(int64_t rows, int64_t cols);
+
+}  // namespace imcat
+
+#endif  // IMCAT_TENSOR_INIT_H_

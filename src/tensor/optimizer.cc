@@ -1,0 +1,50 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+namespace imcat {
+
+AdamOptimizer::AdamOptimizer(AdamOptions options) : options_(options) {}
+
+void AdamOptimizer::AddParameter(const Tensor& parameter) {
+  IMCAT_CHECK(parameter.defined());
+  IMCAT_CHECK(parameter.requires_grad());
+  params_.push_back(parameter);
+  m_.emplace_back(parameter.size(), 0.0f);
+  v_.emplace_back(parameter.size(), 0.0f);
+}
+
+void AdamOptimizer::AddParameters(const std::vector<Tensor>& parameters) {
+  for (const Tensor& p : parameters) AddParameter(p);
+}
+
+void AdamOptimizer::Step() {
+  ++step_;
+  const float lr = options_.learning_rate;
+  const float b1 = options_.beta1;
+  const float b2 = options_.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(step_));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(step_));
+  for (size_t p = 0; p < params_.size(); ++p) {
+    Tensor& t = params_[p];
+    float* data = t.data();
+    float* grad = t.grad();
+    float* m = m_[p].data();
+    float* v = v_[p].data();
+    const int64_t n = t.size();
+    for (int64_t i = 0; i < n; ++i) {
+      float g = grad[i] + options_.weight_decay * data[i];
+      m[i] = b1 * m[i] + (1.0f - b1) * g;
+      v[i] = b2 * v[i] + (1.0f - b2) * g * g;
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      data[i] -= lr * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+}
+
+void AdamOptimizer::ZeroGrad() {
+  for (Tensor& t : params_) t.ZeroGrad();
+}
+
+}  // namespace imcat

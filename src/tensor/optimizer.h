@@ -1,0 +1,57 @@
+#ifndef IMCAT_TENSOR_OPTIMIZER_H_
+#define IMCAT_TENSOR_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+/// \file optimizer.h
+/// Adam optimiser (the paper's optimiser for all models, lr = weight decay
+/// = 1e-3). Weight decay is implemented as L2 regularisation folded into
+/// the gradient, matching the common recommender-system convention.
+
+namespace imcat {
+
+/// Hyper-parameters for Adam.
+struct AdamOptions {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+/// Adam over a fixed set of parameter tensors. Parameters are registered
+/// once (they must require gradients); Step() consumes the accumulated
+/// gradients and ZeroGrad() clears them for the next iteration.
+class AdamOptimizer {
+ public:
+  explicit AdamOptimizer(AdamOptions options = {});
+
+  /// Registers a trainable tensor. Must be called before the first Step().
+  void AddParameter(const Tensor& parameter);
+
+  /// Registers a whole set of parameters.
+  void AddParameters(const std::vector<Tensor>& parameters);
+
+  /// Applies one Adam update using the gradients currently stored on the
+  /// registered parameters.
+  void Step();
+
+  /// Zeroes all registered parameter gradients.
+  void ZeroGrad();
+
+  int64_t step_count() const { return step_; }
+  const AdamOptions& options() const { return options_; }
+
+ private:
+  AdamOptions options_;
+  int64_t step_ = 0;
+  std::vector<Tensor> params_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_TENSOR_OPTIMIZER_H_

@@ -1,0 +1,95 @@
+#include "tensor/sparse.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace imcat {
+
+SparseMatrix SparseMatrix::FromTriplets(
+    int64_t rows, int64_t cols, const std::vector<int64_t>& row_indices,
+    const std::vector<int64_t>& col_indices, const std::vector<float>& values) {
+  IMCAT_CHECK_EQ(row_indices.size(), col_indices.size());
+  IMCAT_CHECK_EQ(row_indices.size(), values.size());
+  const int64_t n = static_cast<int64_t>(values.size());
+
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+
+  // Count entries per row.
+  std::vector<int64_t> counts(rows + 1, 0);
+  for (int64_t i = 0; i < n; ++i) {
+    IMCAT_CHECK(row_indices[i] >= 0 && row_indices[i] < rows);
+    IMCAT_CHECK(col_indices[i] >= 0 && col_indices[i] < cols);
+    ++counts[row_indices[i] + 1];
+  }
+  std::partial_sum(counts.begin(), counts.end(), counts.begin());
+
+  // Bucket by row.
+  std::vector<int64_t> cursor(counts.begin(), counts.end() - 1);
+  std::vector<int64_t> cols_tmp(n);
+  std::vector<float> vals_tmp(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t pos = cursor[row_indices[i]]++;
+    cols_tmp[pos] = col_indices[i];
+    vals_tmp[pos] = values[i];
+  }
+
+  // Sort within each row and merge duplicates.
+  m.indptr_.assign(rows + 1, 0);
+  m.indices_.reserve(n);
+  m.values_.reserve(n);
+  std::vector<int64_t> order;
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t begin = counts[r];
+    const int64_t end = counts[r + 1];
+    order.resize(end - begin);
+    std::iota(order.begin(), order.end(), begin);
+    std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      return cols_tmp[a] < cols_tmp[b];
+    });
+    for (int64_t k : order) {
+      if (!m.indices_.empty() &&
+          static_cast<int64_t>(m.indices_.size()) > m.indptr_[r] &&
+          m.indices_.back() == cols_tmp[k]) {
+        m.values_.back() += vals_tmp[k];
+      } else {
+        m.indices_.push_back(cols_tmp[k]);
+        m.values_.push_back(vals_tmp[k]);
+      }
+    }
+    m.indptr_[r + 1] = static_cast<int64_t>(m.indices_.size());
+  }
+  return m;
+}
+
+SparseMatrix SparseMatrix::Transposed() const {
+  std::vector<int64_t> rows_t;
+  std::vector<int64_t> cols_t;
+  rows_t.reserve(nnz());
+  cols_t.reserve(nnz());
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = indptr_[r]; k < indptr_[r + 1]; ++k) {
+      rows_t.push_back(indices_[k]);
+      cols_t.push_back(r);
+    }
+  }
+  return FromTriplets(cols_, rows_, rows_t, cols_t, values_);
+}
+
+void SparseMatrix::Multiply(const float* x, int64_t x_cols, float* y) const {
+  std::memset(y, 0, sizeof(float) * static_cast<size_t>(rows_ * x_cols));
+  for (int64_t r = 0; r < rows_; ++r) {
+    float* yr = y + r * x_cols;
+    for (int64_t k = indptr_[r]; k < indptr_[r + 1]; ++k) {
+      const float v = values_[k];
+      const float* xr = x + indices_[k] * x_cols;
+      for (int64_t c = 0; c < x_cols; ++c) yr[c] += v * xr[c];
+    }
+  }
+}
+
+}  // namespace imcat

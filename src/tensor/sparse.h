@@ -1,0 +1,52 @@
+#ifndef IMCAT_TENSOR_SPARSE_H_
+#define IMCAT_TENSOR_SPARSE_H_
+
+#include <cstdint>
+#include <vector>
+
+/// \file sparse.h
+/// A fixed (non-differentiable) CSR sparse matrix used as the left operand
+/// of sparse-dense products (graph propagation in LightGCN and the graph
+/// baselines). The matrix itself never receives gradients; SpMM backward
+/// multiplies by the transpose.
+
+namespace imcat {
+
+/// Compressed-sparse-row float matrix.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Builds a CSR matrix from unordered triplets. Duplicate (row, col)
+  /// entries are summed.
+  static SparseMatrix FromTriplets(int64_t rows, int64_t cols,
+                                   const std::vector<int64_t>& row_indices,
+                                   const std::vector<int64_t>& col_indices,
+                                   const std::vector<float>& values);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  const std::vector<int64_t>& indptr() const { return indptr_; }
+  const std::vector<int64_t>& indices() const { return indices_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// Returns the transposed matrix (CSR of A^T).
+  SparseMatrix Transposed() const;
+
+  /// y = A x for dense row-major x (x_cols columns). y must hold
+  /// rows()*x_cols floats; it is overwritten.
+  void Multiply(const float* x, int64_t x_cols, float* y) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> indptr_;
+  std::vector<int64_t> indices_;
+  std::vector<float> values_;
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_TENSOR_SPARSE_H_

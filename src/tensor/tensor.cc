@@ -1,0 +1,39 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+
+namespace imcat {
+
+Tensor::Tensor(int64_t rows, int64_t cols, bool requires_grad) {
+  IMCAT_CHECK_GE(rows, 0);
+  IMCAT_CHECK_GE(cols, 0);
+  node_ = std::make_shared<internal::TensorNode>();
+  node_->rows = rows;
+  node_->cols = cols;
+  node_->data.assign(static_cast<size_t>(rows * cols), 0.0f);
+  node_->requires_grad = requires_grad;
+  node_->op_name = "leaf";
+}
+
+Tensor::Tensor(int64_t rows, int64_t cols, std::vector<float> values,
+               bool requires_grad) {
+  IMCAT_CHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
+  node_ = std::make_shared<internal::TensorNode>();
+  node_->rows = rows;
+  node_->cols = cols;
+  node_->data = std::move(values);
+  node_->requires_grad = requires_grad;
+  node_->op_name = "leaf";
+}
+
+void Tensor::ZeroGrad() {
+  auto* n = node();
+  if (!n->grad.empty()) std::fill(n->grad.begin(), n->grad.end(), 0.0f);
+}
+
+Tensor Tensor::DetachedCopy() const {
+  const auto* n = node();
+  return Tensor(n->rows, n->cols, n->data, /*requires_grad=*/false);
+}
+
+}  // namespace imcat

@@ -1,0 +1,68 @@
+#include "train/sampler.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace imcat {
+
+TripletSampler::TripletSampler(int64_t num_anchors, int64_t num_candidates,
+                               const EdgeList& edges)
+    : num_candidates_(num_candidates),
+      edges_(edges),
+      index_(num_anchors, num_candidates, edges) {
+  IMCAT_CHECK_GT(num_candidates, 0);
+  IMCAT_CHECK(!edges_.empty());
+}
+
+void TripletSampler::SampleBatch(int64_t batch_size, Rng* rng,
+                                 TripletBatch* batch) const {
+  batch->anchors.resize(batch_size);
+  batch->positives.resize(batch_size);
+  batch->negatives.resize(batch_size);
+  const int64_t num_edges = static_cast<int64_t>(edges_.size());
+  for (int64_t i = 0; i < batch_size; ++i) {
+    const auto& [anchor, positive] = edges_[rng->UniformInt(num_edges)];
+    batch->anchors[i] = anchor;
+    batch->positives[i] = positive;
+    // Rejection-sample a negative not in the anchor's positive set.
+    int64_t negative = positive;
+    if (index_.ForwardDegree(anchor) < num_candidates_) {
+      do {
+        negative = rng->UniformInt(num_candidates_);
+      } while (index_.Contains(anchor, negative));
+    }
+    batch->negatives[i] = negative;
+  }
+}
+
+ItemBatchSampler::ItemBatchSampler(int64_t num_items,
+                                   const EdgeList& interactions) {
+  std::vector<bool> has_interaction(num_items, false);
+  for (const auto& [u, v] : interactions) {
+    (void)u;
+    IMCAT_CHECK(v >= 0 && v < num_items);
+    has_interaction[v] = true;
+  }
+  for (int64_t v = 0; v < num_items; ++v) {
+    if (has_interaction[v]) eligible_.push_back(v);
+  }
+  IMCAT_CHECK(!eligible_.empty());
+}
+
+void ItemBatchSampler::SampleBatch(int64_t batch_size, Rng* rng,
+                                   std::vector<int64_t>* items) const {
+  const int64_t n = static_cast<int64_t>(eligible_.size());
+  const int64_t take = std::min(batch_size, n);
+  // Partial Fisher-Yates over a scratch copy for distinct samples.
+  std::vector<int64_t> scratch = eligible_;
+  items->resize(take);
+  for (int64_t i = 0; i < take; ++i) {
+    const int64_t j = i + rng->UniformInt(n - i);
+    std::swap(scratch[i], scratch[j]);
+    (*items)[i] = scratch[i];
+  }
+}
+
+}  // namespace imcat

@@ -1,0 +1,65 @@
+#ifndef IMCAT_TRAIN_SAMPLER_H_
+#define IMCAT_TRAIN_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+/// \file sampler.h
+/// Mini-batch negative-sampling iterators for the ranking losses. As in
+/// the paper, every positive pair is matched with one uniformly sampled
+/// negative (Sec. V-D).
+
+namespace imcat {
+
+/// A batch of BPR triplets over one bipartite relation (user-item for
+/// L_UV, item-tag for L_VT).
+struct TripletBatch {
+  std::vector<int64_t> anchors;    ///< Users (or items for L_VT).
+  std::vector<int64_t> positives;  ///< Interacted items (or assigned tags).
+  std::vector<int64_t> negatives;  ///< Sampled non-interacted entities.
+};
+
+/// Samples BPR triplets from an edge list: a uniformly random positive edge
+/// plus a rejection-sampled negative right-hand entity for its anchor.
+class TripletSampler {
+ public:
+  /// `edges` are (anchor, positive) pairs over [0, num_anchors) x
+  /// [0, num_candidates).
+  TripletSampler(int64_t num_anchors, int64_t num_candidates,
+                 const EdgeList& edges);
+
+  /// Fills `batch` with `batch_size` triplets. Anchors with a full positive
+  /// set (degenerate) reuse a random positive as the negative.
+  void SampleBatch(int64_t batch_size, Rng* rng, TripletBatch* batch) const;
+
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+
+ private:
+  int64_t num_candidates_;
+  EdgeList edges_;
+  BipartiteIndex index_;
+};
+
+/// Samples batches of item ids among the items that occur in training
+/// interactions (the anchors of the contrastive alignment loss).
+class ItemBatchSampler {
+ public:
+  ItemBatchSampler(int64_t num_items, const EdgeList& interactions);
+
+  /// Fills `items` with `batch_size` distinct item ids sampled uniformly
+  /// from the eligible items (fewer if not enough eligible items exist).
+  void SampleBatch(int64_t batch_size, Rng* rng,
+                   std::vector<int64_t>* items) const;
+
+  const std::vector<int64_t>& eligible_items() const { return eligible_; }
+
+ private:
+  std::vector<int64_t> eligible_;
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_TRAIN_SAMPLER_H_

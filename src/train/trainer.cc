@@ -1,0 +1,111 @@
+#include "train/trainer.h"
+
+#include <cstring>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace imcat {
+
+namespace {
+
+std::vector<std::vector<float>> SnapshotParameters(TrainableModel* model) {
+  std::vector<std::vector<float>> snapshot;
+  for (Tensor& t : model->Parameters()) {
+    snapshot.emplace_back(t.data(), t.data() + t.size());
+  }
+  return snapshot;
+}
+
+void RestoreParameters(TrainableModel* model,
+                       const std::vector<std::vector<float>>& snapshot) {
+  std::vector<Tensor> params = model->Parameters();
+  IMCAT_CHECK_EQ(params.size(), snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    IMCAT_CHECK_EQ(static_cast<size_t>(params[i].size()), snapshot[i].size());
+    std::memcpy(params[i].data(), snapshot[i].data(),
+                snapshot[i].size() * sizeof(float));
+  }
+}
+
+}  // namespace
+
+Trainer::Trainer(const Evaluator* evaluator, const DataSplit* split)
+    : evaluator_(evaluator), split_(split) {
+  IMCAT_CHECK(evaluator != nullptr);
+  IMCAT_CHECK(split != nullptr);
+}
+
+TrainHistory Trainer::Fit(TrainableModel* model,
+                          const TrainerOptions& options) const {
+  IMCAT_CHECK(model != nullptr);
+  IMCAT_CHECK_GT(options.max_epochs, 0);
+  IMCAT_CHECK_GT(options.eval_every, 0);
+
+  Rng rng(options.seed);
+  TrainHistory history;
+  std::vector<std::vector<float>> best_snapshot;
+  double best_recall = -1.0;
+  int64_t evals_without_improvement = 0;
+
+  Stopwatch total;
+  double train_seconds = 0.0;
+
+  for (int64_t epoch = 0; epoch < options.max_epochs; ++epoch) {
+    Stopwatch epoch_watch;
+    model->OnEpochBegin(epoch);
+    double loss_sum = 0.0;
+    const int64_t steps = model->StepsPerEpoch();
+    IMCAT_CHECK_GT(steps, 0);
+    for (int64_t s = 0; s < steps; ++s) {
+      loss_sum += model->TrainStep(&rng);
+    }
+    train_seconds += epoch_watch.ElapsedSeconds();
+    history.epochs_run = epoch + 1;
+
+    if ((epoch + 1) % options.eval_every != 0 &&
+        epoch + 1 != options.max_epochs) {
+      continue;
+    }
+    const EvalResult val = evaluator_->Evaluate(*model, split_->validation,
+                                                options.top_n);
+    ValidationPoint point;
+    point.epoch = epoch + 1;
+    point.train_loss = loss_sum / static_cast<double>(steps);
+    point.validation = val;
+    point.elapsed_seconds = train_seconds;
+    history.points.push_back(point);
+    if (options.verbose) {
+      IMCAT_LOG(INFO) << model->name() << " epoch " << (epoch + 1)
+                      << " loss=" << point.train_loss
+                      << " val R@" << options.top_n << "=" << val.recall
+                      << " N@" << options.top_n << "=" << val.ndcg;
+    }
+
+    if (val.recall > best_recall) {
+      best_recall = val.recall;
+      history.best_epoch = epoch + 1;
+      history.best_validation = val;
+      evals_without_improvement = 0;
+      if (options.restore_best) best_snapshot = SnapshotParameters(model);
+    } else {
+      ++evals_without_improvement;
+      if (evals_without_improvement >= options.patience) {
+        if (options.verbose) {
+          IMCAT_LOG(INFO) << model->name() << " early stop at epoch "
+                          << (epoch + 1);
+        }
+        break;
+      }
+    }
+  }
+
+  if (options.restore_best && !best_snapshot.empty()) {
+    RestoreParameters(model, best_snapshot);
+  }
+  history.train_seconds = train_seconds;
+  return history;
+}
+
+}  // namespace imcat

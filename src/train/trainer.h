@@ -1,0 +1,91 @@
+#ifndef IMCAT_TRAIN_TRAINER_H_
+#define IMCAT_TRAIN_TRAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/split.h"
+#include "eval/evaluator.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+/// \file trainer.h
+/// Generic training loop with validation-based early stopping (the paper's
+/// protocol: early stop when validation Recall@20 has not improved for a
+/// patience window), epoch timing for the efficiency study (Fig. 9), and
+/// best-parameter restoration.
+
+namespace imcat {
+
+/// Interface implemented by every trainable model in the library. A model
+/// owns its parameters, optimiser and batch composition; the trainer only
+/// orchestrates epochs, evaluation and early stopping.
+class TrainableModel : public Ranker {
+ public:
+  /// Runs one optimisation step (sample batches, forward, backward,
+  /// optimiser update) and returns the scalar training loss.
+  virtual double TrainStep(Rng* rng) = 0;
+
+  /// Number of steps per epoch (typically ceil(|train| / batch_size)).
+  virtual int64_t StepsPerEpoch() const = 0;
+
+  /// Called at the start of every epoch (0-based); used for periodic work
+  /// such as tag-cluster refreshes or augmentation-graph resampling.
+  virtual void OnEpochBegin(int64_t epoch) { (void)epoch; }
+
+  /// All trainable tensors (used to snapshot/restore the best state).
+  virtual std::vector<Tensor> Parameters() = 0;
+
+  /// Human-readable model name for logs and reports.
+  virtual std::string name() const = 0;
+};
+
+/// Training-loop options.
+struct TrainerOptions {
+  int64_t max_epochs = 200;
+  /// Validate every this many epochs.
+  int64_t eval_every = 5;
+  /// Stop after this many consecutive validations without improvement.
+  int64_t patience = 10;
+  int top_n = 20;
+  uint64_t seed = 7;
+  bool verbose = false;
+  /// Restore the best validation parameters after training.
+  bool restore_best = true;
+};
+
+/// Per-validation record.
+struct ValidationPoint {
+  int64_t epoch = 0;
+  double train_loss = 0.0;
+  EvalResult validation;
+  double elapsed_seconds = 0.0;  ///< Cumulative training time (excl. eval).
+};
+
+/// The outcome of Trainer::Fit.
+struct TrainHistory {
+  std::vector<ValidationPoint> points;
+  int64_t best_epoch = 0;
+  EvalResult best_validation;
+  double train_seconds = 0.0;  ///< Total optimisation time (excl. eval).
+  int64_t epochs_run = 0;
+};
+
+/// Orchestrates epochs, periodic validation, early stopping and restoring
+/// the best parameters.
+class Trainer {
+ public:
+  /// The evaluator and split must outlive the trainer.
+  Trainer(const Evaluator* evaluator, const DataSplit* split);
+
+  /// Trains `model` until max_epochs or early stop; returns the history.
+  TrainHistory Fit(TrainableModel* model, const TrainerOptions& options) const;
+
+ private:
+  const Evaluator* evaluator_;
+  const DataSplit* split_;
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_TRAIN_TRAINER_H_

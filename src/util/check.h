@@ -1,0 +1,39 @@
+#ifndef IMCAT_UTIL_CHECK_H_
+#define IMCAT_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file check.h
+/// Assertion macros for programmer-error invariants. Following the project
+/// convention (no exceptions), a failed check prints the failing condition
+/// with its location and aborts the process. These are enabled in all build
+/// types: the costs are trivial next to the training loops they guard.
+
+namespace imcat::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, condition);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace imcat::internal
+
+#define IMCAT_CHECK(condition)                                         \
+  do {                                                                 \
+    if (!(condition)) {                                                \
+      ::imcat::internal::CheckFailed(__FILE__, __LINE__, #condition);  \
+    }                                                                  \
+  } while (false)
+
+#define IMCAT_CHECK_OP(a, op, b) IMCAT_CHECK((a)op(b))
+#define IMCAT_CHECK_EQ(a, b) IMCAT_CHECK_OP(a, ==, b)
+#define IMCAT_CHECK_NE(a, b) IMCAT_CHECK_OP(a, !=, b)
+#define IMCAT_CHECK_LT(a, b) IMCAT_CHECK_OP(a, <, b)
+#define IMCAT_CHECK_LE(a, b) IMCAT_CHECK_OP(a, <=, b)
+#define IMCAT_CHECK_GT(a, b) IMCAT_CHECK_OP(a, >, b)
+#define IMCAT_CHECK_GE(a, b) IMCAT_CHECK_OP(a, >=, b)
+
+#endif  // IMCAT_UTIL_CHECK_H_

@@ -1,0 +1,62 @@
+#ifndef IMCAT_UTIL_LOGGING_H_
+#define IMCAT_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// Minimal leveled logging. Usage:
+///
+///   IMCAT_LOG(INFO) << "epoch " << epoch << " recall=" << recall;
+///
+/// Messages at or above the global level (default INFO) are written to
+/// stderr with a severity tag. The level can be lowered to silence training
+/// chatter in tests/benchmarks via SetLogLevel.
+
+namespace imcat {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kQuiet = 4,  ///< Suppresses everything; not a valid message level.
+};
+
+/// Sets the minimum level that is emitted. Thread-compatible (set once at
+/// start-up).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum emitted level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace imcat
+
+#define IMCAT_LOG_DEBUG ::imcat::LogLevel::kDebug
+#define IMCAT_LOG_INFO ::imcat::LogLevel::kInfo
+#define IMCAT_LOG_WARNING ::imcat::LogLevel::kWarning
+#define IMCAT_LOG_ERROR ::imcat::LogLevel::kError
+
+#define IMCAT_LOG(severity)                                              \
+  ::imcat::internal::LogMessage(IMCAT_LOG_##severity, __FILE__, __LINE__) \
+      .stream()
+
+#endif  // IMCAT_UTIL_LOGGING_H_

@@ -1,0 +1,40 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace imcat {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  IMCAT_CHECK_EQ(x.size(), y.size());
+  if (x.size() < 2) return 0.0;
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace imcat

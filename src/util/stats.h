@@ -1,0 +1,23 @@
+#ifndef IMCAT_UTIL_STATS_H_
+#define IMCAT_UTIL_STATS_H_
+
+#include <vector>
+
+/// \file stats.h
+/// Basic descriptive statistics over repeated-seed experiment results.
+
+namespace imcat {
+
+/// Arithmetic mean. Returns 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1 denominator). Returns 0 for n < 2.
+double StdDev(const std::vector<double>& values);
+
+/// Pearson correlation of two equally sized vectors; 0 if degenerate.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace imcat
+
+#endif  // IMCAT_UTIL_STATS_H_

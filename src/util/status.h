@@ -1,0 +1,102 @@
+#ifndef IMCAT_UTIL_STATUS_H_
+#define IMCAT_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+/// \file status.h
+/// Error handling without exceptions, in the style of Arrow/Abseil. Library
+/// entry points that can fail for reasons outside the programmer's control
+/// (missing files, malformed input) return Status / StatusOr<T>; invariant
+/// violations use IMCAT_CHECK.
+
+namespace imcat {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIoError = 3,
+  kFailedPrecondition = 4,
+};
+
+/// A success-or-error result carrying a code and human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of T or an error Status. Access to the value requires
+/// ok(); violating that is a programmer error and aborts.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value (the common success path).
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    IMCAT_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    IMCAT_CHECK(ok());
+    return value_;
+  }
+  T& value() & {
+    IMCAT_CHECK(ok());
+    return value_;
+  }
+  T&& value() && {
+    IMCAT_CHECK(ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace imcat
+
+/// Propagates a non-OK status to the caller.
+#define IMCAT_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::imcat::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+#endif  // IMCAT_UTIL_STATUS_H_

@@ -1,0 +1,35 @@
+#ifndef IMCAT_UTIL_STOPWATCH_H_
+#define IMCAT_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+/// \file stopwatch.h
+/// Wall-clock timing for the efficiency experiments (Fig. 9) and trainer
+/// epoch timing.
+
+namespace imcat {
+
+/// A simple monotonic stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_UTIL_STOPWATCH_H_

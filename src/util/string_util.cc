@@ -1,0 +1,73 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace imcat {
+
+std::vector<std::string> Split(std::string_view text, char delim) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      break;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  text = StripWhitespace(text);
+  if (text.empty() || text.size() > 30) return false;
+  char buf[32];
+  std::memcpy(buf, text.data(), text.size());
+  buf[text.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(buf, &end, 10);
+  if (errno != 0 || end != buf + text.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  text = StripWhitespace(text);
+  if (text.empty() || text.size() > 60) return false;
+  char buf[64];
+  std::memcpy(buf, text.data(), text.size());
+  buf[text.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(buf, &end);
+  if (errno != 0 || end != buf + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace imcat

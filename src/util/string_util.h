@@ -1,0 +1,30 @@
+#ifndef IMCAT_UTIL_STRING_UTIL_H_
+#define IMCAT_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file string_util.h
+/// Small string helpers used by the TSV loader and report printers.
+
+namespace imcat {
+
+/// Splits `text` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Parses a non-negative integer; returns false on malformed input.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Parses a double; returns false on malformed input.
+bool ParseDouble(std::string_view text, double* out);
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double value, int digits);
+
+}  // namespace imcat
+
+#endif  // IMCAT_UTIL_STRING_UTIL_H_

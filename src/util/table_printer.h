@@ -1,0 +1,37 @@
+#ifndef IMCAT_UTIL_TABLE_PRINTER_H_
+#define IMCAT_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+/// \file table_printer.h
+/// Fixed-width ASCII table rendering used by the benchmark report binaries
+/// to print paper-style tables (Table I, II, III) to stdout.
+
+namespace imcat {
+
+/// Accumulates rows of string cells and renders them as an aligned table
+/// with a header rule. Cells are padded to the widest entry per column.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; the row may have at most as many cells as there are
+  /// headers (missing cells render empty).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the full table.
+  std::string ToString() const;
+
+  /// Renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,158 @@
+#include "tensor/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "models/bprmf.h"
+#include "models/backbone.h"
+#include "tensor/init.h"
+#include "util/rng.h"
+
+namespace imcat {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<Tensor> RandomTensors(Rng* rng) {
+  std::vector<Tensor> tensors;
+  tensors.push_back(RandomNormal(4, 6, rng));
+  tensors.push_back(RandomNormal(1, 1, rng));
+  tensors.push_back(RandomNormal(10, 3, rng));
+  return tensors;
+}
+
+TEST(CheckpointTest, SaveLoadRoundTrip) {
+  Rng rng(3);
+  std::vector<Tensor> original = RandomTensors(&rng);
+  const std::string path = TempPath("roundtrip.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(path, original).ok());
+
+  Rng rng2(99);
+  std::vector<Tensor> restored = RandomTensors(&rng2);
+  ASSERT_TRUE(LoadCheckpoint(path, &restored).ok());
+  for (size_t i = 0; i < original.size(); ++i) {
+    ASSERT_EQ(original[i].size(), restored[i].size());
+    for (int64_t j = 0; j < original[i].size(); ++j) {
+      EXPECT_EQ(original[i].data()[j], restored[i].data()[j]);
+    }
+  }
+}
+
+TEST(CheckpointTest, ShapeMismatchRejected) {
+  Rng rng(4);
+  std::vector<Tensor> original = RandomTensors(&rng);
+  const std::string path = TempPath("shape.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(path, original).ok());
+
+  std::vector<Tensor> wrong = {Tensor(4, 6, true), Tensor(2, 2, true),
+                               Tensor(10, 3, true)};
+  Status status = LoadCheckpoint(path, &wrong);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, CountMismatchRejected) {
+  Rng rng(5);
+  std::vector<Tensor> original = RandomTensors(&rng);
+  const std::string path = TempPath("count.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(path, original).ok());
+  std::vector<Tensor> two = {Tensor(4, 6, true), Tensor(1, 1, true)};
+  EXPECT_FALSE(LoadCheckpoint(path, &two).ok());
+}
+
+TEST(CheckpointTest, CorruptionDetectedAndParametersUntouched) {
+  Rng rng(6);
+  std::vector<Tensor> original = RandomTensors(&rng);
+  const std::string path = TempPath("corrupt.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(path, original).ok());
+  // Flip one byte in the middle of the file.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(40);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(40);
+    byte = static_cast<char>(byte ^ 0xFF);
+    f.write(&byte, 1);
+  }
+  Rng rng2(7);
+  std::vector<Tensor> target = RandomTensors(&rng2);
+  std::vector<float> before(target[0].data(),
+                            target[0].data() + target[0].size());
+  Status status = LoadCheckpoint(path, &target);
+  ASSERT_FALSE(status.ok());
+  // Corrupt load must leave the target parameters untouched.
+  for (int64_t j = 0; j < target[0].size(); ++j) {
+    EXPECT_EQ(target[0].data()[j], before[j]);
+  }
+}
+
+TEST(CheckpointTest, NotACheckpointRejected) {
+  const std::string path = TempPath("garbage.ckpt");
+  std::ofstream(path) << "hello world";
+  std::vector<Tensor> t = {Tensor(1, 1, true)};
+  Status status = LoadCheckpoint(path, &t);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("not an IMCAT checkpoint"),
+            std::string::npos);
+}
+
+TEST(CheckpointTest, MissingFileIsIoError) {
+  std::vector<Tensor> t = {Tensor(1, 1, true)};
+  EXPECT_EQ(LoadCheckpoint("/nonexistent/x.ckpt", &t).code(),
+            StatusCode::kIoError);
+}
+
+TEST(CheckpointTest, ReadShapes) {
+  Rng rng(8);
+  std::vector<Tensor> original = RandomTensors(&rng);
+  const std::string path = TempPath("shapes.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(path, original).ok());
+  auto shapes = ReadCheckpointShapes(path);
+  ASSERT_TRUE(shapes.ok());
+  ASSERT_EQ(shapes.value().size(), 3u);
+  EXPECT_EQ(shapes.value()[0], (std::pair<int64_t, int64_t>{4, 6}));
+  EXPECT_EQ(shapes.value()[2], (std::pair<int64_t, int64_t>{10, 3}));
+}
+
+TEST(CheckpointTest, ModelRoundTripPreservesScores) {
+  // Save a trained model's parameters, reload into a fresh instance and
+  // verify identical rankings.
+  SyntheticConfig config;
+  config.num_users = 30;
+  config.num_items = 50;
+  config.num_tags = 12;
+  config.num_interactions = 500;
+  config.num_item_tags = 150;
+  Dataset ds = GenerateSynthetic(config);
+  DataSplit split = SplitByUser(ds, SplitOptions{});
+  BackboneOptions bopts;
+  bopts.embedding_dim = 8;
+
+  BprModel trained(std::make_unique<Bprmf>(ds.num_users, ds.num_items, bopts),
+                   ds, split, AdamOptions{}, 64);
+  Rng rng(9);
+  for (int step = 0; step < 20; ++step) trained.TrainStep(&rng);
+  const std::string path = TempPath("model.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(path, trained.Parameters()).ok());
+
+  bopts.seed = 999;  // Different init; must not matter after load.
+  BprModel fresh(std::make_unique<Bprmf>(ds.num_users, ds.num_items, bopts),
+                 ds, split, AdamOptions{}, 64);
+  std::vector<Tensor> params = fresh.Parameters();
+  ASSERT_TRUE(LoadCheckpoint(path, &params).ok());
+
+  std::vector<float> a, b;
+  trained.ScoreItemsForUser(3, &a);
+  fresh.ScoreItemsForUser(3, &b);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace imcat

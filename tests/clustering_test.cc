@@ -1,0 +1,172 @@
+#include "core/intent_clustering.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/autograd.h"
+#include "tensor/init.h"
+#include "tensor/optimizer.h"
+#include "tests/gradcheck.h"
+
+namespace imcat {
+namespace {
+
+/// Builds a tag table with `per_cluster` tags around each of the given
+/// centres (tight Gaussian blobs).
+Tensor BlobTags(const std::vector<std::vector<float>>& centres,
+                int per_cluster, float spread, Rng* rng,
+                bool requires_grad = true) {
+  const int64_t dim = static_cast<int64_t>(centres[0].size());
+  const int64_t rows = static_cast<int64_t>(centres.size()) * per_cluster;
+  Tensor tags(rows, dim, requires_grad);
+  int64_t r = 0;
+  for (const auto& centre : centres) {
+    for (int i = 0; i < per_cluster; ++i, ++r) {
+      for (int64_t c = 0; c < dim; ++c) {
+        tags.set(r, c, centre[c] + static_cast<float>(rng->Normal(0, spread)));
+      }
+    }
+  }
+  return tags;
+}
+
+TEST(IntentClusteringTest, SoftAssignmentsAreRowStochastic) {
+  Rng rng(3);
+  IntentClustering clustering(3, 4, 1.0f, 7);
+  Tensor tags = RandomNormal(10, 4, &rng);
+  Tensor q = clustering.SoftAssignments(tags);
+  EXPECT_EQ(q.rows(), 10);
+  EXPECT_EQ(q.cols(), 3);
+  for (int64_t l = 0; l < 10; ++l) {
+    float sum = 0.0f;
+    for (int64_t k = 0; k < 3; ++k) {
+      EXPECT_GT(q.at(l, k), 0.0f);
+      sum += q.at(l, k);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(IntentClusteringTest, CloserCentreGetsHigherProbability) {
+  IntentClustering clustering(2, 2, 1.0f, 7);
+  // Place the centres by hand.
+  Tensor centers = clustering.centers();
+  centers.set(0, 0, 0.0f);
+  centers.set(0, 1, 0.0f);
+  centers.set(1, 0, 5.0f);
+  centers.set(1, 1, 5.0f);
+  Tensor tags(1, 2, {0.5f, 0.5f});
+  Tensor q = clustering.SoftAssignments(tags);
+  EXPECT_GT(q.at(0, 0), q.at(0, 1));
+}
+
+TEST(IntentClusteringTest, TargetDistributionSharpens) {
+  // Q-hat squares Q, so rows move toward their dominant cluster.
+  std::vector<float> q = {0.7f, 0.3f, 0.5f, 0.5f};
+  std::vector<float> target = IntentClustering::TargetDistribution(q, 2, 2);
+  EXPECT_GT(target[0], 0.7f);
+  EXPECT_LT(target[1], 0.3f);
+  for (int row = 0; row < 2; ++row) {
+    EXPECT_NEAR(target[row * 2] + target[row * 2 + 1], 1.0f, 1e-5f);
+  }
+}
+
+TEST(IntentClusteringTest, KlLossIsNonNegativeAndFiniteKl) {
+  Rng rng(5);
+  IntentClustering clustering(3, 4, 1.0f, 11);
+  Tensor tags = RandomNormal(20, 4, &rng);
+  Tensor loss = clustering.KlLoss(tags);
+  EXPECT_GE(loss.item(), -1e-4f);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+}
+
+TEST(IntentClusteringTest, KlLossGradcheck) {
+  Rng rng(6);
+  IntentClustering clustering(2, 3, 1.0f, 13);
+  testing::ExpectGradientsMatch(
+      [&clustering](const std::vector<Tensor>& in) {
+        return clustering.KlLoss(in[0]);
+      },
+      {RandomNormal(5, 3, &rng)});
+}
+
+TEST(IntentClusteringTest, HardAssignmentsRecoverPlantedBlobs) {
+  Rng rng(17);
+  std::vector<std::vector<float>> centres = {
+      {5, 0, 0, 0}, {0, 5, 0, 0}, {0, 0, 5, 0}};
+  Tensor tags = BlobTags(centres, 10, 0.2f, &rng);
+  IntentClustering clustering(3, 4, 1.0f, 19);
+  clustering.WarmStart(tags, &rng);
+  clustering.UpdateHardAssignments(tags);
+  const std::vector<int>& assignment = clustering.assignments();
+  ASSERT_EQ(assignment.size(), 30u);
+  // All tags within a planted blob must share a cluster, and different
+  // blobs must land in different clusters.
+  for (int blob = 0; blob < 3; ++blob) {
+    for (int i = 1; i < 10; ++i) {
+      EXPECT_EQ(assignment[blob * 10 + i], assignment[blob * 10]);
+    }
+  }
+  EXPECT_NE(assignment[0], assignment[10]);
+  EXPECT_NE(assignment[10], assignment[20]);
+  EXPECT_NE(assignment[0], assignment[20]);
+}
+
+TEST(IntentClusteringTest, TrainingKlPullsTagsTowardCentres) {
+  Rng rng(23);
+  std::vector<std::vector<float>> centres = {{3, 0}, {0, 3}};
+  Tensor tags = BlobTags(centres, 8, 0.8f, &rng);
+  IntentClustering clustering(2, 2, 1.0f, 29);
+  clustering.WarmStart(tags, &rng);
+
+  AdamOptions adam;
+  adam.learning_rate = 0.05f;
+  AdamOptimizer optimizer(adam);
+  optimizer.AddParameter(tags);
+  optimizer.AddParameter(clustering.centers());
+
+  const double initial = clustering.KlLoss(tags).item();
+  double final_loss = initial;
+  for (int step = 0; step < 60; ++step) {
+    optimizer.ZeroGrad();
+    Tensor loss = clustering.KlLoss(tags);
+    Backward(loss);
+    optimizer.Step();
+    final_loss = loss.item();
+  }
+  EXPECT_LT(final_loss, initial);
+}
+
+TEST(IntentClusteringTest, SingleClusterDegenerates) {
+  Rng rng(31);
+  IntentClustering clustering(1, 4, 1.0f, 37);
+  Tensor tags = RandomNormal(6, 4, &rng);
+  Tensor q = clustering.SoftAssignments(tags);
+  for (int64_t l = 0; l < 6; ++l) EXPECT_NEAR(q.at(l, 0), 1.0f, 1e-6f);
+  clustering.UpdateHardAssignments(tags);
+  for (int a : clustering.assignments()) EXPECT_EQ(a, 0);
+}
+
+class ClusteringEtaTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(ClusteringEtaTest, SharperEtaSharpensAssignments) {
+  const float eta = GetParam();
+  IntentClustering clustering(2, 2, eta, 41);
+  Tensor centers = clustering.centers();
+  centers.set(0, 0, 0.0f);
+  centers.set(0, 1, 0.0f);
+  centers.set(1, 0, 2.0f);
+  centers.set(1, 1, 0.0f);
+  Tensor tag(1, 2, {0.5f, 0.0f});
+  Tensor q = clustering.SoftAssignments(tag);
+  // Whatever eta, the closer centre dominates; row is stochastic.
+  EXPECT_GT(q.at(0, 0), 0.5f);
+  EXPECT_NEAR(q.at(0, 0) + q.at(0, 1), 1.0f, 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Etas, ClusteringEtaTest,
+                         ::testing::Values(0.5f, 1.0f, 2.0f, 5.0f));
+
+}  // namespace
+}  // namespace imcat

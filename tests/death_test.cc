@@ -1,0 +1,79 @@
+// Failure-injection tests: programmer errors must trip IMCAT_CHECK and
+// abort with a diagnostic rather than corrupt memory or silently
+// mis-compute.
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "util/check.h"
+
+namespace imcat {
+namespace {
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH(IMCAT_CHECK(1 == 2), "CHECK failed");
+  EXPECT_DEATH(IMCAT_CHECK_EQ(3, 4), "CHECK failed");
+}
+
+TEST(OpsDeathTest, MatMulShapeMismatch) {
+  Tensor a(2, 3);
+  Tensor b(4, 2);
+  EXPECT_DEATH(ops::MatMul(a, b), "CHECK failed");
+}
+
+TEST(OpsDeathTest, ElementwiseShapeMismatch) {
+  Tensor a(2, 3);
+  Tensor b(3, 2);
+  EXPECT_DEATH(ops::Add(a, b), "CHECK failed");
+}
+
+TEST(OpsDeathTest, GatherOutOfRange) {
+  Tensor table(3, 2);
+  EXPECT_DEATH(ops::Gather(table, {5}), "CHECK failed");
+  EXPECT_DEATH(ops::Gather(table, {-1}), "CHECK failed");
+}
+
+TEST(OpsDeathTest, SliceOutOfRange) {
+  Tensor a(2, 3);
+  EXPECT_DEATH(ops::SliceCols(a, 2, 5), "CHECK failed");
+  EXPECT_DEATH(ops::SliceCols(a, 2, 2), "CHECK failed");
+}
+
+TEST(OpsDeathTest, SpMMDimensionMismatch) {
+  SparseMatrix s = SparseMatrix::FromTriplets(2, 3, {0}, {0}, {1.0f});
+  Tensor x(4, 2);
+  EXPECT_DEATH(ops::SpMM(s, x), "CHECK failed");
+}
+
+TEST(OpsDeathTest, SoftmaxCrossEntropyBadTarget) {
+  Tensor logits(2, 3);
+  EXPECT_DEATH(ops::SoftmaxCrossEntropy(logits, {0, 3}, {1.0f, 1.0f}),
+               "CHECK failed");
+}
+
+TEST(TensorDeathTest, ItemOnNonScalar) {
+  Tensor t(2, 2);
+  EXPECT_DEATH(t.item(), "CHECK failed");
+}
+
+TEST(TensorDeathTest, OutOfBoundsAccess) {
+  Tensor t(2, 2);
+  EXPECT_DEATH(t.at(2, 0), "CHECK failed");
+  EXPECT_DEATH(t.set(0, 2, 1.0f), "CHECK failed");
+}
+
+TEST(OptimizerDeathTest, RejectsNonTrainableParameter) {
+  AdamOptimizer adam;
+  Tensor constant(2, 2, /*requires_grad=*/false);
+  EXPECT_DEATH(adam.AddParameter(constant), "CHECK failed");
+}
+
+TEST(DatasetDeathTest, BipartiteIndexRejectsOutOfRangeEdges) {
+  EdgeList edges = {{0, 5}};
+  EXPECT_DEATH(BipartiteIndex(2, 3, edges), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace imcat

@@ -1,0 +1,221 @@
+#include "eval/evaluator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/group_eval.h"
+#include "eval/metrics.h"
+#include "eval/significance.h"
+
+namespace imcat {
+namespace {
+
+TEST(MetricsTest, RecallAtN) {
+  std::vector<int64_t> ranked = {5, 3, 9, 1};
+  ItemSet relevant = {3, 1, 7};
+  EXPECT_DOUBLE_EQ(RecallAtN(ranked, relevant, 4), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtN(ranked, relevant, 2), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtN(ranked, {}, 4), 0.0);
+}
+
+TEST(MetricsTest, PrecisionAtN) {
+  std::vector<int64_t> ranked = {5, 3, 9, 1};
+  ItemSet relevant = {3, 1};
+  EXPECT_DOUBLE_EQ(PrecisionAtN(ranked, relevant, 4), 0.5);
+  // N larger than the list: denominator stays N.
+  EXPECT_DOUBLE_EQ(PrecisionAtN(ranked, relevant, 8), 2.0 / 8.0);
+}
+
+TEST(MetricsTest, NdcgAtNHandComputed) {
+  std::vector<int64_t> ranked = {5, 3, 9};
+  ItemSet relevant = {3, 9};
+  // Hits at ranks 2 and 3: DCG = 1/log2(3) + 1/log2(4).
+  const double dcg = 1.0 / std::log2(3.0) + 1.0 / std::log2(4.0);
+  const double idcg = 1.0 / std::log2(2.0) + 1.0 / std::log2(3.0);
+  EXPECT_NEAR(NdcgAtN(ranked, relevant, 3), dcg / idcg, 1e-12);
+}
+
+TEST(MetricsTest, NdcgPerfectRankingIsOne) {
+  std::vector<int64_t> ranked = {1, 2, 3};
+  ItemSet relevant = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(NdcgAtN(ranked, relevant, 3), 1.0);
+}
+
+TEST(MetricsTest, HitRateAndMrr) {
+  std::vector<int64_t> ranked = {5, 3, 9};
+  EXPECT_DOUBLE_EQ(HitRateAtN(ranked, {9}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(HitRateAtN(ranked, {9}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(MrrAtN(ranked, {9}, 3), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(MrrAtN(ranked, {42}, 3), 0.0);
+}
+
+// A deterministic ranker that scores item v for user u as -(v - u) ^ 2:
+// user u prefers item u, then its neighbours.
+class QuadraticRanker : public Ranker {
+ public:
+  explicit QuadraticRanker(int64_t num_items) : num_items_(num_items) {}
+  void ScoreItemsForUser(int64_t user,
+                         std::vector<float>* scores) const override {
+    scores->resize(num_items_);
+    for (int64_t v = 0; v < num_items_; ++v) {
+      const float d = static_cast<float>(v - user);
+      (*scores)[v] = -d * d;
+    }
+  }
+
+ private:
+  int64_t num_items_;
+};
+
+Dataset EvalDataset() {
+  Dataset ds;
+  ds.num_users = 4;
+  ds.num_items = 10;
+  ds.num_tags = 1;
+  return ds;
+}
+
+TEST(EvaluatorTest, MasksTrainingItems) {
+  Dataset ds = EvalDataset();
+  DataSplit split;
+  split.train = {{0, 0}};  // Item 0 is user 0's best but is in training.
+  split.test = {{0, 1}};
+  Evaluator evaluator(ds, split);
+  QuadraticRanker ranker(ds.num_items);
+  std::vector<int64_t> top = evaluator.TopNForUser(ranker, 0, 3);
+  EXPECT_EQ(top[0], 1);  // Item 0 masked; next best is 1.
+  for (int64_t v : top) EXPECT_NE(v, 0);
+}
+
+TEST(EvaluatorTest, PerfectRankerScoresFullRecall) {
+  Dataset ds = EvalDataset();
+  DataSplit split;
+  split.test = {{0, 0}, {1, 1}, {2, 2}};
+  Evaluator evaluator(ds, split);
+  QuadraticRanker ranker(ds.num_items);
+  EvalResult result = evaluator.Evaluate(ranker, split.test, 1);
+  EXPECT_EQ(result.num_users, 3);
+  EXPECT_DOUBLE_EQ(result.recall, 1.0);
+  EXPECT_DOUBLE_EQ(result.ndcg, 1.0);
+  EXPECT_DOUBLE_EQ(result.hit_rate, 1.0);
+  EXPECT_DOUBLE_EQ(result.mrr, 1.0);
+}
+
+TEST(EvaluatorTest, UsersWithoutHeldOutItemsSkipped) {
+  Dataset ds = EvalDataset();
+  DataSplit split;
+  split.test = {{1, 1}};
+  Evaluator evaluator(ds, split);
+  QuadraticRanker ranker(ds.num_items);
+  EvalResult result = evaluator.Evaluate(ranker, split.test, 3);
+  EXPECT_EQ(result.num_users, 1);
+}
+
+TEST(EvaluatorTest, UserSubsetRestrictsEvaluation) {
+  Dataset ds = EvalDataset();
+  DataSplit split;
+  split.test = {{0, 9}, {1, 1}};
+  Evaluator evaluator(ds, split);
+  QuadraticRanker ranker(ds.num_items);
+  // User 0's held-out item 9 is far from user 0's preference: recall 0.
+  EvalResult subset0 = evaluator.Evaluate(ranker, split.test, 1, {0});
+  EXPECT_DOUBLE_EQ(subset0.recall, 0.0);
+  EvalResult subset1 = evaluator.Evaluate(ranker, split.test, 1, {1});
+  EXPECT_DOUBLE_EQ(subset1.recall, 1.0);
+}
+
+TEST(GroupEvalTest, PopularityGroupsBalanced) {
+  Dataset ds = EvalDataset();
+  DataSplit split;
+  // Item degrees: item i gets i train interactions from distinct users.
+  for (int64_t v = 0; v < 10; ++v) {
+    for (int64_t u = 0; u < v % 4; ++u) split.train.emplace_back(u, v);
+  }
+  Evaluator evaluator(ds, split);
+  std::vector<int> group = PopularityGroups(evaluator, 5);
+  std::vector<int> counts(5, 0);
+  for (int g : group) ++counts[g];
+  for (int c : counts) EXPECT_EQ(c, 2);  // 10 items into 5 equal groups.
+}
+
+TEST(GroupEvalTest, ContributionsSumToOverallRecall) {
+  Dataset ds = EvalDataset();
+  DataSplit split;
+  split.train = {{0, 5}, {1, 6}, {2, 5}};
+  split.test = {{0, 0}, {0, 1}, {1, 1}, {2, 2}, {3, 9}};
+  Evaluator evaluator(ds, split);
+  QuadraticRanker ranker(ds.num_items);
+  const int top_n = 3;
+  EvalResult overall = evaluator.Evaluate(ranker, split.test, top_n);
+  std::vector<int> group = PopularityGroups(evaluator, 5);
+  std::vector<double> contributions = GroupRecallContribution(
+      evaluator, ranker, split.test, top_n, group, 5);
+  double sum = 0.0;
+  for (double c : contributions) sum += c;
+  EXPECT_NEAR(sum, overall.recall, 1e-9);
+}
+
+TEST(GroupEvalTest, SparseUsersSelectedByTrainDegree) {
+  Dataset ds = EvalDataset();
+  DataSplit split;
+  split.train = {{0, 1}, {0, 2}, {0, 3}, {1, 1}, {2, 1}, {2, 2}};
+  Evaluator evaluator(ds, split);
+  std::vector<int64_t> sparse = SparseUsers(evaluator, ds.num_users, 3);
+  // Users 1 (deg 1) and 2 (deg 2) qualify; user 0 (deg 3) and user 3
+  // (deg 0) do not.
+  EXPECT_EQ(sparse, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(SignificanceTest, IncompleteBetaKnownValues) {
+  // I_x(1, 1) = x.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, 0.3), 0.3, 1e-9);
+  // I_x(2, 2) = x^2 (3 - 2x).
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 2.0, 0.4),
+              0.4 * 0.4 * (3 - 0.8), 1e-9);
+  EXPECT_NEAR(RegularizedIncompleteBeta(5.0, 2.0, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(RegularizedIncompleteBeta(5.0, 2.0, 1.0), 1.0, 1e-12);
+}
+
+TEST(SignificanceTest, PairedTTestStatisticHandComputed) {
+  // Differences: {0.1, 0.2, 0.05, 0.2, 0.15}; mean 0.14, sample sd
+  // sqrt(0.017 / 4), so t = 0.14 / (sd / sqrt(5)) = 4.80195.
+  std::vector<double> x = {1.1, 1.3, 1.2, 1.4, 1.25};
+  std::vector<double> y = {1.0, 1.1, 1.15, 1.2, 1.1};
+  TTestResult result = PairedTTest(x, y);
+  EXPECT_NEAR(result.t_statistic, 4.80195, 1e-4);
+  EXPECT_DOUBLE_EQ(result.degrees_of_freedom, 4.0);
+  // df=4, |t|=4.8: two-sided p is below 1% but above 0.1%.
+  EXPECT_LT(result.p_value, 0.02);
+  EXPECT_GT(result.p_value, 0.001);
+}
+
+TEST(SignificanceTest, LargerEffectSmallerPValue) {
+  std::vector<double> base = {1.0, 1.2, 0.9, 1.1, 1.05, 0.95};
+  std::vector<double> small_lift = base;
+  std::vector<double> big_lift = base;
+  for (size_t i = 0; i < base.size(); ++i) {
+    small_lift[i] += 0.05 + 0.01 * (i % 2);
+    big_lift[i] += 0.5 + 0.01 * (i % 2);
+  }
+  TTestResult small_result = PairedTTest(small_lift, base);
+  TTestResult big_result = PairedTTest(big_lift, base);
+  EXPECT_LT(big_result.p_value, small_result.p_value);
+}
+
+TEST(SignificanceTest, IdenticalSamplesNotSignificant) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  TTestResult result = PairedTTest(x, x);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(SignificanceTest, ConstantShiftIsExtremelySignificant) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {2.0, 3.0, 4.0};
+  TTestResult result = PairedTTest(x, y);
+  EXPECT_DOUBLE_EQ(result.p_value, 0.0);
+  EXPECT_LT(result.t_statistic, 0.0);
+}
+
+}  // namespace
+}  // namespace imcat

@@ -1,0 +1,59 @@
+#ifndef IMCAT_TESTS_GRADCHECK_H_
+#define IMCAT_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/autograd.h"
+#include "tensor/tensor.h"
+
+/// \file gradcheck.h
+/// Finite-difference gradient verification shared by tensor-op tests. A
+/// scalar-valued function of one or more input tensors is differentiated
+/// analytically with Backward() and numerically with central differences;
+/// the two must agree within a relative tolerance.
+
+namespace imcat::testing {
+
+/// Computes f(inputs) with autograd, then checks d f / d inputs[i] against
+/// central differences for every entry of every input that requires grad.
+inline void ExpectGradientsMatch(
+    const std::function<Tensor(const std::vector<Tensor>&)>& f,
+    std::vector<Tensor> inputs, double abs_tol = 2e-2,
+    double rel_tol = 2e-2, float delta = 1e-3f) {
+  // Analytic gradients.
+  for (Tensor& t : inputs) t.ZeroGrad();
+  Tensor loss = f(inputs);
+  ASSERT_EQ(loss.size(), 1);
+  Backward(loss);
+  std::vector<std::vector<float>> analytic;
+  for (Tensor& t : inputs) analytic.push_back(t.grad_vector());
+
+  // Numeric gradients via central differences on the raw data.
+  for (size_t which = 0; which < inputs.size(); ++which) {
+    Tensor& t = inputs[which];
+    if (!t.requires_grad()) continue;
+    for (int64_t i = 0; i < t.size(); ++i) {
+      const float saved = t.data()[i];
+      t.data()[i] = saved + delta;
+      const double up = f(inputs).item();
+      t.data()[i] = saved - delta;
+      const double down = f(inputs).item();
+      t.data()[i] = saved;
+      const double numeric = (up - down) / (2.0 * delta);
+      const double got = analytic[which][i];
+      const double err = std::fabs(numeric - got);
+      const double scale = std::max(std::fabs(numeric), std::fabs(got));
+      EXPECT_TRUE(err <= abs_tol || err <= rel_tol * scale)
+          << "input " << which << " entry " << i << ": analytic " << got
+          << " vs numeric " << numeric;
+    }
+  }
+}
+
+}  // namespace imcat::testing
+
+#endif  // IMCAT_TESTS_GRADCHECK_H_

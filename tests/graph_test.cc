@@ -1,0 +1,110 @@
+#include "graph/adjacency.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace imcat {
+namespace {
+
+float EntryAt(const SparseMatrix& m, int64_t row, int64_t col) {
+  for (int64_t k = m.indptr()[row]; k < m.indptr()[row + 1]; ++k) {
+    if (m.indices()[k] == col) return m.values()[k];
+  }
+  return 0.0f;
+}
+
+TEST(AdjacencyTest, UserItemNormalization) {
+  // User 0 - items {0, 1}; user 1 - item 0. Degrees: u0=2, u1=1, i0=2, i1=1.
+  EdgeList edges = {{0, 0}, {0, 1}, {1, 0}};
+  SparseMatrix adj = BuildUserItemAdjacency(2, 2, edges);
+  EXPECT_EQ(adj.rows(), 4);
+  EXPECT_EQ(adj.nnz(), 6);
+  // a(u0, i0) = 1/sqrt(2*2) = 0.5.
+  EXPECT_NEAR(EntryAt(adj, 0, 2), 0.5f, 1e-6f);
+  // a(u0, i1) = 1/sqrt(2*1).
+  EXPECT_NEAR(EntryAt(adj, 0, 3), 1.0f / std::sqrt(2.0f), 1e-6f);
+  // a(u1, i0) = 1/sqrt(1*2).
+  EXPECT_NEAR(EntryAt(adj, 1, 2), 1.0f / std::sqrt(2.0f), 1e-6f);
+}
+
+TEST(AdjacencyTest, UserItemIsSymmetric) {
+  EdgeList edges = {{0, 0}, {0, 1}, {1, 0}, {2, 1}};
+  SparseMatrix adj = BuildUserItemAdjacency(3, 2, edges);
+  for (int64_t r = 0; r < adj.rows(); ++r) {
+    for (int64_t k = adj.indptr()[r]; k < adj.indptr()[r + 1]; ++k) {
+      const int64_t c = adj.indices()[k];
+      EXPECT_NEAR(adj.values()[k], EntryAt(adj, c, r), 1e-6f);
+    }
+  }
+}
+
+TEST(AdjacencyTest, NoUserUserOrItemItemEdges) {
+  EdgeList edges = {{0, 0}, {1, 1}};
+  SparseMatrix adj = BuildUserItemAdjacency(2, 2, edges);
+  // Block structure: user rows only reference item columns and vice versa.
+  for (int64_t u = 0; u < 2; ++u) {
+    for (int64_t k = adj.indptr()[u]; k < adj.indptr()[u + 1]; ++k) {
+      EXPECT_GE(adj.indices()[k], 2);
+    }
+  }
+  for (int64_t i = 2; i < 4; ++i) {
+    for (int64_t k = adj.indptr()[i]; k < adj.indptr()[i + 1]; ++k) {
+      EXPECT_LT(adj.indices()[k], 2);
+    }
+  }
+}
+
+TEST(AdjacencyTest, UnifiedGraphIncludesTagNodes) {
+  EdgeList ui = {{0, 0}};
+  EdgeList it = {{0, 0}, {0, 1}};
+  SparseMatrix adj = BuildUnifiedAdjacency(1, 1, 2, ui, it);
+  EXPECT_EQ(adj.rows(), 4);  // 1 user + 1 item + 2 tags.
+  // Item node (index 1) connects to user 0 and tags 2, 3.
+  EXPECT_GT(EntryAt(adj, 1, 0), 0.0f);
+  EXPECT_GT(EntryAt(adj, 1, 2), 0.0f);
+  EXPECT_GT(EntryAt(adj, 1, 3), 0.0f);
+}
+
+TEST(AdjacencyTest, TagEdgeWeightScalesBeforeNormalisation) {
+  EdgeList ui = {{0, 0}};
+  EdgeList it = {{0, 0}};
+  SparseMatrix low = BuildUnifiedAdjacency(1, 1, 1, ui, it, 0.25f);
+  SparseMatrix high = BuildUnifiedAdjacency(1, 1, 1, ui, it, 4.0f);
+  // Higher tag weight shifts the item's normalised mass toward the tag.
+  EXPECT_GT(EntryAt(high, 1, 2), EntryAt(low, 1, 2));
+}
+
+TEST(AdjacencyTest, ItemTagGraph) {
+  EdgeList it = {{0, 0}, {1, 0}};
+  SparseMatrix adj = BuildItemTagAdjacency(2, 1, it);
+  EXPECT_EQ(adj.rows(), 3);
+  // Tag 0 (node 2) has degree 2; items have degree 1.
+  EXPECT_NEAR(EntryAt(adj, 0, 2), 1.0f / std::sqrt(2.0f), 1e-6f);
+}
+
+TEST(DropEdgesTest, KeepsApproximatelyKeepProb) {
+  EdgeList edges;
+  for (int64_t i = 0; i < 10000; ++i) edges.emplace_back(i % 100, i % 37);
+  Rng rng(5);
+  EdgeList kept = DropEdges(edges, 0.8, &rng);
+  EXPECT_NEAR(static_cast<double>(kept.size()) / edges.size(), 0.8, 0.03);
+}
+
+TEST(DropEdgesTest, NeverReturnsEmptyForNonEmptyInput) {
+  EdgeList edges = {{0, 0}};
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    EdgeList kept = DropEdges(edges, 0.01, &rng);
+    EXPECT_FALSE(kept.empty());
+  }
+}
+
+TEST(DropEdgesTest, KeepAllWhenProbIsOne) {
+  EdgeList edges = {{0, 0}, {1, 1}, {2, 2}};
+  Rng rng(5);
+  EXPECT_EQ(DropEdges(edges, 1.0, &rng).size(), edges.size());
+}
+
+}  // namespace
+}  // namespace imcat

@@ -1,0 +1,129 @@
+#include "core/independence.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/autograd.h"
+#include "tensor/init.h"
+#include "tensor/optimizer.h"
+#include "tensor/ops.h"
+#include "tests/gradcheck.h"
+
+namespace imcat {
+namespace {
+
+Tensor RandomMatrix(int64_t rows, int64_t cols, Rng* rng, bool grad = false) {
+  Tensor t(rows, cols, grad);
+  for (int64_t i = 0; i < t.size(); ++i)
+    t.data()[i] = static_cast<float>(rng->Normal());
+  return t;
+}
+
+TEST(DistanceCorrelationTest, IdenticalSamplesNearOne) {
+  Rng rng(3);
+  Tensor a = RandomMatrix(24, 3, &rng);
+  Tensor dcor = DistanceCorrelation(a, a);
+  EXPECT_NEAR(dcor.item(), 1.0f, 0.02f);
+}
+
+TEST(DistanceCorrelationTest, LinearlyRelatedNearOne) {
+  Rng rng(4);
+  Tensor a = RandomMatrix(24, 2, &rng);
+  Tensor b(24, 2);
+  for (int64_t i = 0; i < a.size(); ++i) b.data()[i] = 3.0f * a.data()[i];
+  Tensor dcor = DistanceCorrelation(a, b);
+  EXPECT_GT(dcor.item(), 0.95f);
+}
+
+TEST(DistanceCorrelationTest, IndependentSamplesLow) {
+  Rng rng(5);
+  Tensor a = RandomMatrix(64, 2, &rng);
+  Tensor b = RandomMatrix(64, 2, &rng);
+  Tensor dcor = DistanceCorrelation(a, b);
+  // Finite-sample dCor of independent data is positive but small.
+  EXPECT_LT(dcor.item(), 0.45f);
+}
+
+TEST(DistanceCorrelationTest, OrderingIndependentVsDependent) {
+  Rng rng(6);
+  Tensor a = RandomMatrix(40, 2, &rng);
+  Tensor dependent(40, 2);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    dependent.data()[i] = a.data()[i] + 0.1f * static_cast<float>(rng.Normal());
+  }
+  Tensor unrelated = RandomMatrix(40, 2, &rng);
+  EXPECT_GT(DistanceCorrelation(a, dependent).item(),
+            DistanceCorrelation(a, unrelated).item());
+}
+
+TEST(DistanceCorrelationTest, Gradcheck) {
+  Rng rng(7);
+  testing::ExpectGradientsMatch(
+      [](const std::vector<Tensor>& in) {
+        return DistanceCorrelation(in[0], in[1]);
+      },
+      {RandomMatrix(6, 2, &rng, true), RandomMatrix(6, 2, &rng, true)},
+      /*abs_tol=*/5e-2, /*rel_tol=*/5e-2);
+}
+
+TEST(IntentIndependenceLossTest, SingleIntentIsZero) {
+  Rng rng(8);
+  Tensor table = RandomMatrix(20, 8, &rng);
+  Tensor loss = IntentIndependenceLoss(table, 1, 10, &rng);
+  EXPECT_EQ(loss.item(), 0.0f);
+}
+
+TEST(IntentIndependenceLossTest, PenalisesDuplicatedChunks) {
+  Rng rng(9);
+  // Table whose two chunks are identical vs one with independent chunks.
+  Tensor dup(40, 8);
+  Tensor indep(40, 8);
+  for (int64_t r = 0; r < 40; ++r) {
+    for (int64_t c = 0; c < 4; ++c) {
+      const float v = static_cast<float>(rng.Normal());
+      dup.set(r, c, v);
+      dup.set(r, 4 + c, v);
+      indep.set(r, c, static_cast<float>(rng.Normal()));
+      indep.set(r, 4 + c, static_cast<float>(rng.Normal()));
+    }
+  }
+  Rng rng1(10), rng2(10);
+  Tensor loss_dup = IntentIndependenceLoss(dup, 2, 32, &rng1);
+  Tensor loss_indep = IntentIndependenceLoss(indep, 2, 32, &rng2);
+  EXPECT_GT(loss_dup.item(), loss_indep.item() + 0.3f);
+}
+
+TEST(IntentIndependenceLossTest, OptimisationReducesCorrelation) {
+  Rng rng(11);
+  Tensor table(30, 4, /*requires_grad=*/true);
+  // Start with strongly (but not perfectly) correlated chunks: at the
+  // exactly symmetric point both chunks receive identical gradients and
+  // would never separate.
+  for (int64_t r = 0; r < 30; ++r) {
+    for (int64_t c = 0; c < 2; ++c) {
+      const float v = static_cast<float>(rng.Normal());
+      table.set(r, c, v);
+      table.set(r, 2 + c, v + 0.1f * static_cast<float>(rng.Normal()));
+    }
+  }
+  AdamOptions adam;
+  adam.learning_rate = 0.05f;
+  AdamOptimizer optimizer(adam);
+  optimizer.AddParameter(table);
+  Rng loss_rng(12);
+  const float initial = IntentIndependenceLoss(table, 2, 30, &loss_rng).item();
+  float final_loss = initial;
+  for (int step = 0; step < 80; ++step) {
+    optimizer.ZeroGrad();
+    Rng step_rng(13);
+    Tensor loss = IntentIndependenceLoss(table, 2, 30, &step_rng);
+    Backward(loss);
+    optimizer.Step();
+    final_loss = loss.item();
+  }
+  EXPECT_LT(final_loss, 0.8f * initial);
+}
+
+}  // namespace
+}  // namespace imcat

@@ -1,0 +1,212 @@
+#include "models/backbone.h"
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "models/bprmf.h"
+#include "models/lightgcn.h"
+#include "models/neumf.h"
+#include "tensor/autograd.h"
+
+namespace imcat {
+namespace {
+
+struct Workbench {
+  Dataset ds;
+  DataSplit split;
+  Evaluator evaluator;
+
+  Workbench()
+      : ds(MakeDataset()),
+        split(SplitByUser(ds, SplitOptions{})),
+        evaluator(ds, split) {}
+
+  static Dataset MakeDataset() {
+    SyntheticConfig config;
+    config.num_users = 60;
+    config.num_items = 90;
+    config.num_tags = 20;
+    config.num_interactions = 1800;
+    config.num_item_tags = 400;
+    config.user_intent_alpha = 0.25;
+    config.seed = 11;
+    return GenerateSynthetic(config);
+  }
+};
+
+double RandomRankingRecall(const Workbench& wb, int top_n) {
+  // Expected recall of a random ranking is roughly top_n / num_items.
+  return static_cast<double>(top_n) / static_cast<double>(wb.ds.num_items);
+}
+
+template <typename BackboneT>
+double TrainAndEvaluate(Workbench* wb, int epochs) {
+  BackboneOptions options;
+  options.embedding_dim = 16;
+  options.seed = 3;
+  std::unique_ptr<Backbone> backbone;
+  if constexpr (std::is_same_v<BackboneT, LightGcn>) {
+    backbone =
+        std::make_unique<LightGcn>(wb->ds.num_users, wb->ds.num_items,
+                                   wb->split.train, options);
+  } else {
+    backbone =
+        std::make_unique<BackboneT>(wb->ds.num_users, wb->ds.num_items, options);
+  }
+  AdamOptions adam;
+  adam.learning_rate = 5e-3f;
+  BprModel model(std::move(backbone), wb->ds, wb->split, adam, 256);
+  Trainer trainer(&wb->evaluator, &wb->split);
+  TrainerOptions topts;
+  topts.max_epochs = epochs;
+  topts.eval_every = 5;
+  topts.patience = 100;
+  trainer.Fit(&model, topts);
+  return wb->evaluator.Evaluate(model, wb->split.test, 20).recall;
+}
+
+TEST(BackboneTrainingTest, BprmfBeatsRandom) {
+  Workbench wb;
+  const double recall = TrainAndEvaluate<Bprmf>(&wb, 30);
+  EXPECT_GT(recall, 1.5 * RandomRankingRecall(wb, 20));
+}
+
+TEST(BackboneTrainingTest, NeuMfBeatsRandom) {
+  Workbench wb;
+  const double recall = TrainAndEvaluate<NeuMf>(&wb, 30);
+  EXPECT_GT(recall, 1.5 * RandomRankingRecall(wb, 20));
+}
+
+TEST(BackboneTrainingTest, LightGcnBeatsRandom) {
+  Workbench wb;
+  const double recall = TrainAndEvaluate<LightGcn>(&wb, 30);
+  EXPECT_GT(recall, 1.5 * RandomRankingRecall(wb, 20));
+}
+
+TEST(BprmfTest, EvalPathMatchesTrainingScores) {
+  BackboneOptions options;
+  options.embedding_dim = 8;
+  Bprmf model(5, 7, options);
+  std::vector<float> scores;
+  model.ScoreItemsForUser(2, &scores);
+  ASSERT_EQ(scores.size(), 7u);
+  std::vector<int64_t> users(7, 2);
+  std::vector<int64_t> items = {0, 1, 2, 3, 4, 5, 6};
+  Tensor pair = model.PairScores(users, items);
+  for (int64_t v = 0; v < 7; ++v) {
+    EXPECT_NEAR(scores[v], pair.at(v, 0), 1e-5f);
+  }
+}
+
+TEST(NeuMfTest, EvalPathMatchesTrainingScores) {
+  BackboneOptions options;
+  options.embedding_dim = 8;
+  NeuMf model(4, 6, options);
+  std::vector<float> scores;
+  model.ScoreItemsForUser(1, &scores);
+  ASSERT_EQ(scores.size(), 6u);
+  std::vector<int64_t> users(6, 1);
+  std::vector<int64_t> items = {0, 1, 2, 3, 4, 5};
+  Tensor pair = model.PairScores(users, items);
+  for (int64_t v = 0; v < 6; ++v) {
+    EXPECT_NEAR(scores[v], pair.at(v, 0), 1e-4f);
+  }
+}
+
+TEST(NeuMfTest, RequiresEvenEmbeddingDim) {
+  BackboneOptions options;
+  options.embedding_dim = 8;
+  NeuMf model(2, 2, options);
+  EXPECT_EQ(model.embedding_dim(), 8);
+}
+
+TEST(LightGcnTest, EvalPathMatchesTrainingScores) {
+  EdgeList edges = {{0, 0}, {0, 1}, {1, 1}, {2, 2}};
+  BackboneOptions options;
+  options.embedding_dim = 8;
+  LightGcn model(3, 3, edges, options);
+  model.BeginStep();
+  std::vector<float> scores;
+  model.ScoreItemsForUser(0, &scores);
+  std::vector<int64_t> users(3, 0);
+  std::vector<int64_t> items = {0, 1, 2};
+  Tensor pair = model.PairScores(users, items);
+  for (int64_t v = 0; v < 3; ++v) {
+    EXPECT_NEAR(scores[v], pair.at(v, 0), 1e-5f);
+  }
+}
+
+TEST(LightGcnTest, PropagationMixesNeighbourInformation) {
+  // A one-edge graph: after propagation, user 0 and item 0 embeddings mix.
+  EdgeList edges = {{0, 0}};
+  BackboneOptions options;
+  options.embedding_dim = 4;
+  LightGcn model(1, 1, edges, options, /*num_layers=*/1);
+  model.BeginStep();
+  Tensor user = model.UserEmbeddings();
+  // Normalised adjacency entry is 1; with 1 layer, final user embedding =
+  // (e_u + e_i) / 2.
+  Tensor base = model.Parameters()[0];
+  for (int64_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(user.at(0, c), 0.5f * (base.at(0, c) + base.at(1, c)), 1e-5f);
+  }
+}
+
+TEST(LightGcnTest, EvalCacheInvalidationPicksUpUpdates) {
+  EdgeList edges = {{0, 0}, {1, 1}};
+  BackboneOptions options;
+  options.embedding_dim = 4;
+  LightGcn model(2, 2, edges, options);
+  std::vector<float> before;
+  model.ScoreItemsForUser(0, &before);
+  // Perturb parameters; without invalidation the cache would be stale.
+  model.Parameters()[0].data()[0] += 1.0f;
+  model.InvalidateEvalCache();
+  std::vector<float> after;
+  model.ScoreItemsForUser(0, &after);
+  EXPECT_NE(before[0], after[0]);
+}
+
+TEST(BprLossTest, DecreasesWhenPositiveOutranksNegative) {
+  BackboneOptions options;
+  options.embedding_dim = 8;
+  auto backbone = std::make_unique<Bprmf>(3, 5, options);
+  Bprmf* raw = backbone.get();
+  TripletBatch batch;
+  batch.anchors = {0, 1};
+  batch.positives = {1, 2};
+  batch.negatives = {3, 4};
+  Tensor loss1 = BprLossFromBackbone(raw, batch);
+  // Boost the positive items' similarity to the anchors.
+  for (int64_t c = 0; c < 8; ++c) {
+    raw->Parameters()[1].data()[1 * 8 + c] =
+        raw->Parameters()[0].data()[0 * 8 + c] * 10.0f;
+    raw->Parameters()[1].data()[2 * 8 + c] =
+        raw->Parameters()[0].data()[1 * 8 + c] * 10.0f;
+  }
+  Tensor loss2 = BprLossFromBackbone(raw, batch);
+  EXPECT_LT(loss2.item(), loss1.item());
+}
+
+TEST(BprModelTest, TrainStepReducesLossOnFixedBatch) {
+  Workbench wb;
+  BackboneOptions options;
+  options.embedding_dim = 16;
+  auto backbone = std::make_unique<Bprmf>(wb.ds.num_users, wb.ds.num_items,
+                                          options);
+  AdamOptions adam;
+  adam.learning_rate = 1e-2f;
+  BprModel model(std::move(backbone), wb.ds, wb.split, adam, 128);
+  Rng rng(9);
+  double first = 0.0, last = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const double loss = model.TrainStep(&rng);
+    if (i == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, first);
+}
+
+}  // namespace
+}  // namespace imcat

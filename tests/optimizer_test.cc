@@ -1,0 +1,109 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/autograd.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace imcat {
+namespace {
+
+TEST(AdamTest, FirstStepMovesByLearningRate) {
+  // With a constant gradient, the first Adam step is ~ -lr * sign(grad).
+  Tensor w(1, 1, {1.0f}, /*requires_grad=*/true);
+  AdamOptions opt;
+  opt.learning_rate = 0.1f;
+  AdamOptimizer adam(opt);
+  adam.AddParameter(w);
+  w.grad()[0] = 5.0f;
+  adam.Step();
+  EXPECT_NEAR(w.data()[0], 1.0f - 0.1f, 1e-4f);
+}
+
+TEST(AdamTest, MinimisesQuadratic) {
+  // minimise (w - 3)^2.
+  Tensor w(1, 1, {-4.0f}, /*requires_grad=*/true);
+  AdamOptions opt;
+  opt.learning_rate = 0.2f;
+  AdamOptimizer adam(opt);
+  adam.AddParameter(w);
+  for (int i = 0; i < 300; ++i) {
+    adam.ZeroGrad();
+    Tensor diff = ops::ScalarAdd(w, -3.0f);
+    Tensor loss = ops::Mul(diff, diff);
+    Backward(loss);
+    adam.Step();
+  }
+  EXPECT_NEAR(w.data()[0], 3.0f, 0.05f);
+}
+
+TEST(AdamTest, MinimisesLeastSquaresSystem) {
+  // Fit y = X w for a random consistent system.
+  Rng rng(5);
+  Tensor x(8, 3);
+  for (int64_t i = 0; i < x.size(); ++i)
+    x.data()[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  Tensor w_true(3, 1, {0.5f, -1.0f, 2.0f});
+  Tensor y = ops::MatMul(x, w_true);
+  Tensor y_const = y.DetachedCopy();
+
+  Tensor w = XavierUniform(3, 1, &rng);
+  AdamOptions opt;
+  opt.learning_rate = 0.05f;
+  AdamOptimizer adam(opt);
+  adam.AddParameter(w);
+  for (int i = 0; i < 800; ++i) {
+    adam.ZeroGrad();
+    Tensor pred = ops::MatMul(x, w);
+    Tensor err = ops::Sub(pred, y_const);
+    Tensor loss = ops::Mean(ops::Mul(err, err));
+    Backward(loss);
+    adam.Step();
+  }
+  EXPECT_NEAR(w.data()[0], 0.5f, 0.05f);
+  EXPECT_NEAR(w.data()[1], -1.0f, 0.05f);
+  EXPECT_NEAR(w.data()[2], 2.0f, 0.05f);
+}
+
+TEST(AdamTest, WeightDecayShrinksUnusedParameter) {
+  Tensor w(1, 1, {2.0f}, /*requires_grad=*/true);
+  AdamOptions opt;
+  opt.learning_rate = 0.05f;
+  opt.weight_decay = 1.0f;
+  AdamOptimizer adam(opt);
+  adam.AddParameter(w);
+  for (int i = 0; i < 200; ++i) {
+    adam.ZeroGrad();  // No loss gradient at all; only decay acts.
+    adam.Step();
+  }
+  EXPECT_LT(std::fabs(w.data()[0]), 0.2f);
+}
+
+TEST(AdamTest, ZeroGradClearsAllParameters) {
+  Tensor a(2, 2, /*requires_grad=*/true);
+  Tensor b(1, 3, /*requires_grad=*/true);
+  AdamOptimizer adam;
+  adam.AddParameters({a, b});
+  a.grad()[0] = 1.0f;
+  b.grad()[2] = 2.0f;
+  adam.ZeroGrad();
+  EXPECT_EQ(a.grad()[0], 0.0f);
+  EXPECT_EQ(b.grad()[2], 0.0f);
+}
+
+TEST(AdamTest, StepCountAdvances) {
+  AdamOptimizer adam;
+  Tensor w(1, 1, {0.0f}, true);
+  adam.AddParameter(w);
+  EXPECT_EQ(adam.step_count(), 0);
+  adam.Step();
+  adam.Step();
+  EXPECT_EQ(adam.step_count(), 2);
+}
+
+}  // namespace
+}  // namespace imcat

@@ -1,0 +1,174 @@
+#include "core/positive_samples.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace imcat {
+namespace {
+
+/// A small hand-built dataset:
+///   items 0..3, tags 0..5, users 0..3.
+///   tag clusters: tags {0,1,2} -> cluster 0, tags {3,4,5} -> cluster 1.
+///   item 0: tags {0,1},   users {0,1}
+///   item 1: tags {0,1,3}, users {1}
+///   item 2: tags {3,4},   users {2,3}
+///   item 3: tags {},      users {0}
+struct Fixture {
+  Dataset ds;
+  EdgeList train;
+  PositiveSampleIndex index;
+
+  Fixture() : index(MakeDataset(&ds, &train), train, 2) {}
+
+  static const Dataset& MakeDataset(Dataset* ds, EdgeList* train) {
+    ds->num_users = 4;
+    ds->num_items = 4;
+    ds->num_tags = 6;
+    ds->item_tags = {{0, 0}, {0, 1}, {1, 0}, {1, 1}, {1, 3}, {2, 3}, {2, 4}};
+    *train = {{0, 0}, {1, 0}, {1, 1}, {2, 2}, {3, 2}, {0, 3}};
+    ds->interactions = *train;
+    return *ds;
+  }
+
+  void Assign() { index.SetAssignments({0, 0, 0, 1, 1, 1}); }
+};
+
+TEST(PositiveSampleIndexTest, TagsByItemAndCluster) {
+  Fixture fx;
+  fx.Assign();
+  EXPECT_EQ(fx.index.TagsOfItemInCluster(0, 0),
+            (std::vector<int64_t>{0, 1}));
+  EXPECT_TRUE(fx.index.TagsOfItemInCluster(0, 1).empty());
+  EXPECT_EQ(fx.index.TagsOfItemInCluster(1, 1), (std::vector<int64_t>{3}));
+  EXPECT_TRUE(fx.index.TagsOfItemInCluster(3, 0).empty());
+}
+
+TEST(PositiveSampleIndexTest, RelatednessIsSoftmaxOfCounts) {
+  Fixture fx;
+  fx.Assign();
+  // Item 1 has 2 tags in cluster 0 and 1 in cluster 1:
+  // M = softmax(2, 1) = (e / (e + 1), 1 / (e + 1)).
+  const float e = std::exp(1.0f);
+  EXPECT_NEAR(fx.index.Relatedness(1, 0), e / (e + 1.0f), 1e-5f);
+  EXPECT_NEAR(fx.index.Relatedness(1, 1), 1.0f / (e + 1.0f), 1e-5f);
+  // Item 3 has no tags: uniform.
+  EXPECT_NEAR(fx.index.Relatedness(3, 0), 0.5f, 1e-6f);
+  EXPECT_NEAR(fx.index.Relatedness(3, 1), 0.5f, 1e-6f);
+  // Rows sum to one.
+  EXPECT_NEAR(fx.index.Relatedness(0, 0) + fx.index.Relatedness(0, 1), 1.0f,
+              1e-5f);
+}
+
+TEST(PositiveSampleIndexTest, UserAggregationIsRowStochastic) {
+  Fixture fx;
+  fx.Assign();
+  Rng rng(3);
+  auto agg = fx.index.BuildUserAggregation({0, 2, 1}, 8, &rng);
+  EXPECT_EQ(agg->rows(), 3);
+  EXPECT_EQ(agg->cols(), 4);
+  // Row 0 (item 0, users {0,1}): two entries of 0.5.
+  for (int64_t r = 0; r < 3; ++r) {
+    float sum = 0.0f;
+    for (int64_t k = agg->indptr()[r]; k < agg->indptr()[r + 1]; ++k) {
+      sum += agg->values()[k];
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(PositiveSampleIndexTest, UserAggregationCapsUsers) {
+  Fixture fx;
+  fx.Assign();
+  Rng rng(4);
+  auto agg = fx.index.BuildUserAggregation({0}, 1, &rng);
+  // Item 0 has two users but the cap is 1.
+  EXPECT_EQ(agg->nnz(), 1);
+  EXPECT_NEAR(agg->values()[0], 1.0f, 1e-6f);
+}
+
+TEST(PositiveSampleIndexTest, TagAggregationSkipsEmptyClusters) {
+  Fixture fx;
+  fx.Assign();
+  auto agg = fx.index.BuildTagAggregation({0, 3}, 1);
+  // Item 0 has no cluster-1 tags; item 3 has no tags at all: empty matrix.
+  EXPECT_EQ(agg->nnz(), 0);
+  auto agg0 = fx.index.BuildTagAggregation({0, 1}, 0);
+  // Item 0: tags {0,1} at 0.5 each; item 1: tags {0,1} at 0.5 each.
+  EXPECT_EQ(agg0->nnz(), 4);
+}
+
+TEST(PositiveSampleIndexTest, JaccardSimilarSets) {
+  Fixture fx;
+  fx.Assign();
+  // Cluster 0: item 0 tags {0,1}, item 1 tags {0,1} -> Jaccard 1.
+  fx.index.BuildSimilarSets(0.5f, 10);
+  EXPECT_EQ(fx.index.SimilarSet(0, 0), (std::vector<int64_t>{1}));
+  EXPECT_EQ(fx.index.SimilarSet(1, 0), (std::vector<int64_t>{0}));
+  // Cluster 1: item 1 tags {3}, item 2 tags {3,4} -> Jaccard 0.5 (not > 0.5).
+  EXPECT_TRUE(fx.index.SimilarSet(1, 1).empty());
+  // With a lower threshold they become similar.
+  fx.index.BuildSimilarSets(0.4f, 10);
+  EXPECT_EQ(fx.index.SimilarSet(1, 1), (std::vector<int64_t>{2}));
+}
+
+TEST(PositiveSampleIndexTest, SamplePositiveFallsBackToSelf) {
+  Fixture fx;
+  fx.Assign();
+  fx.index.BuildSimilarSets(0.99f, 10);
+  Rng rng(5);
+  // Item 2 has no similar items at this threshold under intent 0.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fx.index.SamplePositive(2, 0, &rng), 2);
+  }
+}
+
+TEST(PositiveSampleIndexTest, SamplePositiveIncludesSelfAndNeighbours) {
+  Fixture fx;
+  fx.Assign();
+  fx.index.BuildSimilarSets(0.5f, 10);
+  Rng rng(6);
+  bool saw_self = false, saw_neighbour = false;
+  for (int i = 0; i < 100; ++i) {
+    const int64_t p = fx.index.SamplePositive(0, 0, &rng);
+    if (p == 0) saw_self = true;
+    if (p == 1) saw_neighbour = true;
+    EXPECT_TRUE(p == 0 || p == 1);
+  }
+  EXPECT_TRUE(saw_self);
+  EXPECT_TRUE(saw_neighbour);
+}
+
+TEST(PositiveSampleIndexTest, MaxSimilarItemsCapRespected) {
+  // Build many identical items; all pairwise Jaccard = 1.
+  Dataset ds;
+  ds.num_users = 1;
+  ds.num_items = 10;
+  ds.num_tags = 2;
+  for (int64_t v = 0; v < 10; ++v) {
+    ds.item_tags.emplace_back(v, 0);
+    ds.item_tags.emplace_back(v, 1);
+  }
+  EdgeList train = {{0, 0}};
+  ds.interactions = train;
+  PositiveSampleIndex index(ds, train, 1);
+  index.SetAssignments({0, 0});
+  index.BuildSimilarSets(0.5f, 4);
+  for (int64_t v = 0; v < 10; ++v) {
+    EXPECT_LE(index.SimilarSet(v, 0).size(), 4u);
+    EXPECT_FALSE(index.SimilarSet(v, 0).empty());
+  }
+}
+
+TEST(PositiveSampleIndexTest, SimilarSetsInvalidatedOnReassignment) {
+  Fixture fx;
+  fx.Assign();
+  fx.index.BuildSimilarSets(0.5f, 10);
+  EXPECT_FALSE(fx.index.SimilarSet(0, 0).empty());
+  fx.index.SetAssignments({0, 0, 0, 1, 1, 1});
+  EXPECT_TRUE(fx.index.SimilarSet(0, 0).empty());
+}
+
+}  // namespace
+}  // namespace imcat

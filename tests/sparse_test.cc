@@ -1,0 +1,67 @@
+#include "tensor/sparse.h"
+
+#include <gtest/gtest.h>
+
+namespace imcat {
+namespace {
+
+TEST(SparseMatrixTest, FromTripletsSortsColumns) {
+  SparseMatrix m = SparseMatrix::FromTriplets(2, 4, {0, 0, 1}, {3, 1, 0},
+                                              {30.0f, 10.0f, 5.0f});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_EQ(m.indices()[0], 1);
+  EXPECT_EQ(m.indices()[1], 3);
+  EXPECT_FLOAT_EQ(m.values()[0], 10.0f);
+  EXPECT_FLOAT_EQ(m.values()[1], 30.0f);
+}
+
+TEST(SparseMatrixTest, DuplicatesSummed) {
+  SparseMatrix m = SparseMatrix::FromTriplets(1, 2, {0, 0, 0}, {1, 1, 0},
+                                              {1.0f, 2.0f, 4.0f});
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_FLOAT_EQ(m.values()[0], 4.0f);
+  EXPECT_FLOAT_EQ(m.values()[1], 3.0f);
+}
+
+TEST(SparseMatrixTest, EmptyRowsAllowed) {
+  SparseMatrix m = SparseMatrix::FromTriplets(3, 3, {2}, {0}, {1.0f});
+  EXPECT_EQ(m.indptr()[0], 0);
+  EXPECT_EQ(m.indptr()[1], 0);
+  EXPECT_EQ(m.indptr()[2], 0);
+  EXPECT_EQ(m.indptr()[3], 1);
+}
+
+TEST(SparseMatrixTest, MultiplyMatchesDense) {
+  // [[1, 2], [0, 3], [4, 0]] * [[1, 0, 1], [2, 1, 0]]
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      3, 2, {0, 0, 1, 2}, {0, 1, 1, 0}, {1.0f, 2.0f, 3.0f, 4.0f});
+  const float x[] = {1, 0, 1, 2, 1, 0};
+  float y[9];
+  m.Multiply(x, 3, y);
+  const float expect[] = {5, 2, 1, 6, 3, 0, 4, 0, 4};
+  for (int i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(y[i], expect[i]) << i;
+}
+
+TEST(SparseMatrixTest, TransposedRoundTrip) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 3, {0, 0, 1}, {0, 2, 1}, {1.0f, 2.0f, 3.0f});
+  SparseMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  SparseMatrix back = t.Transposed();
+  EXPECT_EQ(back.nnz(), m.nnz());
+  EXPECT_EQ(back.indices(), m.indices());
+  for (int64_t i = 0; i < m.nnz(); ++i)
+    EXPECT_FLOAT_EQ(back.values()[i], m.values()[i]);
+}
+
+TEST(SparseMatrixTest, ZeroSizedMatrix) {
+  SparseMatrix m = SparseMatrix::FromTriplets(0, 0, {}, {}, {});
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.nnz(), 0);
+}
+
+}  // namespace
+}  // namespace imcat

@@ -1,0 +1,112 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/autograd.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace imcat {
+namespace {
+
+TEST(TensorTest, DefaultConstructedIsNull) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+}
+
+TEST(TensorTest, ZeroInitialised) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.size(), 12);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(TensorTest, FromValuesRowMajor) {
+  Tensor t(2, 2, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, CopyAliasesStorage) {
+  Tensor a(1, 2, {1.0f, 2.0f});
+  Tensor b = a;
+  b.set(0, 0, 9.0f);
+  EXPECT_EQ(a.at(0, 0), 9.0f);
+}
+
+TEST(TensorTest, DetachedCopyIsIndependent) {
+  Tensor a(1, 2, {1.0f, 2.0f}, /*requires_grad=*/true);
+  Tensor b = a.DetachedCopy();
+  EXPECT_FALSE(b.requires_grad());
+  b.set(0, 0, 5.0f);
+  EXPECT_EQ(a.at(0, 0), 1.0f);
+}
+
+TEST(TensorTest, ItemRequiresScalar) {
+  Tensor t(1, 1, std::vector<float>{42.0f});
+  EXPECT_EQ(t.item(), 42.0f);
+}
+
+TEST(TensorTest, ZeroGradClearsAccumulatedGradient) {
+  Tensor a(1, 1, {2.0f}, /*requires_grad=*/true);
+  Tensor loss = ops::Mul(a, a);
+  Backward(loss);
+  EXPECT_NEAR(a.grad()[0], 4.0f, 1e-6f);
+  a.ZeroGrad();
+  EXPECT_EQ(a.grad()[0], 0.0f);
+}
+
+TEST(TensorTest, GradAccumulatesAcrossBackwardCalls) {
+  Tensor a(1, 1, {3.0f}, /*requires_grad=*/true);
+  Tensor l1 = ops::ScalarMul(a, 2.0f);
+  Backward(l1);
+  Tensor l2 = ops::ScalarMul(a, 5.0f);
+  Backward(l2);
+  EXPECT_NEAR(a.grad()[0], 7.0f, 1e-6f);
+}
+
+TEST(InitTest, XavierUniformWithinBounds) {
+  Rng rng(7);
+  Tensor t = XavierUniform(50, 8, &rng);
+  const double bound = std::sqrt(6.0 / (50 + 8));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(std::fabs(t.data()[i]), bound);
+  }
+  EXPECT_TRUE(t.requires_grad());
+}
+
+TEST(InitTest, XavierEmbeddingUsesColumnFanOnly) {
+  Rng rng(7);
+  Tensor t = XavierUniform(1000, 6, &rng, /*treat_as_embedding=*/true);
+  const double bound = std::sqrt(6.0 / 12.0);
+  double max_abs = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(static_cast<double>(t.data()[i])));
+  }
+  EXPECT_LE(max_abs, bound);
+  // With 6000 samples the max should come close to the bound.
+  EXPECT_GE(max_abs, 0.9 * bound);
+}
+
+TEST(InitTest, RandomNormalMoments) {
+  Rng rng(11);
+  Tensor t = RandomNormal(200, 50, &rng, 1.0f, 2.0f);
+  double mean = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) mean += t.data()[i];
+  mean /= t.size();
+  double var = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i)
+    var += (t.data()[i] - mean) * (t.data()[i] - mean);
+  var /= t.size();
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+}  // namespace
+}  // namespace imcat

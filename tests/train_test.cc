@@ -1,0 +1,186 @@
+#include "train/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "train/sampler.h"
+
+namespace imcat {
+namespace {
+
+Dataset TinyDataset() {
+  SyntheticConfig config;
+  config.num_users = 30;
+  config.num_items = 50;
+  config.num_tags = 12;
+  config.num_interactions = 500;
+  config.num_item_tags = 150;
+  config.seed = 5;
+  return GenerateSynthetic(config);
+}
+
+TEST(TripletSamplerTest, NegativesAreNeverPositives) {
+  Dataset ds = TinyDataset();
+  TripletSampler sampler(ds.num_users, ds.num_items, ds.interactions);
+  BipartiteIndex index(ds.num_users, ds.num_items, ds.interactions);
+  Rng rng(1);
+  TripletBatch batch;
+  sampler.SampleBatch(512, &rng, &batch);
+  ASSERT_EQ(batch.anchors.size(), 512u);
+  for (size_t i = 0; i < batch.anchors.size(); ++i) {
+    EXPECT_TRUE(index.Contains(batch.anchors[i], batch.positives[i]));
+    EXPECT_FALSE(index.Contains(batch.anchors[i], batch.negatives[i]));
+  }
+}
+
+TEST(TripletSamplerTest, CoversAllEdgesEventually) {
+  EdgeList edges = {{0, 0}, {0, 1}, {1, 2}};
+  TripletSampler sampler(2, 3, edges);
+  Rng rng(2);
+  TripletBatch batch;
+  sampler.SampleBatch(300, &rng, &batch);
+  std::set<std::pair<int64_t, int64_t>> seen;
+  for (size_t i = 0; i < batch.anchors.size(); ++i) {
+    seen.emplace(batch.anchors[i], batch.positives[i]);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(TripletSamplerTest, SaturatedAnchorFallsBackToPositive) {
+  // User 0 has interacted with every item: no valid negative exists.
+  EdgeList edges = {{0, 0}, {0, 1}};
+  TripletSampler sampler(1, 2, edges);
+  Rng rng(3);
+  TripletBatch batch;
+  sampler.SampleBatch(16, &rng, &batch);
+  for (size_t i = 0; i < batch.anchors.size(); ++i) {
+    EXPECT_EQ(batch.negatives[i], batch.positives[i]);
+  }
+}
+
+TEST(ItemBatchSamplerTest, OnlyItemsWithInteractions) {
+  EdgeList edges = {{0, 3}, {1, 5}};
+  ItemBatchSampler sampler(10, edges);
+  EXPECT_EQ(sampler.eligible_items(), (std::vector<int64_t>{3, 5}));
+  Rng rng(4);
+  std::vector<int64_t> items;
+  sampler.SampleBatch(8, &rng, &items);
+  EXPECT_EQ(items.size(), 2u);  // Capped at eligible count.
+  for (int64_t v : items) EXPECT_TRUE(v == 3 || v == 5);
+}
+
+TEST(ItemBatchSamplerTest, SamplesAreDistinct) {
+  EdgeList edges;
+  for (int64_t v = 0; v < 40; ++v) edges.emplace_back(0, v);
+  ItemBatchSampler sampler(40, edges);
+  Rng rng(5);
+  std::vector<int64_t> items;
+  sampler.SampleBatch(30, &rng, &items);
+  std::set<int64_t> unique(items.begin(), items.end());
+  EXPECT_EQ(unique.size(), items.size());
+}
+
+// A fake model whose validation recall is controlled by a schedule,
+// letting us test early stopping and best-restoration in isolation.
+class FakeModel : public TrainableModel {
+ public:
+  explicit FakeModel(std::vector<double> schedule)
+      : schedule_(std::move(schedule)), parameter_(1, 1, true) {}
+
+  double TrainStep(Rng* rng) override {
+    (void)rng;
+    ++steps_;
+    parameter_.data()[0] = static_cast<float>(steps_);
+    return 1.0;
+  }
+  int64_t StepsPerEpoch() const override { return 1; }
+  std::vector<Tensor> Parameters() override { return {parameter_}; }
+  std::string name() const override { return "fake"; }
+
+  void ScoreItemsForUser(int64_t user,
+                         std::vector<float>* scores) const override {
+    (void)user;
+    // Score so that recall at the current epoch follows the schedule: the
+    // evaluator's single test item (item 0) is ranked first iff the
+    // schedule value exceeds 0.5 at the current validation index.
+    const size_t idx =
+        std::min(eval_calls_, schedule_.size() - 1);
+    ++eval_calls_;
+    scores->assign(2, 0.0f);
+    (*scores)[0] = schedule_[idx] > 0.5 ? 1.0f : -1.0f;
+    (*scores)[1] = 0.0f;
+  }
+
+  int64_t steps() const { return steps_; }
+  float parameter_value() const { return parameter_.data()[0]; }
+
+ private:
+  std::vector<double> schedule_;
+  mutable size_t eval_calls_ = 0;
+  int64_t steps_ = 0;
+  Tensor parameter_;
+};
+
+struct TrainerFixture {
+  Dataset ds;
+  DataSplit split;
+  TrainerFixture() {
+    ds.num_users = 1;
+    ds.num_items = 2;
+    ds.num_tags = 1;
+    split.train = {{0, 1}};
+    split.validation = {{0, 0}};
+  }
+};
+
+TEST(TrainerTest, EarlyStopsAfterPatience) {
+  TrainerFixture fx;
+  Evaluator evaluator(fx.ds, fx.split);
+  Trainer trainer(&evaluator, &fx.split);
+  // Recall: good on the first validation, then bad forever.
+  FakeModel model({1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0});
+  TrainerOptions options;
+  options.max_epochs = 100;
+  options.eval_every = 1;
+  options.patience = 3;
+  options.restore_best = false;
+  TrainHistory history = trainer.Fit(&model, options);
+  EXPECT_EQ(history.epochs_run, 4);  // 1 best + 3 patience.
+  EXPECT_EQ(history.best_epoch, 1);
+}
+
+TEST(TrainerTest, RestoresBestParameters) {
+  TrainerFixture fx;
+  Evaluator evaluator(fx.ds, fx.split);
+  Trainer trainer(&evaluator, &fx.split);
+  FakeModel model({1.0, 0.0, 0.0, 0.0, 0.0});
+  TrainerOptions options;
+  options.max_epochs = 4;
+  options.eval_every = 1;
+  options.patience = 10;
+  options.restore_best = true;
+  trainer.Fit(&model, options);
+  // Best validation was after epoch 1, when the parameter value was 1.
+  EXPECT_EQ(model.parameter_value(), 1.0f);
+  EXPECT_EQ(model.steps(), 4);
+}
+
+TEST(TrainerTest, HistoryRecordsValidationCurve) {
+  TrainerFixture fx;
+  Evaluator evaluator(fx.ds, fx.split);
+  Trainer trainer(&evaluator, &fx.split);
+  FakeModel model({0.0, 1.0, 0.0, 1.0});
+  TrainerOptions options;
+  options.max_epochs = 4;
+  options.eval_every = 2;  // Validations at epochs 2 and 4.
+  options.patience = 10;
+  TrainHistory history = trainer.Fit(&model, options);
+  ASSERT_EQ(history.points.size(), 2u);
+  EXPECT_EQ(history.points[0].epoch, 2);
+  EXPECT_EQ(history.points[1].epoch, 4);
+  EXPECT_GE(history.train_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace imcat

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace imcat {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(10);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // All values hit over 1000 draws.
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(8);
+  double mean = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    mean += u;
+  }
+  EXPECT_NEAR(mean / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(9);
+  double mean = 0.0, var = 0.0;
+  const int n = 20000;
+  std::vector<double> xs(n);
+  for (int i = 0; i < n; ++i) xs[i] = rng.Normal();
+  for (double x : xs) mean += x;
+  mean /= n;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= n;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(10);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.35);
+}
+
+TEST(RngTest, DirichletSumsToOne) {
+  Rng rng(11);
+  std::vector<double> p;
+  rng.Dirichlet(0.5, 6, &p);
+  double s = 0.0;
+  for (double v : p) {
+    EXPECT_GE(v, 0.0);
+    s += v;
+  }
+  EXPECT_NEAR(s, 1.0, 1e-9);
+}
+
+TEST(RngTest, GammaMeanMatchesShape) {
+  Rng rng(12);
+  double mean = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) mean += rng.Gamma(2.5);
+  EXPECT_NEAR(mean / n, 2.5, 0.1);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(13);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("file x");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: file x");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::InvalidArgument("bad");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a\t\tb", '\t');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("123", &v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(ParseInt64(" -7 ", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(StatsTest, MeanAndStdDev) {
+  std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_NEAR(StdDev(xs), 2.13809, 1e-4);
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(StdDev({1.0}), 0.0);
+}
+
+TEST(StatsTest, PearsonCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> z = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "v"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "22"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| name      | v  |"), std::string::npos);
+  EXPECT_NE(s.find("| long-name | 22 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"x"});
+  EXPECT_NE(t.ToString().find("| x |"), std::string::npos);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  volatile double use = sink;
+  (void)use;
+  EXPECT_GT(sw.ElapsedSeconds(), 0.0);
+  EXPECT_EQ(sw.ElapsedMillis() > 0.0, true);
+}
+
+}  // namespace
+}  // namespace imcat
