@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_intents.dir/fig5_intents.cc.o"
+  "CMakeFiles/fig5_intents.dir/fig5_intents.cc.o.d"
+  "fig5_intents"
+  "fig5_intents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_intents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

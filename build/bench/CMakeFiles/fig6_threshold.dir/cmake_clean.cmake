@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_threshold.dir/fig6_threshold.cc.o"
+  "CMakeFiles/fig6_threshold.dir/fig6_threshold.cc.o.d"
+  "fig6_threshold"
+  "fig6_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

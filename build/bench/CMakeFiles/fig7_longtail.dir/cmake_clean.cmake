@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_longtail.dir/fig7_longtail.cc.o"
+  "CMakeFiles/fig7_longtail.dir/fig7_longtail.cc.o.d"
+  "fig7_longtail"
+  "fig7_longtail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_longtail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_coldstart.dir/fig8_coldstart.cc.o"
+  "CMakeFiles/fig8_coldstart.dir/fig8_coldstart.cc.o.d"
+  "fig8_coldstart"
+  "fig8_coldstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_coldstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcat_bench_runner.dir/runner.cc.o"
+  "CMakeFiles/imcat_bench_runner.dir/runner.cc.o.d"
+  "libimcat_bench_runner.a"
+  "libimcat_bench_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcat_bench_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libimcat_bench_runner.a"
+)

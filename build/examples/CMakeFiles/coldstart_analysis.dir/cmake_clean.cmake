@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coldstart_analysis.dir/coldstart_analysis.cc.o"
+  "CMakeFiles/coldstart_analysis.dir/coldstart_analysis.cc.o.d"
+  "coldstart_analysis"
+  "coldstart_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coldstart_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcat_cli.dir/imcat_cli.cc.o"
+  "CMakeFiles/imcat_cli.dir/imcat_cli.cc.o.d"
+  "imcat_cli"
+  "imcat_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcat_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

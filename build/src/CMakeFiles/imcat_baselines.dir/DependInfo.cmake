@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cfa.cc" "src/CMakeFiles/imcat_baselines.dir/baselines/cfa.cc.o" "gcc" "src/CMakeFiles/imcat_baselines.dir/baselines/cfa.cc.o.d"
+  "/root/repo/src/baselines/cke.cc" "src/CMakeFiles/imcat_baselines.dir/baselines/cke.cc.o" "gcc" "src/CMakeFiles/imcat_baselines.dir/baselines/cke.cc.o.d"
+  "/root/repo/src/baselines/dspr.cc" "src/CMakeFiles/imcat_baselines.dir/baselines/dspr.cc.o" "gcc" "src/CMakeFiles/imcat_baselines.dir/baselines/dspr.cc.o.d"
+  "/root/repo/src/baselines/factor_model.cc" "src/CMakeFiles/imcat_baselines.dir/baselines/factor_model.cc.o" "gcc" "src/CMakeFiles/imcat_baselines.dir/baselines/factor_model.cc.o.d"
+  "/root/repo/src/baselines/kgat.cc" "src/CMakeFiles/imcat_baselines.dir/baselines/kgat.cc.o" "gcc" "src/CMakeFiles/imcat_baselines.dir/baselines/kgat.cc.o.d"
+  "/root/repo/src/baselines/kgcl.cc" "src/CMakeFiles/imcat_baselines.dir/baselines/kgcl.cc.o" "gcc" "src/CMakeFiles/imcat_baselines.dir/baselines/kgcl.cc.o.d"
+  "/root/repo/src/baselines/kgin.cc" "src/CMakeFiles/imcat_baselines.dir/baselines/kgin.cc.o" "gcc" "src/CMakeFiles/imcat_baselines.dir/baselines/kgin.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/CMakeFiles/imcat_baselines.dir/baselines/registry.cc.o" "gcc" "src/CMakeFiles/imcat_baselines.dir/baselines/registry.cc.o.d"
+  "/root/repo/src/baselines/ripplenet.cc" "src/CMakeFiles/imcat_baselines.dir/baselines/ripplenet.cc.o" "gcc" "src/CMakeFiles/imcat_baselines.dir/baselines/ripplenet.cc.o.d"
+  "/root/repo/src/baselines/sgl.cc" "src/CMakeFiles/imcat_baselines.dir/baselines/sgl.cc.o" "gcc" "src/CMakeFiles/imcat_baselines.dir/baselines/sgl.cc.o.d"
+  "/root/repo/src/baselines/tag_profiles.cc" "src/CMakeFiles/imcat_baselines.dir/baselines/tag_profiles.cc.o" "gcc" "src/CMakeFiles/imcat_baselines.dir/baselines/tag_profiles.cc.o.d"
+  "/root/repo/src/baselines/tgcn.cc" "src/CMakeFiles/imcat_baselines.dir/baselines/tgcn.cc.o" "gcc" "src/CMakeFiles/imcat_baselines.dir/baselines/tgcn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/imcat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcat_baselines.dir/baselines/cfa.cc.o"
+  "CMakeFiles/imcat_baselines.dir/baselines/cfa.cc.o.d"
+  "CMakeFiles/imcat_baselines.dir/baselines/cke.cc.o"
+  "CMakeFiles/imcat_baselines.dir/baselines/cke.cc.o.d"
+  "CMakeFiles/imcat_baselines.dir/baselines/dspr.cc.o"
+  "CMakeFiles/imcat_baselines.dir/baselines/dspr.cc.o.d"
+  "CMakeFiles/imcat_baselines.dir/baselines/factor_model.cc.o"
+  "CMakeFiles/imcat_baselines.dir/baselines/factor_model.cc.o.d"
+  "CMakeFiles/imcat_baselines.dir/baselines/kgat.cc.o"
+  "CMakeFiles/imcat_baselines.dir/baselines/kgat.cc.o.d"
+  "CMakeFiles/imcat_baselines.dir/baselines/kgcl.cc.o"
+  "CMakeFiles/imcat_baselines.dir/baselines/kgcl.cc.o.d"
+  "CMakeFiles/imcat_baselines.dir/baselines/kgin.cc.o"
+  "CMakeFiles/imcat_baselines.dir/baselines/kgin.cc.o.d"
+  "CMakeFiles/imcat_baselines.dir/baselines/registry.cc.o"
+  "CMakeFiles/imcat_baselines.dir/baselines/registry.cc.o.d"
+  "CMakeFiles/imcat_baselines.dir/baselines/ripplenet.cc.o"
+  "CMakeFiles/imcat_baselines.dir/baselines/ripplenet.cc.o.d"
+  "CMakeFiles/imcat_baselines.dir/baselines/sgl.cc.o"
+  "CMakeFiles/imcat_baselines.dir/baselines/sgl.cc.o.d"
+  "CMakeFiles/imcat_baselines.dir/baselines/tag_profiles.cc.o"
+  "CMakeFiles/imcat_baselines.dir/baselines/tag_profiles.cc.o.d"
+  "CMakeFiles/imcat_baselines.dir/baselines/tgcn.cc.o"
+  "CMakeFiles/imcat_baselines.dir/baselines/tgcn.cc.o.d"
+  "libimcat_baselines.a"
+  "libimcat_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcat_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

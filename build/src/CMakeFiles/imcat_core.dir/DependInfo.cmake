@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alignment.cc" "src/CMakeFiles/imcat_core.dir/core/alignment.cc.o" "gcc" "src/CMakeFiles/imcat_core.dir/core/alignment.cc.o.d"
+  "/root/repo/src/core/imcat.cc" "src/CMakeFiles/imcat_core.dir/core/imcat.cc.o" "gcc" "src/CMakeFiles/imcat_core.dir/core/imcat.cc.o.d"
+  "/root/repo/src/core/independence.cc" "src/CMakeFiles/imcat_core.dir/core/independence.cc.o" "gcc" "src/CMakeFiles/imcat_core.dir/core/independence.cc.o.d"
+  "/root/repo/src/core/intent_clustering.cc" "src/CMakeFiles/imcat_core.dir/core/intent_clustering.cc.o" "gcc" "src/CMakeFiles/imcat_core.dir/core/intent_clustering.cc.o.d"
+  "/root/repo/src/core/positive_samples.cc" "src/CMakeFiles/imcat_core.dir/core/positive_samples.cc.o" "gcc" "src/CMakeFiles/imcat_core.dir/core/positive_samples.cc.o.d"
+  "/root/repo/src/core/set_alignment.cc" "src/CMakeFiles/imcat_core.dir/core/set_alignment.cc.o" "gcc" "src/CMakeFiles/imcat_core.dir/core/set_alignment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/imcat_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcat_core.dir/core/alignment.cc.o"
+  "CMakeFiles/imcat_core.dir/core/alignment.cc.o.d"
+  "CMakeFiles/imcat_core.dir/core/imcat.cc.o"
+  "CMakeFiles/imcat_core.dir/core/imcat.cc.o.d"
+  "CMakeFiles/imcat_core.dir/core/independence.cc.o"
+  "CMakeFiles/imcat_core.dir/core/independence.cc.o.d"
+  "CMakeFiles/imcat_core.dir/core/intent_clustering.cc.o"
+  "CMakeFiles/imcat_core.dir/core/intent_clustering.cc.o.d"
+  "CMakeFiles/imcat_core.dir/core/positive_samples.cc.o"
+  "CMakeFiles/imcat_core.dir/core/positive_samples.cc.o.d"
+  "CMakeFiles/imcat_core.dir/core/set_alignment.cc.o"
+  "CMakeFiles/imcat_core.dir/core/set_alignment.cc.o.d"
+  "libimcat_core.a"
+  "libimcat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

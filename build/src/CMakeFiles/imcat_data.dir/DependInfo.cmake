@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/imcat_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/imcat_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/loader.cc" "src/CMakeFiles/imcat_data.dir/data/loader.cc.o" "gcc" "src/CMakeFiles/imcat_data.dir/data/loader.cc.o.d"
+  "/root/repo/src/data/presets.cc" "src/CMakeFiles/imcat_data.dir/data/presets.cc.o" "gcc" "src/CMakeFiles/imcat_data.dir/data/presets.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/CMakeFiles/imcat_data.dir/data/split.cc.o" "gcc" "src/CMakeFiles/imcat_data.dir/data/split.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/imcat_data.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/imcat_data.dir/data/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/imcat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcat_data.dir/data/dataset.cc.o"
+  "CMakeFiles/imcat_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/imcat_data.dir/data/loader.cc.o"
+  "CMakeFiles/imcat_data.dir/data/loader.cc.o.d"
+  "CMakeFiles/imcat_data.dir/data/presets.cc.o"
+  "CMakeFiles/imcat_data.dir/data/presets.cc.o.d"
+  "CMakeFiles/imcat_data.dir/data/split.cc.o"
+  "CMakeFiles/imcat_data.dir/data/split.cc.o.d"
+  "CMakeFiles/imcat_data.dir/data/synthetic.cc.o"
+  "CMakeFiles/imcat_data.dir/data/synthetic.cc.o.d"
+  "libimcat_data.a"
+  "libimcat_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcat_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

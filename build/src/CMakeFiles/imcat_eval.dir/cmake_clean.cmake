@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcat_eval.dir/eval/evaluator.cc.o"
+  "CMakeFiles/imcat_eval.dir/eval/evaluator.cc.o.d"
+  "CMakeFiles/imcat_eval.dir/eval/group_eval.cc.o"
+  "CMakeFiles/imcat_eval.dir/eval/group_eval.cc.o.d"
+  "CMakeFiles/imcat_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/imcat_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/imcat_eval.dir/eval/significance.cc.o"
+  "CMakeFiles/imcat_eval.dir/eval/significance.cc.o.d"
+  "libimcat_eval.a"
+  "libimcat_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcat_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

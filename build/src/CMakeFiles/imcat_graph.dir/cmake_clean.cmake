@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcat_graph.dir/graph/adjacency.cc.o"
+  "CMakeFiles/imcat_graph.dir/graph/adjacency.cc.o.d"
+  "libimcat_graph.a"
+  "libimcat_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcat_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

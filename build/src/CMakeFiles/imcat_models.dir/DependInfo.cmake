@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/backbone.cc" "src/CMakeFiles/imcat_models.dir/models/backbone.cc.o" "gcc" "src/CMakeFiles/imcat_models.dir/models/backbone.cc.o.d"
+  "/root/repo/src/models/bprmf.cc" "src/CMakeFiles/imcat_models.dir/models/bprmf.cc.o" "gcc" "src/CMakeFiles/imcat_models.dir/models/bprmf.cc.o.d"
+  "/root/repo/src/models/lightgcn.cc" "src/CMakeFiles/imcat_models.dir/models/lightgcn.cc.o" "gcc" "src/CMakeFiles/imcat_models.dir/models/lightgcn.cc.o.d"
+  "/root/repo/src/models/neumf.cc" "src/CMakeFiles/imcat_models.dir/models/neumf.cc.o" "gcc" "src/CMakeFiles/imcat_models.dir/models/neumf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/imcat_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

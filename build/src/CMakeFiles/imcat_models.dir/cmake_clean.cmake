@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcat_models.dir/models/backbone.cc.o"
+  "CMakeFiles/imcat_models.dir/models/backbone.cc.o.d"
+  "CMakeFiles/imcat_models.dir/models/bprmf.cc.o"
+  "CMakeFiles/imcat_models.dir/models/bprmf.cc.o.d"
+  "CMakeFiles/imcat_models.dir/models/lightgcn.cc.o"
+  "CMakeFiles/imcat_models.dir/models/lightgcn.cc.o.d"
+  "CMakeFiles/imcat_models.dir/models/neumf.cc.o"
+  "CMakeFiles/imcat_models.dir/models/neumf.cc.o.d"
+  "libimcat_models.a"
+  "libimcat_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcat_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcat_tensor.dir/tensor/autograd.cc.o"
+  "CMakeFiles/imcat_tensor.dir/tensor/autograd.cc.o.d"
+  "CMakeFiles/imcat_tensor.dir/tensor/checkpoint.cc.o"
+  "CMakeFiles/imcat_tensor.dir/tensor/checkpoint.cc.o.d"
+  "CMakeFiles/imcat_tensor.dir/tensor/init.cc.o"
+  "CMakeFiles/imcat_tensor.dir/tensor/init.cc.o.d"
+  "CMakeFiles/imcat_tensor.dir/tensor/ops.cc.o"
+  "CMakeFiles/imcat_tensor.dir/tensor/ops.cc.o.d"
+  "CMakeFiles/imcat_tensor.dir/tensor/optimizer.cc.o"
+  "CMakeFiles/imcat_tensor.dir/tensor/optimizer.cc.o.d"
+  "CMakeFiles/imcat_tensor.dir/tensor/sparse.cc.o"
+  "CMakeFiles/imcat_tensor.dir/tensor/sparse.cc.o.d"
+  "CMakeFiles/imcat_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/imcat_tensor.dir/tensor/tensor.cc.o.d"
+  "libimcat_tensor.a"
+  "libimcat_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcat_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcat_train.dir/train/sampler.cc.o"
+  "CMakeFiles/imcat_train.dir/train/sampler.cc.o.d"
+  "CMakeFiles/imcat_train.dir/train/trainer.cc.o"
+  "CMakeFiles/imcat_train.dir/train/trainer.cc.o.d"
+  "libimcat_train.a"
+  "libimcat_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcat_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libimcat_train.a"
+)

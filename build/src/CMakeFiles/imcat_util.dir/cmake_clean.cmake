@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcat_util.dir/util/logging.cc.o"
+  "CMakeFiles/imcat_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/imcat_util.dir/util/rng.cc.o"
+  "CMakeFiles/imcat_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/imcat_util.dir/util/stats.cc.o"
+  "CMakeFiles/imcat_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/imcat_util.dir/util/status.cc.o"
+  "CMakeFiles/imcat_util.dir/util/status.cc.o.d"
+  "CMakeFiles/imcat_util.dir/util/string_util.cc.o"
+  "CMakeFiles/imcat_util.dir/util/string_util.cc.o.d"
+  "CMakeFiles/imcat_util.dir/util/table_printer.cc.o"
+  "CMakeFiles/imcat_util.dir/util/table_printer.cc.o.d"
+  "libimcat_util.a"
+  "libimcat_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcat_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcat_test.dir/imcat_test.cc.o"
+  "CMakeFiles/imcat_test.dir/imcat_test.cc.o.d"
+  "imcat_test"
+  "imcat_test.pdb"
+  "imcat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/positive_samples_test.dir/positive_samples_test.cc.o"
+  "CMakeFiles/positive_samples_test.dir/positive_samples_test.cc.o.d"
+  "positive_samples_test"
+  "positive_samples_test.pdb"
+  "positive_samples_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/positive_samples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
