@@ -213,9 +213,10 @@ bench/CMakeFiles/fig7_longtail.dir/fig7_longtail.cc.o: \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/util/rng.h /root/repo/src/tensor/optimizer.h \
  /root/repo/src/tensor/tensor.h /root/repo/src/util/check.h \
- /root/repo/src/train/trainer.h /root/repo/src/eval/evaluator.h \
- /root/repo/src/eval/metrics.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/status.h \
+ /root/repo/src/util/status.h /root/repo/src/train/trainer.h \
+ /root/repo/src/eval/evaluator.h /root/repo/src/eval/metrics.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/train/health.h \
  /root/repo/src/data/presets.h /root/repo/src/data/synthetic.h \
  /root/repo/src/eval/group_eval.h /root/repo/src/util/string_util.h \
  /root/repo/src/util/table_printer.h

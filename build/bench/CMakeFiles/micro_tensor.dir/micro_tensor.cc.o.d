@@ -226,8 +226,9 @@ bench/CMakeFiles/micro_tensor.dir/micro_tensor.cc.o: \
  /root/repo/src/eval/evaluator.h /root/repo/src/data/split.h \
  /root/repo/src/eval/metrics.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/tensor/optimizer.h /root/repo/src/train/sampler.h \
- /root/repo/src/train/trainer.h /root/repo/src/data/synthetic.h \
+ /root/repo/src/tensor/optimizer.h /root/repo/src/util/status.h \
+ /root/repo/src/train/sampler.h /root/repo/src/train/trainer.h \
+ /root/repo/src/train/health.h /root/repo/src/data/synthetic.h \
  /root/repo/src/graph/adjacency.h /root/repo/src/models/bprmf.h \
  /root/repo/src/tensor/autograd.h /root/repo/src/tensor/init.h \
  /root/repo/src/tensor/ops.h

@@ -217,9 +217,10 @@ examples/CMakeFiles/imcat_cli.dir/imcat_cli.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/util/check.h \
- /root/repo/src/train/trainer.h /root/repo/src/eval/evaluator.h \
- /root/repo/src/eval/metrics.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/status.h \
+ /root/repo/src/util/status.h /root/repo/src/train/trainer.h \
+ /root/repo/src/eval/evaluator.h /root/repo/src/eval/metrics.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/train/health.h \
  /root/repo/src/data/loader.h /root/repo/src/data/presets.h \
  /root/repo/src/data/synthetic.h /root/repo/src/tensor/checkpoint.h \
  /root/repo/src/util/logging.h /usr/include/c++/12/sstream \

@@ -217,8 +217,9 @@ examples/CMakeFiles/quickstart.dir/quickstart.cc.o: \
  /root/repo/src/eval/evaluator.h /root/repo/src/data/split.h \
  /root/repo/src/eval/metrics.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/tensor/optimizer.h /root/repo/src/train/sampler.h \
- /root/repo/src/train/trainer.h /root/repo/src/data/synthetic.h \
+ /root/repo/src/tensor/optimizer.h /root/repo/src/util/status.h \
+ /root/repo/src/train/sampler.h /root/repo/src/train/trainer.h \
+ /root/repo/src/train/health.h /root/repo/src/data/synthetic.h \
  /root/repo/src/models/lightgcn.h /root/repo/src/graph/adjacency.h \
  /root/repo/src/util/logging.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \

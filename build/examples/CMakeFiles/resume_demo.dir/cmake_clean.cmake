@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resume_demo.dir/resume_demo.cc.o"
+  "CMakeFiles/resume_demo.dir/resume_demo.cc.o.d"
+  "resume_demo"
+  "resume_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resume_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

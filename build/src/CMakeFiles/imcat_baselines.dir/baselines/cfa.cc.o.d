@@ -215,9 +215,9 @@ src/CMakeFiles/imcat_baselines.dir/baselines/cfa.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/util/check.h \
- /root/repo/src/train/sampler.h /root/repo/src/train/trainer.h \
- /root/repo/src/eval/evaluator.h /root/repo/src/eval/metrics.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/util/status.h /root/repo/src/train/sampler.h \
+ /root/repo/src/train/trainer.h /root/repo/src/eval/evaluator.h \
+ /root/repo/src/eval/metrics.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/train/health.h \
  /root/repo/src/baselines/tag_profiles.h /root/repo/src/tensor/sparse.h \
  /root/repo/src/tensor/init.h /root/repo/src/tensor/ops.h

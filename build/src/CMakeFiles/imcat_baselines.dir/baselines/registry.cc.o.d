@@ -213,9 +213,10 @@ src/CMakeFiles/imcat_baselines.dir/baselines/registry.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/util/check.h \
- /root/repo/src/train/trainer.h /root/repo/src/eval/evaluator.h \
- /root/repo/src/eval/metrics.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/status.h \
+ /root/repo/src/util/status.h /root/repo/src/train/trainer.h \
+ /root/repo/src/eval/evaluator.h /root/repo/src/eval/metrics.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/train/health.h \
  /root/repo/src/baselines/cfa.h /root/repo/src/baselines/factor_model.h \
  /root/repo/src/train/sampler.h /root/repo/src/baselines/tag_profiles.h \
  /root/repo/src/tensor/sparse.h /root/repo/src/baselines/cke.h \

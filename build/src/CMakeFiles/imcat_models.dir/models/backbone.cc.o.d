@@ -215,6 +215,7 @@ src/CMakeFiles/imcat_models.dir/models/backbone.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/util/check.h \
- /root/repo/src/train/sampler.h /root/repo/src/train/trainer.h \
+ /root/repo/src/util/status.h /root/repo/src/train/sampler.h \
+ /root/repo/src/train/trainer.h /root/repo/src/train/health.h \
  /root/repo/src/tensor/autograd.h /root/repo/src/tensor/ops.h \
  /root/repo/src/tensor/sparse.h

@@ -217,7 +217,8 @@ src/CMakeFiles/imcat_models.dir/models/lightgcn.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/util/check.h \
- /root/repo/src/train/sampler.h /root/repo/src/train/trainer.h \
+ /root/repo/src/util/status.h /root/repo/src/train/sampler.h \
+ /root/repo/src/train/trainer.h /root/repo/src/train/health.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/limits /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/tensor/init.h /root/repo/src/tensor/ops.h

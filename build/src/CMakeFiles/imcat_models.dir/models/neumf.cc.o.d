@@ -215,7 +215,8 @@ src/CMakeFiles/imcat_models.dir/models/neumf.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/util/check.h \
- /root/repo/src/train/sampler.h /root/repo/src/train/trainer.h \
+ /root/repo/src/util/status.h /root/repo/src/train/sampler.h \
+ /root/repo/src/train/trainer.h /root/repo/src/train/health.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/health.cc" "src/CMakeFiles/imcat_train.dir/train/health.cc.o" "gcc" "src/CMakeFiles/imcat_train.dir/train/health.cc.o.d"
   "/root/repo/src/train/sampler.cc" "src/CMakeFiles/imcat_train.dir/train/sampler.cc.o" "gcc" "src/CMakeFiles/imcat_train.dir/train/sampler.cc.o.d"
   "/root/repo/src/train/trainer.cc" "src/CMakeFiles/imcat_train.dir/train/trainer.cc.o" "gcc" "src/CMakeFiles/imcat_train.dir/train/trainer.cc.o.d"
   )

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/imcat_train.dir/train/health.cc.o"
+  "CMakeFiles/imcat_train.dir/train/health.cc.o.d"
   "CMakeFiles/imcat_train.dir/train/sampler.cc.o"
   "CMakeFiles/imcat_train.dir/train/sampler.cc.o.d"
   "CMakeFiles/imcat_train.dir/train/trainer.cc.o"

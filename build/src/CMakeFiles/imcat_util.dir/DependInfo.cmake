@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/fault_injector.cc" "src/CMakeFiles/imcat_util.dir/util/fault_injector.cc.o" "gcc" "src/CMakeFiles/imcat_util.dir/util/fault_injector.cc.o.d"
   "/root/repo/src/util/logging.cc" "src/CMakeFiles/imcat_util.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/imcat_util.dir/util/logging.cc.o.d"
   "/root/repo/src/util/rng.cc" "src/CMakeFiles/imcat_util.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/imcat_util.dir/util/rng.cc.o.d"
   "/root/repo/src/util/stats.cc" "src/CMakeFiles/imcat_util.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/imcat_util.dir/util/stats.cc.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/imcat_util.dir/util/fault_injector.cc.o"
+  "CMakeFiles/imcat_util.dir/util/fault_injector.cc.o.d"
   "CMakeFiles/imcat_util.dir/util/logging.cc.o"
   "CMakeFiles/imcat_util.dir/util/logging.cc.o.d"
   "CMakeFiles/imcat_util.dir/util/rng.cc.o"

@@ -319,4 +319,4 @@ tests/CMakeFiles/alignment_test.dir/alignment_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/tensor/autograd.h /root/repo/src/tensor/init.h \
- /root/repo/src/tensor/optimizer.h
+ /root/repo/src/tensor/optimizer.h /root/repo/src/util/status.h

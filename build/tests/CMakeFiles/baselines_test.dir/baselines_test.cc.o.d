@@ -213,9 +213,10 @@ tests/CMakeFiles/baselines_test.dir/baselines_test.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/util/check.h \
- /root/repo/src/train/trainer.h /root/repo/src/eval/evaluator.h \
- /root/repo/src/eval/metrics.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/status.h \
+ /root/repo/src/util/status.h /root/repo/src/train/trainer.h \
+ /root/repo/src/eval/evaluator.h /root/repo/src/eval/metrics.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/train/health.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \

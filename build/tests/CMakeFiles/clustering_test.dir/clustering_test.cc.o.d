@@ -319,4 +319,5 @@ tests/CMakeFiles/clustering_test.dir/clustering_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/tensor/autograd.h /root/repo/src/tensor/init.h \
- /root/repo/src/tensor/optimizer.h /root/repo/tests/gradcheck.h
+ /root/repo/src/tensor/optimizer.h /root/repo/src/util/status.h \
+ /root/repo/tests/gradcheck.h

@@ -295,4 +295,5 @@ tests/CMakeFiles/death_test.dir/death_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/data/dataset.h /root/repo/src/tensor/ops.h \
  /root/repo/src/tensor/sparse.h /root/repo/src/tensor/tensor.h \
- /root/repo/src/util/check.h /root/repo/src/tensor/optimizer.h
+ /root/repo/src/util/check.h /root/repo/src/tensor/optimizer.h \
+ /root/repo/src/util/status.h

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault_injection_test.cc" "tests/CMakeFiles/fault_injection_test.dir/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/fault_injection_test.dir/fault_injection_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/imcat_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imcat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

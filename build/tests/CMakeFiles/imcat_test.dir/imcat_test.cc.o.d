@@ -217,8 +217,9 @@ tests/CMakeFiles/imcat_test.dir/imcat_test.cc.o: \
  /root/repo/src/eval/evaluator.h /root/repo/src/data/split.h \
  /root/repo/src/eval/metrics.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/tensor/optimizer.h /root/repo/src/train/sampler.h \
- /root/repo/src/train/trainer.h /usr/include/c++/12/cmath \
+ /root/repo/src/tensor/optimizer.h /root/repo/src/util/status.h \
+ /root/repo/src/train/sampler.h /root/repo/src/train/trainer.h \
+ /root/repo/src/train/health.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

@@ -215,7 +215,8 @@ tests/CMakeFiles/models_test.dir/models_test.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/util/check.h \
- /root/repo/src/train/sampler.h /root/repo/src/train/trainer.h \
+ /root/repo/src/util/status.h /root/repo/src/train/sampler.h \
+ /root/repo/src/train/trainer.h /root/repo/src/train/health.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \

@@ -314,7 +314,8 @@ tests/CMakeFiles/util_test.dir/util_test.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/rng.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/util/fault_injector.h /root/repo/src/util/rng.h \
  /root/repo/src/util/stats.h /root/repo/src/util/status.h \
  /root/repo/src/util/check.h /root/repo/src/util/stopwatch.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Full verification sweep: build and run the test suite twice —
+#   1. plain Release (the tier-1 configuration), and
+#   2. instrumented with AddressSanitizer + UBSan (IMCAT_SANITIZE).
+# Usage:
+#   scripts/check.sh            # both passes
+#   scripts/check.sh --plain    # tier-1 only
+#   scripts/check.sh --sanitize # sanitized only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+
+run_plain=1
+run_sanitized=1
+case "${1:-}" in
+  --plain)    run_sanitized=0 ;;
+  --sanitize) run_plain=0 ;;
+  "") ;;
+  *) echo "usage: $0 [--plain|--sanitize]" >&2; exit 2 ;;
+esac
+
+if [[ "$run_plain" == 1 ]]; then
+  echo "=== plain build (tier-1) ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs"
+  (cd build && ctest --output-on-failure -j "$jobs")
+fi
+
+if [[ "$run_sanitized" == 1 ]]; then
+  echo "=== sanitized build (address;undefined) ==="
+  cmake -B build-asan -S . -DIMCAT_SANITIZE="address;undefined" >/dev/null
+  cmake --build build-asan -j "$jobs"
+  (cd build-asan && ctest --output-on-failure -j "$jobs")
+fi
+
+echo "All checks passed."

@@ -38,6 +38,7 @@ class ImcatModel : public TrainableModel {
   int64_t StepsPerEpoch() const override;
   std::vector<Tensor> Parameters() override;
   std::string name() const override;
+  AdamOptimizer* optimizer() override { return &optimizer_; }
   void ScoreItemsForUser(int64_t user,
                          std::vector<float>* scores) const override;
 

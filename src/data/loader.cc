@@ -11,26 +11,38 @@ namespace imcat {
 namespace {
 
 /// Reads a two-column integer edge file into raw (left, right) id pairs.
-Status ReadEdgeFile(const std::string& path, EdgeList* out) {
+/// Every malformed, negative or out-of-range id is rejected with the
+/// offending line number, so corrupt files fail here with a Status rather
+/// than tripping IMCAT_CHECK aborts deeper in the pipeline.
+Status ReadEdgeFile(const std::string& path, int64_t max_raw_id,
+                    EdgeList* out) {
   std::ifstream in(path);
   if (!in.is_open()) return Status::IoError("cannot open " + path);
   std::string line;
   int64_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    const std::string at_line = path + ":" + std::to_string(line_no);
     std::string_view sv = StripWhitespace(line);
     if (sv.empty() || sv[0] == '#') continue;
     // Accept tab or any run of spaces as the separator.
     size_t sep = sv.find_first_of(" \t");
     if (sep == std::string_view::npos) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
-                                     ": expected two columns");
+      return Status::InvalidArgument(at_line + ": expected two columns");
     }
     int64_t left = 0, right = 0;
     if (!ParseInt64(sv.substr(0, sep), &left) ||
-        !ParseInt64(sv.substr(sep + 1), &right) || left < 0 || right < 0) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
-                                     ": malformed ids");
+        !ParseInt64(sv.substr(sep + 1), &right)) {
+      return Status::InvalidArgument(at_line + ": malformed ids");
+    }
+    if (left < 0 || right < 0) {
+      return Status::InvalidArgument(
+          at_line + ": negative id " + std::to_string(left < 0 ? left : right));
+    }
+    if (left > max_raw_id || right > max_raw_id) {
+      return Status::InvalidArgument(
+          at_line + ": id " + std::to_string(left > max_raw_id ? left : right) +
+          " exceeds max raw id " + std::to_string(max_raw_id));
     }
     out->emplace_back(left, right);
   }
@@ -62,9 +74,18 @@ class IdMap {
 StatusOr<Dataset> LoadDatasetFromTsv(const std::string& interactions_path,
                                      const std::string& item_tags_path,
                                      const LoaderOptions& options) {
+  if (options.max_raw_id < 0) {
+    return Status::InvalidArgument("max_raw_id must be non-negative");
+  }
+  if (options.min_user_interactions < 0 || options.min_item_interactions < 0 ||
+      options.min_tag_items < 0) {
+    return Status::InvalidArgument("filtering thresholds must be >= 0");
+  }
   EdgeList raw_ui, raw_it;
-  IMCAT_RETURN_IF_ERROR(ReadEdgeFile(interactions_path, &raw_ui));
-  IMCAT_RETURN_IF_ERROR(ReadEdgeFile(item_tags_path, &raw_it));
+  IMCAT_RETURN_IF_ERROR(
+      ReadEdgeFile(interactions_path, options.max_raw_id, &raw_ui));
+  IMCAT_RETURN_IF_ERROR(
+      ReadEdgeFile(item_tags_path, options.max_raw_id, &raw_it));
 
   // One filtering pass on raw ids.
   if (options.min_user_interactions > 0 || options.min_item_interactions > 0 ||

@@ -26,6 +26,10 @@ struct LoaderOptions {
   int64_t min_user_interactions = 0;
   int64_t min_item_interactions = 0;
   int64_t min_tag_items = 0;
+  /// Raw ids above this bound are rejected as corrupt input (they would
+  /// otherwise be remapped silently, masking file damage). The default is
+  /// far above any real dataset's id space.
+  int64_t max_raw_id = int64_t{1} << 40;
 };
 
 /// Loads user-item interactions from `interactions_path` and item-tag

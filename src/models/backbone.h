@@ -82,6 +82,7 @@ class BprModel : public TrainableModel {
   int64_t StepsPerEpoch() const override;
   std::vector<Tensor> Parameters() override;
   std::string name() const override;
+  AdamOptimizer* optimizer() override { return &optimizer_; }
   void ScoreItemsForUser(int64_t user,
                          std::vector<float>* scores) const override;
 

@@ -1,34 +1,91 @@
 #ifndef IMCAT_TENSOR_CHECKPOINT_H_
 #define IMCAT_TENSOR_CHECKPOINT_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "tensor/optimizer.h"
 #include "tensor/tensor.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 /// \file checkpoint.h
-/// Binary parameter checkpointing. A checkpoint stores an ordered list of
-/// tensors (shapes + row-major float data) with a magic header and a
-/// trailing checksum, so trained models can be saved and restored across
-/// processes (see TrainableModel::Parameters()).
+/// Binary parameter + training-state checkpointing. A checkpoint stores an
+/// ordered list of tensors (shapes + row-major float data) and, optionally,
+/// the full resumable training state (optimizer moments, RNG stream, epoch
+/// counter, best-validation metadata), guarded by a magic header and a
+/// trailing checksum.
 ///
-/// Format (little-endian):
-///   magic "IMCT" | u32 version | u64 tensor count |
-///   per tensor: u64 rows | u64 cols | rows*cols f32 |
+/// All writes are atomic: data goes to `<path>.tmp`, is flushed and fsynced,
+/// and only then renamed over `path`, so a crash or injected failure
+/// mid-write never clobbers an existing good checkpoint.
+///
+/// Format v2 (little-endian):
+///   magic "IMCT" | u32 version |
+///   u64 tensor count | per tensor: u64 rows | u64 cols | rows*cols f32 |
+///   u8 has_train_state | [train-state block, see checkpoint.cc] |
 ///   u64 FNV-1a checksum over everything before it.
+/// Version 1 files (tensors only, no has_train_state byte) remain readable.
 
 namespace imcat {
 
-/// Writes `tensors` to `path`, overwriting any existing file.
+/// Resumable training-loop state carried by a v2 checkpoint alongside the
+/// model parameters. Fields mirror the Trainer's internal loop state.
+struct TrainState {
+  /// Number of epochs fully completed when the checkpoint was taken
+  /// (training resumes at this 0-based epoch index).
+  int64_t epoch = 0;
+  int64_t best_epoch = 0;
+  /// Best validation metrics so far (mirrors eval's EvalResult, copied
+  /// field-wise so the tensor layer does not depend on the eval layer).
+  double best_recall = -1.0;
+  double best_ndcg = 0.0;
+  double best_precision = 0.0;
+  double best_hit_rate = 0.0;
+  double best_mrr = 0.0;
+  int64_t best_num_users = 0;
+  double train_seconds = 0.0;
+  int64_t evals_without_improvement = 0;
+  /// Cumulative learning-rate multiplier applied by health-guard backoff.
+  double lr_scale = 1.0;
+  /// The trainer's RNG stream, so resumed sampling is bit-identical.
+  RngState rng;
+  /// Optimizer moments + step count (empty m/v when the model exposes no
+  /// optimizer).
+  bool has_optimizer = false;
+  AdamStateSnapshot optimizer;
+  /// Flat copies of the best-validation parameters (for restore_best
+  /// across a resume); empty when no validation has improved yet.
+  bool has_best_params = false;
+  std::vector<std::vector<float>> best_params;
+};
+
+/// Writes `tensors` to `path` atomically (temp file + fsync + rename).
 Status SaveCheckpoint(const std::string& path,
                       const std::vector<Tensor>& tensors);
 
-/// Reads a checkpoint and copies its data into `tensors` (which must
-/// already have matching count and shapes — obtain them from the same
-/// model architecture the checkpoint was saved from). Fails with
-/// InvalidArgument on shape/count mismatch or corruption.
+/// Writes `tensors` plus the resumable training state atomically.
+Status SaveTrainingCheckpoint(const std::string& path,
+                              const std::vector<Tensor>& tensors,
+                              const TrainState& state);
+
+/// Reads a checkpoint (v1 or v2) and copies its tensor data into `tensors`
+/// (which must already have matching count and shapes — obtain them from
+/// the same model architecture the checkpoint was saved from). Any training
+/// state in the file is validated against the checksum but discarded.
+/// Fails with InvalidArgument on shape/count mismatch, and DataLoss on
+/// truncation or checksum failure.
 Status LoadCheckpoint(const std::string& path, std::vector<Tensor>* tensors);
+
+/// Like LoadCheckpoint, but also restores the training state when present.
+/// `has_state` is set to false for v1 checkpoints or v2 checkpoints saved
+/// without state. Model parameters and `state` are only modified when the
+/// whole file (including checksum) validates.
+Status LoadTrainingCheckpoint(const std::string& path,
+                              std::vector<Tensor>* tensors, TrainState* state,
+                              bool* has_state);
 
 /// Reads only the shapes stored in a checkpoint (for inspection).
 StatusOr<std::vector<std::pair<int64_t, int64_t>>> ReadCheckpointShapes(

@@ -19,6 +19,26 @@ void AdamOptimizer::AddParameters(const std::vector<Tensor>& parameters) {
 }
 
 void AdamOptimizer::Step() {
+  if (options_.clip_norm > 0.0f) {
+    double sq_sum = 0.0;
+    for (Tensor& t : params_) {
+      const float* grad = t.grad();
+      const int64_t n = t.size();
+      for (int64_t i = 0; i < n; ++i) {
+        sq_sum += static_cast<double>(grad[i]) * grad[i];
+      }
+    }
+    const double norm = std::sqrt(sq_sum);
+    last_grad_norm_ = norm;
+    if (norm > options_.clip_norm) {
+      const float scale = options_.clip_norm / static_cast<float>(norm);
+      for (Tensor& t : params_) {
+        float* grad = t.grad();
+        const int64_t n = t.size();
+        for (int64_t i = 0; i < n; ++i) grad[i] *= scale;
+      }
+    }
+  }
   ++step_;
   const float lr = options_.learning_rate;
   const float b1 = options_.beta1;
@@ -45,6 +65,36 @@ void AdamOptimizer::Step() {
 
 void AdamOptimizer::ZeroGrad() {
   for (Tensor& t : params_) t.ZeroGrad();
+}
+
+AdamStateSnapshot AdamOptimizer::ExportState() const {
+  AdamStateSnapshot snapshot;
+  snapshot.step = step_;
+  snapshot.m = m_;
+  snapshot.v = v_;
+  return snapshot;
+}
+
+Status AdamOptimizer::ImportState(const AdamStateSnapshot& snapshot) {
+  if (snapshot.m.size() != m_.size() || snapshot.v.size() != v_.size()) {
+    return Status::InvalidArgument(
+        "optimizer state holds " + std::to_string(snapshot.m.size()) +
+        " parameters, optimizer has " + std::to_string(m_.size()));
+  }
+  if (snapshot.step < 0) {
+    return Status::InvalidArgument("optimizer step count is negative");
+  }
+  for (size_t i = 0; i < m_.size(); ++i) {
+    if (snapshot.m[i].size() != m_[i].size() ||
+        snapshot.v[i].size() != v_[i].size()) {
+      return Status::InvalidArgument(
+          "optimizer state size mismatch for parameter " + std::to_string(i));
+    }
+  }
+  step_ = snapshot.step;
+  m_ = snapshot.m;
+  v_ = snapshot.v;
+  return Status::OK();
 }
 
 }  // namespace imcat

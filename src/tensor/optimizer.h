@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/status.h"
 
 /// \file optimizer.h
 /// Adam optimiser (the paper's optimiser for all models, lr = weight decay
@@ -19,6 +20,18 @@ struct AdamOptions {
   float beta2 = 0.999f;
   float epsilon = 1e-8f;
   float weight_decay = 0.0f;
+  /// Global-norm gradient clipping: when > 0, the concatenated gradient of
+  /// all registered parameters is rescaled so its L2 norm does not exceed
+  /// this value (the standard divergence guard for contrastive losses).
+  float clip_norm = 0.0f;
+};
+
+/// Serialisable Adam state (per-parameter first/second moments and the
+/// step counter) for resumable checkpoints.
+struct AdamStateSnapshot {
+  int64_t step = 0;
+  std::vector<std::vector<float>> m;
+  std::vector<std::vector<float>> v;
 };
 
 /// Adam over a fixed set of parameter tensors. Parameters are registered
@@ -41,12 +54,36 @@ class AdamOptimizer {
   /// Zeroes all registered parameter gradients.
   void ZeroGrad();
 
+  /// Overrides the learning rate (used by health-guard backoff and LR
+  /// schedules). Takes effect from the next Step().
+  void set_learning_rate(float lr) { options_.learning_rate = lr; }
+
+  /// Multiplies the current learning rate by `factor` (e.g. 0.5 to halve
+  /// it after a divergence rollback).
+  void ScaleLearningRate(float factor) { options_.learning_rate *= factor; }
+
+  float learning_rate() const { return options_.learning_rate; }
+
+  /// Global gradient L2 norm measured by the most recent Step(); -1 before
+  /// the first step or when clipping is disabled (the norm is only
+  /// computed when clip_norm > 0 to keep the disabled path free).
+  double last_grad_norm() const { return last_grad_norm_; }
+
+  /// Copies out the optimiser state for checkpointing.
+  AdamStateSnapshot ExportState() const;
+
+  /// Restores a previously exported state. Fails with InvalidArgument if
+  /// the snapshot's parameter count or sizes do not match the registered
+  /// parameters; the optimiser is left untouched on failure.
+  Status ImportState(const AdamStateSnapshot& snapshot);
+
   int64_t step_count() const { return step_; }
   const AdamOptions& options() const { return options_; }
 
  private:
   AdamOptions options_;
   int64_t step_ = 0;
+  double last_grad_norm_ = -1.0;
   std::vector<Tensor> params_;
   std::vector<std::vector<float>> m_;
   std::vector<std::vector<float>> v_;

@@ -1,0 +1,50 @@
+#include "train/health.h"
+
+#include <cmath>
+
+namespace imcat {
+
+HealthMonitor::HealthMonitor(HealthOptions options) : options_(options) {}
+
+HealthVerdict HealthMonitor::CheckLoss(double loss) {
+  HealthVerdict verdict;
+  if (!std::isfinite(loss)) {
+    verdict.healthy = false;
+    verdict.reason = "non-finite training loss " + std::to_string(loss);
+  }
+  return verdict;
+}
+
+bool HealthMonitor::HasNonFinite(const Tensor& t) {
+  const float* data = t.data();
+  const int64_t n = t.size();
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(data[i])) return true;
+  }
+  // Only scan the gradient if it has been materialised; grad_vector()
+  // lazily allocates, so consult it through the same lazily-sized buffer.
+  const std::vector<float>& grad = t.grad_vector();
+  for (float g : grad) {
+    if (!std::isfinite(g)) return true;
+  }
+  return false;
+}
+
+HealthVerdict HealthMonitor::CheckTensors(const std::vector<Tensor>& tensors) {
+  HealthVerdict verdict;
+  for (size_t i = 0; i < tensors.size(); ++i) {
+    if (HasNonFinite(tensors[i])) {
+      verdict.healthy = false;
+      verdict.reason =
+          "non-finite values in parameter tensor " + std::to_string(i);
+      return verdict;
+    }
+  }
+  return verdict;
+}
+
+void HealthMonitor::RecordGradNorm(double norm) {
+  if (norm >= 0.0) grad_norms_.push_back(norm);
+}
+
+}  // namespace imcat

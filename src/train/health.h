@@ -1,0 +1,82 @@
+#ifndef IMCAT_TRAIN_HEALTH_H_
+#define IMCAT_TRAIN_HEALTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+/// \file health.h
+/// Numerical-health monitoring for the training loop. Contrastive
+/// objectives (InfoNCE alignment losses) can spike or NaN under an unlucky
+/// negative batch; the HealthMonitor detects non-finite losses, parameters
+/// and gradients so the Trainer can roll back to the last healthy snapshot
+/// and retry with a reduced learning rate instead of aborting the run.
+
+namespace imcat {
+
+/// Divergence-guard policy knobs (part of TrainerOptions).
+struct HealthOptions {
+  /// Master switch; when false the trainer behaves exactly as before.
+  bool enabled = true;
+  /// After a divergent epoch: roll back and retry at most this many times
+  /// over the whole run before failing with FailedPrecondition.
+  int64_t max_rollbacks = 3;
+  /// Learning-rate multiplier applied on every rollback (0 < factor < 1).
+  double lr_backoff = 0.5;
+  /// Also scan every parameter tensor for NaN/Inf after each epoch
+  /// (catches divergence that has not yet reached the loss).
+  bool check_parameters = true;
+};
+
+/// The verdict of a health check: healthy, or a human-readable reason why
+/// not.
+struct HealthVerdict {
+  bool healthy = true;
+  std::string reason;
+};
+
+/// Tracks numerical health across a training run: per-step loss checks,
+/// parameter/gradient NaN-Inf scans, gradient-norm history and the
+/// rollback budget.
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthOptions options = {});
+
+  const HealthOptions& options() const { return options_; }
+
+  /// Checks one training-step loss. Non-finite losses are unhealthy.
+  HealthVerdict CheckLoss(double loss);
+
+  /// Scans parameters (and their gradients, when allocated) for NaN/Inf.
+  HealthVerdict CheckTensors(const std::vector<Tensor>& tensors);
+
+  /// Records the gradient norm observed by the optimizer this epoch
+  /// (negative values, meaning "not measured", are ignored).
+  void RecordGradNorm(double norm);
+
+  /// Most recent recorded gradient norm, or -1 if none.
+  double last_grad_norm() const {
+    return grad_norms_.empty() ? -1.0 : grad_norms_.back();
+  }
+  const std::vector<double>& grad_norms() const { return grad_norms_; }
+
+  /// Rollback budget accounting.
+  bool CanRollback() const { return rollbacks_ < options_.max_rollbacks; }
+  void RecordRollback() { ++rollbacks_; }
+  int64_t rollbacks() const { return rollbacks_; }
+
+  /// True when any value of `t`'s data (or grad, if allocated) is
+  /// non-finite.
+  static bool HasNonFinite(const Tensor& t);
+
+ private:
+  HealthOptions options_;
+  int64_t rollbacks_ = 0;
+  std::vector<double> grad_norms_;
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_TRAIN_HEALTH_H_

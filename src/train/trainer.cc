@@ -1,7 +1,9 @@
 #include "train/trainer.h"
 
 #include <cstring>
+#include <fstream>
 
+#include "tensor/checkpoint.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -29,6 +31,45 @@ void RestoreParameters(TrainableModel* model,
   }
 }
 
+bool FileExists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+/// Everything needed to rewind the training loop to an epoch boundary:
+/// parameters, optimiser moments and the RNG stream. Best-validation
+/// tracking is not included because it only advances on healthy epochs,
+/// which are never rolled back.
+struct HealthySnapshot {
+  int64_t next_epoch = 0;
+  std::vector<std::vector<float>> params;
+  bool has_optimizer = false;
+  AdamStateSnapshot optimizer;
+  RngState rng;
+};
+
+HealthySnapshot TakeSnapshot(TrainableModel* model, AdamOptimizer* optimizer,
+                             const Rng& rng, int64_t next_epoch) {
+  HealthySnapshot snapshot;
+  snapshot.next_epoch = next_epoch;
+  snapshot.params = SnapshotParameters(model);
+  if (optimizer != nullptr) {
+    snapshot.has_optimizer = true;
+    snapshot.optimizer = optimizer->ExportState();
+  }
+  snapshot.rng = rng.GetState();
+  return snapshot;
+}
+
+void RestoreSnapshot(const HealthySnapshot& snapshot, TrainableModel* model,
+                     AdamOptimizer* optimizer, Rng* rng) {
+  RestoreParameters(model, snapshot.params);
+  if (snapshot.has_optimizer && optimizer != nullptr) {
+    Status st = optimizer->ImportState(snapshot.optimizer);
+    IMCAT_CHECK(st.ok());  // Same-process snapshot: sizes always match.
+  }
+  rng->SetState(snapshot.rng);
+}
+
 }  // namespace
 
 Trainer::Trainer(const Evaluator* evaluator, const DataSplit* split)
@@ -42,69 +83,224 @@ TrainHistory Trainer::Fit(TrainableModel* model,
   IMCAT_CHECK(model != nullptr);
   IMCAT_CHECK_GT(options.max_epochs, 0);
   IMCAT_CHECK_GT(options.eval_every, 0);
+  IMCAT_CHECK_GT(options.health.lr_backoff, 0.0);
+  IMCAT_CHECK_LT(options.health.lr_backoff, 1.0);
 
   Rng rng(options.seed);
   TrainHistory history;
+  AdamOptimizer* optimizer = model->optimizer();
+  HealthMonitor health(options.health);
+
   std::vector<std::vector<float>> best_snapshot;
   double best_recall = -1.0;
   int64_t evals_without_improvement = 0;
-
-  Stopwatch total;
   double train_seconds = 0.0;
+  double lr_scale = 1.0;
+  int64_t start_epoch = 0;
 
-  for (int64_t epoch = 0; epoch < options.max_epochs; ++epoch) {
+  if (!options.resume_path.empty() && FileExists(options.resume_path)) {
+    std::vector<Tensor> params = model->Parameters();
+    TrainState state;
+    bool has_state = false;
+    Status st = LoadTrainingCheckpoint(options.resume_path, &params, &state,
+                                       &has_state);
+    if (!st.ok()) {
+      history.status = st;
+      return history;
+    }
+    if (has_state) {
+      rng.SetState(state.rng);
+      start_epoch = state.epoch;
+      best_recall = state.best_recall;
+      evals_without_improvement = state.evals_without_improvement;
+      train_seconds = state.train_seconds;
+      lr_scale = state.lr_scale;
+      history.best_epoch = state.best_epoch;
+      if (best_recall >= 0.0) {
+        history.best_validation.recall = state.best_recall;
+        history.best_validation.ndcg = state.best_ndcg;
+        history.best_validation.precision = state.best_precision;
+        history.best_validation.hit_rate = state.best_hit_rate;
+        history.best_validation.mrr = state.best_mrr;
+        history.best_validation.num_users = state.best_num_users;
+      }
+      if (optimizer != nullptr) {
+        if (state.has_optimizer) {
+          st = optimizer->ImportState(state.optimizer);
+          if (!st.ok()) {
+            history.status = st;
+            return history;
+          }
+        }
+        if (lr_scale != 1.0) {
+          optimizer->ScaleLearningRate(static_cast<float>(lr_scale));
+        }
+      }
+      if (state.has_best_params) best_snapshot = std::move(state.best_params);
+    }
+    history.resumed = true;
+    history.start_epoch = start_epoch;
+    history.epochs_run = start_epoch;
+    if (options.verbose) {
+      IMCAT_LOG(INFO) << model->name() << " resumed from "
+                      << options.resume_path << " at epoch " << start_epoch;
+    }
+  }
+
+  auto write_checkpoint = [&](int64_t next_epoch) {
+    TrainState state;
+    state.epoch = next_epoch;
+    state.best_epoch = history.best_epoch;
+    state.best_recall = best_recall;
+    state.best_ndcg = history.best_validation.ndcg;
+    state.best_precision = history.best_validation.precision;
+    state.best_hit_rate = history.best_validation.hit_rate;
+    state.best_mrr = history.best_validation.mrr;
+    state.best_num_users = history.best_validation.num_users;
+    state.train_seconds = train_seconds;
+    state.evals_without_improvement = evals_without_improvement;
+    state.lr_scale = lr_scale;
+    state.rng = rng.GetState();
+    if (optimizer != nullptr) {
+      state.has_optimizer = true;
+      state.optimizer = optimizer->ExportState();
+    }
+    if (!best_snapshot.empty()) {
+      state.has_best_params = true;
+      state.best_params = best_snapshot;
+    }
+    Status st = SaveTrainingCheckpoint(options.checkpoint_path,
+                                       model->Parameters(), state);
+    if (!st.ok()) {
+      // A failed periodic save must not kill the run: thanks to the atomic
+      // write, any previous checkpoint survived and resume still works.
+      IMCAT_LOG(WARNING) << model->name()
+                         << " checkpoint failed: " << st.ToString();
+    }
+  };
+
+  HealthySnapshot healthy;
+  if (options.health.enabled) {
+    healthy = TakeSnapshot(model, optimizer, rng, start_epoch);
+  }
+
+  for (int64_t epoch = start_epoch; epoch < options.max_epochs; ++epoch) {
     Stopwatch epoch_watch;
     model->OnEpochBegin(epoch);
     double loss_sum = 0.0;
     const int64_t steps = model->StepsPerEpoch();
     IMCAT_CHECK_GT(steps, 0);
+    bool diverged = false;
+    std::string divergence_reason;
     for (int64_t s = 0; s < steps; ++s) {
-      loss_sum += model->TrainStep(&rng);
-    }
-    train_seconds += epoch_watch.ElapsedSeconds();
-    history.epochs_run = epoch + 1;
-
-    if ((epoch + 1) % options.eval_every != 0 &&
-        epoch + 1 != options.max_epochs) {
-      continue;
-    }
-    const EvalResult val = evaluator_->Evaluate(*model, split_->validation,
-                                                options.top_n);
-    ValidationPoint point;
-    point.epoch = epoch + 1;
-    point.train_loss = loss_sum / static_cast<double>(steps);
-    point.validation = val;
-    point.elapsed_seconds = train_seconds;
-    history.points.push_back(point);
-    if (options.verbose) {
-      IMCAT_LOG(INFO) << model->name() << " epoch " << (epoch + 1)
-                      << " loss=" << point.train_loss
-                      << " val R@" << options.top_n << "=" << val.recall
-                      << " N@" << options.top_n << "=" << val.ndcg;
-    }
-
-    if (val.recall > best_recall) {
-      best_recall = val.recall;
-      history.best_epoch = epoch + 1;
-      history.best_validation = val;
-      evals_without_improvement = 0;
-      if (options.restore_best) best_snapshot = SnapshotParameters(model);
-    } else {
-      ++evals_without_improvement;
-      if (evals_without_improvement >= options.patience) {
-        if (options.verbose) {
-          IMCAT_LOG(INFO) << model->name() << " early stop at epoch "
-                          << (epoch + 1);
+      const double loss = model->TrainStep(&rng);
+      if (options.health.enabled) {
+        HealthVerdict verdict = health.CheckLoss(loss);
+        if (!verdict.healthy) {
+          diverged = true;
+          divergence_reason = verdict.reason;
+          break;
         }
-        break;
+      }
+      loss_sum += loss;
+    }
+    if (!diverged && options.health.enabled &&
+        options.health.check_parameters) {
+      HealthVerdict verdict = health.CheckTensors(model->Parameters());
+      if (!verdict.healthy) {
+        diverged = true;
+        divergence_reason = verdict.reason;
       }
     }
+    train_seconds += epoch_watch.ElapsedSeconds();
+
+    if (diverged) {
+      if (!health.CanRollback()) {
+        history.status = Status::FailedPrecondition(
+            model->name() + " diverged at epoch " + std::to_string(epoch + 1) +
+            " (" + divergence_reason + ") after exhausting " +
+            std::to_string(options.health.max_rollbacks) + " rollbacks");
+        RestoreSnapshot(healthy, model, optimizer, &rng);
+        break;
+      }
+      health.RecordRollback();
+      ++history.rollbacks;
+      history.rollback_epochs.push_back(epoch + 1);
+      RestoreSnapshot(healthy, model, optimizer, &rng);
+      lr_scale *= options.health.lr_backoff;
+      if (optimizer != nullptr) {
+        optimizer->ScaleLearningRate(
+            static_cast<float>(options.health.lr_backoff));
+      }
+      if (options.verbose) {
+        IMCAT_LOG(WARNING) << model->name() << " epoch " << (epoch + 1)
+                           << " diverged (" << divergence_reason
+                           << "); rolled back to epoch " << healthy.next_epoch
+                           << ", lr scale now " << lr_scale;
+      }
+      epoch = healthy.next_epoch - 1;  // Loop increment re-runs next_epoch.
+      continue;
+    }
+
+    history.epochs_run = epoch + 1;
+    if (options.health.enabled) {
+      if (optimizer != nullptr) {
+        health.RecordGradNorm(optimizer->last_grad_norm());
+      }
+      healthy = TakeSnapshot(model, optimizer, rng, epoch + 1);
+    }
+
+    bool stop = false;
+    const bool should_eval = (epoch + 1) % options.eval_every == 0 ||
+                             epoch + 1 == options.max_epochs;
+    if (should_eval) {
+      const EvalResult val =
+          evaluator_->Evaluate(*model, split_->validation, options.top_n);
+      ValidationPoint point;
+      point.epoch = epoch + 1;
+      point.train_loss = loss_sum / static_cast<double>(steps);
+      point.validation = val;
+      point.elapsed_seconds = train_seconds;
+      if (optimizer != nullptr) point.grad_norm = optimizer->last_grad_norm();
+      history.points.push_back(point);
+      if (options.verbose) {
+        IMCAT_LOG(INFO) << model->name() << " epoch " << (epoch + 1)
+                        << " loss=" << point.train_loss
+                        << " val R@" << options.top_n << "=" << val.recall
+                        << " N@" << options.top_n << "=" << val.ndcg;
+      }
+
+      if (val.recall > best_recall) {
+        best_recall = val.recall;
+        history.best_epoch = epoch + 1;
+        history.best_validation = val;
+        evals_without_improvement = 0;
+        if (options.restore_best) best_snapshot = SnapshotParameters(model);
+      } else {
+        ++evals_without_improvement;
+        if (evals_without_improvement >= options.patience) {
+          if (options.verbose) {
+            IMCAT_LOG(INFO) << model->name() << " early stop at epoch "
+                            << (epoch + 1);
+          }
+          stop = true;
+        }
+      }
+    }
+
+    if (!options.checkpoint_path.empty() && options.checkpoint_every > 0 &&
+        ((epoch + 1) % options.checkpoint_every == 0 || stop ||
+         epoch + 1 == options.max_epochs)) {
+      write_checkpoint(epoch + 1);
+    }
+    if (stop) break;
   }
 
   if (options.restore_best && !best_snapshot.empty()) {
     RestoreParameters(model, best_snapshot);
   }
   history.train_seconds = train_seconds;
+  history.lr_scale = lr_scale;
   return history;
 }
 

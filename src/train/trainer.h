@@ -6,14 +6,18 @@
 
 #include "data/split.h"
 #include "eval/evaluator.h"
+#include "tensor/optimizer.h"
 #include "tensor/tensor.h"
+#include "train/health.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 /// \file trainer.h
 /// Generic training loop with validation-based early stopping (the paper's
 /// protocol: early stop when validation Recall@20 has not improved for a
-/// patience window), epoch timing for the efficiency study (Fig. 9), and
-/// best-parameter restoration.
+/// patience window), epoch timing for the efficiency study (Fig. 9),
+/// best-parameter restoration, a numerical-health guard (NaN/Inf rollback
+/// with learning-rate backoff) and atomic resumable checkpointing.
 
 namespace imcat {
 
@@ -36,6 +40,14 @@ class TrainableModel : public Ranker {
   /// All trainable tensors (used to snapshot/restore the best state).
   virtual std::vector<Tensor> Parameters() = 0;
 
+  /// The optimiser driving TrainStep(), if the model exposes one. Used by
+  /// the trainer to checkpoint optimiser state (Adam moments, step count)
+  /// and to apply health-guard learning-rate backoff. Models without a
+  /// single Adam optimiser may return nullptr; they still train and
+  /// checkpoint, but resume restarts their moments and rollback cannot
+  /// reduce their learning rate.
+  virtual AdamOptimizer* optimizer() { return nullptr; }
+
   /// Human-readable model name for logs and reports.
   virtual std::string name() const = 0;
 };
@@ -52,6 +64,23 @@ struct TrainerOptions {
   bool verbose = false;
   /// Restore the best validation parameters after training.
   bool restore_best = true;
+
+  /// Numerical-health guard (divergence rollback + LR backoff) policy.
+  HealthOptions health;
+
+  /// When non-empty, a resumable checkpoint (parameters + optimiser +
+  /// RNG + progress metadata) is written here atomically every
+  /// `checkpoint_every` epochs and once more at the end of training.
+  std::string checkpoint_path;
+  int64_t checkpoint_every = 1;
+
+  /// When non-empty and the file exists, training state is restored from
+  /// it and the run continues mid-stream (bit-identical to an
+  /// uninterrupted run with the same seed). A missing file starts a fresh
+  /// run (so the same invocation works for the first launch and every
+  /// relaunch); a corrupt or mismatched file fails the run with a
+  /// descriptive Status in TrainHistory::status.
+  std::string resume_path;
 };
 
 /// Per-validation record.
@@ -60,6 +89,9 @@ struct ValidationPoint {
   double train_loss = 0.0;
   EvalResult validation;
   double elapsed_seconds = 0.0;  ///< Cumulative training time (excl. eval).
+  /// Global gradient norm from the optimiser's last step of this epoch
+  /// (-1 when not measured, i.e. clipping disabled or no optimiser).
+  double grad_norm = -1.0;
 };
 
 /// The outcome of Trainer::Fit.
@@ -69,16 +101,32 @@ struct TrainHistory {
   EvalResult best_validation;
   double train_seconds = 0.0;  ///< Total optimisation time (excl. eval).
   int64_t epochs_run = 0;
+
+  /// OK unless the run failed (resume error, or divergence persisted
+  /// past the rollback budget).
+  Status status;
+  /// Health-guard activity: number of divergence rollbacks performed and
+  /// the epochs at which they fired.
+  int64_t rollbacks = 0;
+  std::vector<int64_t> rollback_epochs;
+  /// Cumulative learning-rate multiplier after backoff (1.0 = untouched).
+  double lr_scale = 1.0;
+  /// Resume bookkeeping: whether a checkpoint was restored and the epoch
+  /// training continued from.
+  bool resumed = false;
+  int64_t start_epoch = 0;
 };
 
-/// Orchestrates epochs, periodic validation, early stopping and restoring
-/// the best parameters.
+/// Orchestrates epochs, periodic validation, early stopping, divergence
+/// rollback and restoring the best parameters.
 class Trainer {
  public:
   /// The evaluator and split must outlive the trainer.
   Trainer(const Evaluator* evaluator, const DataSplit* split);
 
   /// Trains `model` until max_epochs or early stop; returns the history.
+  /// Failures (corrupt resume file, exhausted divergence budget) are
+  /// reported in TrainHistory::status rather than aborting.
   TrainHistory Fit(TrainableModel* model, const TrainerOptions& options) const;
 
  private:

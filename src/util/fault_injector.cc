@@ -1,0 +1,91 @@
+#include "util/fault_injector.h"
+
+#include <algorithm>
+
+namespace imcat {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::Reset() {
+  enabled_ = false;
+  faults_fired_ = 0;
+  write_failure_armed_ = false;
+  short_write_armed_ = false;
+  bit_flip_armed_ = false;
+  nan_loss_armed_ = false;
+}
+
+void FaultInjector::RecomputeEnabled() {
+  enabled_ = write_failure_armed_ || short_write_armed_ || bit_flip_armed_ ||
+             nan_loss_armed_;
+}
+
+void FaultInjector::ArmWriteFailure(int64_t after_bytes) {
+  write_failure_armed_ = true;
+  write_failure_after_ = after_bytes;
+  RecomputeEnabled();
+}
+
+void FaultInjector::ArmShortWrite(int64_t after_bytes) {
+  short_write_armed_ = true;
+  short_write_after_ = after_bytes;
+  RecomputeEnabled();
+}
+
+void FaultInjector::ArmBitFlip(int64_t offset, uint8_t mask) {
+  bit_flip_armed_ = true;
+  bit_flip_offset_ = offset;
+  bit_flip_mask_ = mask;
+  RecomputeEnabled();
+}
+
+void FaultInjector::ArmNanLoss(int64_t after_steps) {
+  nan_loss_armed_ = true;
+  nan_loss_countdown_ = after_steps;
+  RecomputeEnabled();
+}
+
+size_t FaultInjector::FilterWrite(int64_t stream_offset, unsigned char* buf,
+                                  size_t size, bool* fail) {
+  *fail = false;
+  size_t allowed = size;
+  const int64_t end = stream_offset + static_cast<int64_t>(size);
+  if (bit_flip_armed_ && bit_flip_offset_ >= stream_offset &&
+      bit_flip_offset_ < end) {
+    buf[bit_flip_offset_ - stream_offset] ^= bit_flip_mask_;
+    bit_flip_armed_ = false;
+    ++faults_fired_;
+  }
+  if (short_write_armed_ && end > short_write_after_) {
+    allowed = std::min<size_t>(
+        allowed, static_cast<size_t>(
+                     std::max<int64_t>(0, short_write_after_ - stream_offset)));
+    short_write_armed_ = false;
+    ++faults_fired_;
+  }
+  if (write_failure_armed_ && end > write_failure_after_) {
+    allowed = std::min<size_t>(
+        allowed,
+        static_cast<size_t>(
+            std::max<int64_t>(0, write_failure_after_ - stream_offset)));
+    write_failure_armed_ = false;
+    ++faults_fired_;
+    *fail = true;
+  }
+  RecomputeEnabled();
+  return allowed;
+}
+
+bool FaultInjector::ConsumeNanLoss() {
+  if (!nan_loss_armed_) return false;
+  if (nan_loss_countdown_-- > 0) return false;
+  nan_loss_armed_ = false;
+  ++faults_fired_;
+  RecomputeEnabled();
+  return true;
+}
+
+}  // namespace imcat

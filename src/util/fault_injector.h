@@ -1,0 +1,89 @@
+#ifndef IMCAT_UTIL_FAULT_INJECTOR_H_
+#define IMCAT_UTIL_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file fault_injector.h
+/// Test-only fault injection for the fault-tolerance subsystem. Production
+/// code paths (checkpoint writer, training loop wrappers) consult the
+/// process-wide injector, which is inert unless a test arms it, so the
+/// overhead in normal operation is a single branch on a bool.
+///
+/// Supported faults:
+///  - write failure: the byte stream reports an I/O error after N bytes;
+///  - short write: bytes beyond N are silently dropped (torn write that the
+///    writing process never observes, e.g. power loss after a lying fsync);
+///  - bit flip: one byte at an absolute stream offset is XOR-corrupted in
+///    flight (silent media corruption);
+///  - forced-NaN loss: a TrainableModel test wrapper polls
+///    ConsumeNanLoss() each TrainStep and poisons the loss when it fires.
+
+namespace imcat {
+
+/// Process-wide fault-injection control. Not thread-safe; intended for
+/// single-threaded tests. All armed faults fire once and then disarm.
+class FaultInjector {
+ public:
+  /// The singleton consulted by instrumented code paths.
+  static FaultInjector& Instance();
+
+  /// Disarms every fault and zeroes the fired counters.
+  void Reset();
+
+  /// True if any fault is currently armed (fast path check).
+  bool enabled() const { return enabled_; }
+
+  /// Arms an I/O error reported after `after_bytes` bytes of a stream have
+  /// been written. Bytes up to the limit still reach the file.
+  void ArmWriteFailure(int64_t after_bytes);
+
+  /// Arms a silent truncation: bytes past `after_bytes` are dropped without
+  /// any error surfacing to the writer.
+  void ArmShortWrite(int64_t after_bytes);
+
+  /// Arms a bit flip: the byte at absolute stream offset `offset` is XORed
+  /// with `mask` (mask must be non-zero to corrupt) as it is written.
+  void ArmBitFlip(int64_t offset, uint8_t mask);
+
+  /// Arms a forced-NaN training loss on the `after_steps`-th subsequent
+  /// call to ConsumeNanLoss() (0 = the very next call).
+  void ArmNanLoss(int64_t after_steps);
+
+  /// Write hook used by instrumented writers. `stream_offset` is the
+  /// absolute offset of `buf` within the logical stream. May corrupt bytes
+  /// of `buf` in place (bit flip). Returns the number of leading bytes the
+  /// writer should physically write (< size for a short write) and sets
+  /// `*fail` when an injected I/O error should be reported after those
+  /// bytes.
+  size_t FilterWrite(int64_t stream_offset, unsigned char* buf, size_t size,
+                     bool* fail);
+
+  /// Poll point for the forced-NaN loss fault; returns true when the
+  /// armed step is reached.
+  bool ConsumeNanLoss();
+
+  /// Total number of faults that have fired since the last Reset().
+  int64_t faults_fired() const { return faults_fired_; }
+
+ private:
+  FaultInjector() = default;
+  void RecomputeEnabled();
+
+  bool enabled_ = false;
+  int64_t faults_fired_ = 0;
+
+  bool write_failure_armed_ = false;
+  int64_t write_failure_after_ = 0;
+  bool short_write_armed_ = false;
+  int64_t short_write_after_ = 0;
+  bool bit_flip_armed_ = false;
+  int64_t bit_flip_offset_ = 0;
+  uint8_t bit_flip_mask_ = 0;
+  bool nan_loss_armed_ = false;
+  int64_t nan_loss_countdown_ = 0;
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_UTIL_FAULT_INJECTOR_H_

@@ -13,12 +13,28 @@
 
 namespace imcat {
 
+/// The complete serialisable state of an Rng: the four xoshiro256** words
+/// plus the Box-Muller normal cache. Capturing and restoring it resumes
+/// the stream bit-identically (used by training checkpoints).
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool have_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// A deterministic 64-bit PRNG (xoshiro256**). Copyable; copies evolve
 /// independently.
 class Rng {
  public:
   /// Seeds the state deterministically from `seed` via SplitMix64.
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Snapshots the full generator state for checkpointing.
+  RngState GetState() const;
+
+  /// Restores a previously captured state; the stream continues exactly
+  /// where GetState() left it.
+  void SetState(const RngState& state);
 
   /// Next raw 64-bit value.
   uint64_t NextUint64();

@@ -15,6 +15,8 @@ const char* CodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -20,6 +20,8 @@ enum class StatusCode : int {
   kNotFound = 2,
   kIoError = 3,
   kFailedPrecondition = 4,
+  /// Stored data is unrecoverably corrupt (checksum mismatch, torn write).
+  kDataLoss = 5,
 };
 
 /// A success-or-error result carrying a code and human-readable message.
@@ -43,6 +45,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

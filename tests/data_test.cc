@@ -199,6 +199,58 @@ TEST(LoaderTest, DegreeFilteringDropsSparseEntities) {
   EXPECT_EQ(result.value().interactions.size(), 3u);
 }
 
+TEST(LoaderTest, NegativeIdRejectedWithLineNumber) {
+  const std::string ui = ::testing::TempDir() + "/neg_ui.tsv";
+  FILE* f = std::fopen(ui.c_str(), "w");
+  std::fputs("1 10\n2 -7\n", f);
+  std::fclose(f);
+  const std::string it = ::testing::TempDir() + "/neg_it.tsv";
+  f = std::fopen(it.c_str(), "w");
+  std::fputs("", f);
+  std::fclose(f);
+  StatusOr<Dataset> result = LoadDatasetFromTsv(ui, it);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // The offending line (2) and the bad id are both named.
+  EXPECT_NE(result.status().message().find(":2"), std::string::npos);
+  EXPECT_NE(result.status().message().find("-7"), std::string::npos);
+}
+
+TEST(LoaderTest, OutOfRangeIdRejectedWithLineNumber) {
+  const std::string ui = ::testing::TempDir() + "/range_ui.tsv";
+  FILE* f = std::fopen(ui.c_str(), "w");
+  std::fputs("1 10\n", f);
+  std::fclose(f);
+  const std::string it = ::testing::TempDir() + "/range_it.tsv";
+  f = std::fopen(it.c_str(), "w");
+  std::fputs("10 1\n10 99999999999999\n", f);
+  std::fclose(f);
+  LoaderOptions options;
+  options.max_raw_id = 1000000;
+  StatusOr<Dataset> result = LoadDatasetFromTsv(ui, it, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find(":2"), std::string::npos);
+  EXPECT_NE(result.status().message().find("max raw id"), std::string::npos);
+}
+
+TEST(LoaderTest, InvalidOptionsRejected) {
+  const std::string ui = ::testing::TempDir() + "/opts_ui.tsv";
+  FILE* f = std::fopen(ui.c_str(), "w");
+  std::fputs("1 10\n", f);
+  std::fclose(f);
+  LoaderOptions options;
+  options.min_user_interactions = -1;
+  StatusOr<Dataset> result = LoadDatasetFromTsv(ui, ui, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  options = LoaderOptions();
+  options.max_raw_id = -5;
+  result = LoadDatasetFromTsv(ui, ui, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
 // ---------------------------------------------------------------------------
 // Synthetic generator tests.
 // ---------------------------------------------------------------------------

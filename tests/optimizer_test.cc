@@ -105,5 +105,126 @@ TEST(AdamTest, StepCountAdvances) {
   EXPECT_EQ(adam.step_count(), 2);
 }
 
+TEST(AdamTest, LearningRateSettersTakeEffect) {
+  AdamOptions opt;
+  opt.learning_rate = 0.4f;
+  AdamOptimizer adam(opt);
+  EXPECT_EQ(adam.learning_rate(), 0.4f);
+  adam.ScaleLearningRate(0.5f);
+  EXPECT_EQ(adam.learning_rate(), 0.2f);
+  adam.set_learning_rate(0.1f);
+  EXPECT_EQ(adam.learning_rate(), 0.1f);
+
+  // The first Adam step moves by ~ -lr * sign(grad), so a halved LR halves
+  // the first update.
+  Tensor w(1, 1, {0.0f}, /*requires_grad=*/true);
+  adam.AddParameter(w);
+  w.grad()[0] = 3.0f;
+  adam.Step();
+  EXPECT_NEAR(w.data()[0], -0.1f, 1e-4f);
+}
+
+TEST(AdamTest, GlobalNormClippingBoundsTheUpdate) {
+  // Two parameters with a joint gradient norm of 5 (3-4-5 triangle),
+  // clipped to 1: every gradient is scaled by 1/5 before the update.
+  AdamOptions opt;
+  opt.clip_norm = 1.0f;
+  AdamOptimizer adam(opt);
+  Tensor a(1, 1, {0.0f}, true);
+  Tensor b(1, 1, {0.0f}, true);
+  adam.AddParameters({a, b});
+  a.grad()[0] = 3.0f;
+  b.grad()[0] = 4.0f;
+  adam.Step();
+  EXPECT_NEAR(adam.last_grad_norm(), 5.0, 1e-6);
+  EXPECT_NEAR(a.grad()[0], 0.6f, 1e-5f);
+  EXPECT_NEAR(b.grad()[0], 0.8f, 1e-5f);
+}
+
+TEST(AdamTest, ClippingLeavesSmallGradientsAlone) {
+  AdamOptions opt;
+  opt.clip_norm = 10.0f;
+  AdamOptimizer adam(opt);
+  Tensor w(1, 1, {0.0f}, true);
+  adam.AddParameter(w);
+  w.grad()[0] = 0.5f;
+  adam.Step();
+  EXPECT_NEAR(adam.last_grad_norm(), 0.5, 1e-6);
+  EXPECT_EQ(w.grad()[0], 0.5f);
+}
+
+TEST(AdamTest, NormNotMeasuredWhenClippingDisabled) {
+  AdamOptimizer adam;
+  Tensor w(1, 1, {0.0f}, true);
+  adam.AddParameter(w);
+  w.grad()[0] = 2.0f;
+  adam.Step();
+  EXPECT_EQ(adam.last_grad_norm(), -1.0);
+}
+
+TEST(AdamTest, StateExportImportRoundTrip) {
+  // Run one optimizer for 10 steps; restore its state at step 5 into a
+  // fresh optimizer and verify both produce identical trajectories.
+  auto make_setup = [](Tensor* w, AdamOptimizer* adam) {
+    *w = Tensor(1, 1, {2.0f}, /*requires_grad=*/true);
+    adam->AddParameter(*w);
+  };
+  Tensor w1;
+  AdamOptimizer adam1;
+  make_setup(&w1, &adam1);
+  AdamStateSnapshot mid;
+  float mid_value = 0.0f;
+  for (int i = 0; i < 10; ++i) {
+    w1.grad()[0] = w1.data()[0];  // grad = w, a deterministic schedule.
+    adam1.Step();
+    adam1.ZeroGrad();
+    if (i == 4) {
+      mid = adam1.ExportState();
+      mid_value = w1.data()[0];
+    }
+  }
+
+  Tensor w2;
+  AdamOptimizer adam2;
+  make_setup(&w2, &adam2);
+  ASSERT_TRUE(adam2.ImportState(mid).ok());
+  EXPECT_EQ(adam2.step_count(), 5);
+  w2.data()[0] = mid_value;
+  for (int i = 5; i < 10; ++i) {
+    w2.grad()[0] = w2.data()[0];
+    adam2.Step();
+    adam2.ZeroGrad();
+  }
+  EXPECT_EQ(w2.data()[0], w1.data()[0]);
+}
+
+TEST(AdamTest, ImportStateRejectsMismatchedShapes) {
+  AdamOptimizer adam;
+  Tensor w(2, 2, true);
+  adam.AddParameter(w);
+
+  AdamStateSnapshot wrong_count;
+  wrong_count.step = 1;
+  EXPECT_EQ(adam.ImportState(wrong_count).code(),
+            StatusCode::kInvalidArgument);
+
+  AdamStateSnapshot wrong_size;
+  wrong_size.step = 1;
+  wrong_size.m = {{0.0f}};  // 1 element, parameter has 4.
+  wrong_size.v = {{0.0f}};
+  EXPECT_EQ(adam.ImportState(wrong_size).code(),
+            StatusCode::kInvalidArgument);
+
+  AdamStateSnapshot negative_step;
+  negative_step.step = -3;
+  negative_step.m = {{0.0f, 0.0f, 0.0f, 0.0f}};
+  negative_step.v = {{0.0f, 0.0f, 0.0f, 0.0f}};
+  EXPECT_EQ(adam.ImportState(negative_step).code(),
+            StatusCode::kInvalidArgument);
+
+  // A failed import leaves the optimizer untouched.
+  EXPECT_EQ(adam.step_count(), 0);
+}
+
 }  // namespace
 }  // namespace imcat

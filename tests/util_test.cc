@@ -3,6 +3,7 @@
 #include <cmath>
 #include <set>
 
+#include "util/fault_injector.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -99,6 +100,19 @@ TEST(RngTest, ShufflePermutes) {
   EXPECT_EQ(a, b);
 }
 
+TEST(RngTest, StateRoundTripResumesStream) {
+  Rng rng(21);
+  for (int i = 0; i < 17; ++i) rng.NextUint64();
+  rng.Normal();  // Populate the Box-Muller cache (odd draw count).
+  const RngState state = rng.GetState();
+  std::vector<double> expected;
+  for (int i = 0; i < 50; ++i) expected.push_back(rng.Normal());
+
+  Rng other(999);  // Different seed; state restore must override it fully.
+  other.SetState(state);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(other.Normal(), expected[i]);
+}
+
 TEST(StatusTest, OkByDefault) {
   Status s;
   EXPECT_TRUE(s.ok());
@@ -110,6 +124,23 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kNotFound);
   EXPECT_EQ(s.ToString(), "NotFound: file x");
+}
+
+TEST(StatusTest, ToStringCoversAllCodes) {
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  EXPECT_EQ(Status::InvalidArgument("m").ToString(), "InvalidArgument: m");
+  EXPECT_EQ(Status::NotFound("m").ToString(), "NotFound: m");
+  EXPECT_EQ(Status::IoError("m").ToString(), "IoError: m");
+  EXPECT_EQ(Status::FailedPrecondition("m").ToString(),
+            "FailedPrecondition: m");
+  EXPECT_EQ(Status::DataLoss("m").ToString(), "DataLoss: m");
+}
+
+TEST(StatusTest, DataLossFactory) {
+  Status s = Status::DataLoss("checksum mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.message(), "checksum mismatch");
 }
 
 TEST(StatusOrTest, HoldsValue) {
@@ -199,6 +230,83 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
   (void)use;
   EXPECT_GT(sw.ElapsedSeconds(), 0.0);
   EXPECT_EQ(sw.ElapsedMillis() > 0.0, true);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector tests. Each test resets the process-wide injector so no
+// armed fault leaks into other tests.
+// ---------------------------------------------------------------------------
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Instance().Reset(); }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_F(FaultInjectorTest, DisabledByDefaultAndPassesWritesThrough) {
+  FaultInjector& fi = FaultInjector::Instance();
+  EXPECT_FALSE(fi.enabled());
+  unsigned char buf[4] = {1, 2, 3, 4};
+  bool fail = true;
+  EXPECT_EQ(fi.FilterWrite(0, buf, sizeof(buf), &fail), sizeof(buf));
+  EXPECT_FALSE(fail);
+  EXPECT_FALSE(fi.ConsumeNanLoss());
+  EXPECT_EQ(fi.faults_fired(), 0);
+}
+
+TEST_F(FaultInjectorTest, WriteFailureFiresOnceAtOffset) {
+  FaultInjector& fi = FaultInjector::Instance();
+  fi.ArmWriteFailure(6);
+  EXPECT_TRUE(fi.enabled());
+  unsigned char buf[4] = {0, 0, 0, 0};
+  bool fail = false;
+  // First 4 bytes are below the limit: untouched.
+  EXPECT_EQ(fi.FilterWrite(0, buf, 4, &fail), 4u);
+  EXPECT_FALSE(fail);
+  // Next write crosses byte 6: only 2 bytes allowed, then the error.
+  EXPECT_EQ(fi.FilterWrite(4, buf, 4, &fail), 2u);
+  EXPECT_TRUE(fail);
+  EXPECT_EQ(fi.faults_fired(), 1);
+  // Disarmed after firing.
+  EXPECT_FALSE(fi.enabled());
+}
+
+TEST_F(FaultInjectorTest, ShortWriteTruncatesSilently) {
+  FaultInjector& fi = FaultInjector::Instance();
+  fi.ArmShortWrite(2);
+  unsigned char buf[8] = {0};
+  bool fail = false;
+  EXPECT_EQ(fi.FilterWrite(0, buf, 8, &fail), 2u);
+  EXPECT_FALSE(fail);  // The writer never learns about the torn write.
+  EXPECT_EQ(fi.faults_fired(), 1);
+}
+
+TEST_F(FaultInjectorTest, BitFlipCorruptsExactlyOneByte) {
+  FaultInjector& fi = FaultInjector::Instance();
+  fi.ArmBitFlip(/*offset=*/10, /*mask=*/0x01);
+  unsigned char buf[4] = {7, 7, 7, 7};
+  bool fail = false;
+  // Write not covering offset 10: untouched and still armed.
+  EXPECT_EQ(fi.FilterWrite(0, buf, 4, &fail), 4u);
+  EXPECT_EQ(buf[0], 7);
+  EXPECT_TRUE(fi.enabled());
+  // Write covering offset 10 (stream bytes 8..11): byte 2 flipped.
+  EXPECT_EQ(fi.FilterWrite(8, buf, 4, &fail), 4u);
+  EXPECT_FALSE(fail);
+  EXPECT_EQ(buf[2], 7 ^ 0x01);
+  EXPECT_EQ(buf[0], 7);
+  EXPECT_EQ(buf[3], 7);
+  EXPECT_EQ(fi.faults_fired(), 1);
+}
+
+TEST_F(FaultInjectorTest, NanLossFiresAfterCountdown) {
+  FaultInjector& fi = FaultInjector::Instance();
+  fi.ArmNanLoss(/*after_steps=*/2);
+  EXPECT_FALSE(fi.ConsumeNanLoss());
+  EXPECT_FALSE(fi.ConsumeNanLoss());
+  EXPECT_TRUE(fi.ConsumeNanLoss());
+  EXPECT_FALSE(fi.ConsumeNanLoss());  // One-shot.
+  EXPECT_EQ(fi.faults_fired(), 1);
 }
 
 }  // namespace
