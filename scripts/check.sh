@@ -2,10 +2,15 @@
 # Full verification sweep: build and run the test suite twice —
 #   1. plain Release (the tier-1 configuration), and
 #   2. instrumented with AddressSanitizer + UBSan (IMCAT_SANITIZE).
+# The sanitized pass also re-runs the checkpoint durability suite
+# explicitly (v1 read-compat, truncation and bit-flip sweeps), so storage
+# corruption handling is always exercised under ASan/UBSan even if the
+# main sweep is filtered down.
 # Usage:
 #   scripts/check.sh            # both passes
 #   scripts/check.sh --plain    # tier-1 only
 #   scripts/check.sh --sanitize # sanitized only
+#   scripts/check.sh --chaos    # fault-injection + serving chaos suites
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,11 +18,13 @@ jobs=$(nproc 2>/dev/null || echo 4)
 
 run_plain=1
 run_sanitized=1
+run_chaos=0
 case "${1:-}" in
   --plain)    run_sanitized=0 ;;
   --sanitize) run_plain=0 ;;
+  --chaos)    run_plain=0; run_sanitized=0; run_chaos=1 ;;
   "") ;;
-  *) echo "usage: $0 [--plain|--sanitize]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--plain|--sanitize|--chaos]" >&2; exit 2 ;;
 esac
 
 if [[ "$run_plain" == 1 ]]; then
@@ -32,6 +39,19 @@ if [[ "$run_sanitized" == 1 ]]; then
   cmake -B build-asan -S . -DIMCAT_SANITIZE="address;undefined" >/dev/null
   cmake --build build-asan -j "$jobs"
   (cd build-asan && ctest --output-on-failure -j "$jobs")
+  echo "=== sanitized checkpoint durability sweep ==="
+  (cd build-asan && ctest --output-on-failure -R 'CheckpointTest')
+fi
+
+if [[ "$run_chaos" == 1 ]]; then
+  # Chaos suites drive the FaultInjector under concurrency; run them
+  # label-selected with a hard per-test timeout so a hang (a lost wakeup,
+  # a stuck future) fails loudly instead of wedging CI.
+  echo "=== chaos suites (ctest -L chaos) ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs"
+  (cd build && ctest -L chaos --output-on-failure --repeat until-pass:1 \
+      --timeout 120)
 fi
 
 echo "All checks passed."

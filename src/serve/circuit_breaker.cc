@@ -1,0 +1,77 @@
+#include "serve/circuit_breaker.h"
+
+#include "serve/recommender.h"
+#include "util/check.h"
+
+namespace imcat {
+
+CircuitBreaker::CircuitBreaker(const Options& options,
+                               std::function<double()> now_ms)
+    : options_(options), now_ms_(now_ms ? std::move(now_ms) : SteadyNowMs) {
+  IMCAT_CHECK(options_.failure_threshold >= 1);
+  IMCAT_CHECK(options_.cooldown_ms >= 0.0);
+}
+
+bool CircuitBreaker::AllowRequest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_ms_() - opened_at_ms_ >= options_.cooldown_ms) {
+        state_ = State::kHalfOpen;
+        probe_in_flight_ = true;
+        return true;  // This caller is the probe.
+      }
+      return false;
+    case State::kHalfOpen:
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen ||
+      consecutive_failures_ >= options_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_ms_ = now_ms_();
+    probe_in_flight_ = false;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int64_t CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace imcat

@@ -1,0 +1,72 @@
+#ifndef IMCAT_SERVE_CIRCUIT_BREAKER_H_
+#define IMCAT_SERVE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+/// \file circuit_breaker.h
+/// A classic three-state circuit breaker guarding the real scoring path.
+///
+///   Closed ──(failure_threshold consecutive failures)──▶ Open
+///   Open ──(cooldown elapsed; one probe admitted)──▶ HalfOpen
+///   HalfOpen ──success──▶ Closed        HalfOpen ──failure──▶ Open
+///
+/// While open, AllowRequest() returns false and the service answers from
+/// the popularity fallback instead of hammering a failing snapshot/scoring
+/// path. Successful out-of-band recoveries (a snapshot reload that
+/// succeeds) may call RecordSuccess() directly, which closes the breaker
+/// from any state.
+
+namespace imcat {
+
+/// Thread-safe circuit breaker with an injectable monotonic clock.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Options {
+    /// Consecutive failures that trip the breaker.
+    int64_t failure_threshold = 3;
+    /// Time the breaker stays open before admitting a half-open probe.
+    double cooldown_ms = 100.0;
+  };
+
+  /// `now_ms` is a monotonic millisecond clock; empty uses steady_clock.
+  explicit CircuitBreaker(const Options& options,
+                          std::function<double()> now_ms = {});
+
+  /// True when the request may take the real path. While open, returns
+  /// false until the cooldown elapses, then admits exactly one probe
+  /// (transitioning to half-open); further requests are rejected until the
+  /// probe reports back via RecordSuccess/RecordFailure.
+  bool AllowRequest();
+
+  /// Reports a real-path success: resets the failure streak and closes the
+  /// breaker from any state.
+  void RecordSuccess();
+
+  /// Reports a real-path (or snapshot-load) failure: extends the failure
+  /// streak, trips the breaker at the threshold and re-opens it from
+  /// half-open.
+  void RecordFailure();
+
+  State state() const;
+  int64_t consecutive_failures() const;
+
+  /// Human-readable state name ("closed" / "open" / "half-open").
+  static const char* StateName(State state);
+
+ private:
+  Options options_;
+  std::function<double()> now_ms_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int64_t consecutive_failures_ = 0;
+  double opened_at_ms_ = 0.0;
+  bool probe_in_flight_ = false;
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_SERVE_CIRCUIT_BREAKER_H_

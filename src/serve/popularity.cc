@@ -1,0 +1,42 @@
+#include "serve/popularity.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace imcat {
+
+PopularityRanker::PopularityRanker(int64_t num_items,
+                                   const EdgeList& train_edges) {
+  IMCAT_CHECK(num_items >= 0);
+  std::vector<int64_t> degree(static_cast<size_t>(num_items), 0);
+  for (const auto& [user, item] : train_edges) {
+    (void)user;
+    IMCAT_CHECK(item >= 0 && item < num_items);
+    ++degree[item];
+  }
+  ranking_.resize(static_cast<size_t>(num_items));
+  for (int64_t i = 0; i < num_items; ++i) {
+    ranking_[i] = {i, static_cast<float>(degree[i])};
+  }
+  std::sort(ranking_.begin(), ranking_.end(),
+            [](const ScoredItem& a, const ScoredItem& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.item < b.item;
+            });
+}
+
+void PopularityRanker::TopK(int64_t k, const std::vector<int64_t>& exclude,
+                            std::vector<ScoredItem>* out) const {
+  out->clear();
+  if (k <= 0) return;
+  const std::unordered_set<int64_t> excluded(exclude.begin(), exclude.end());
+  for (const ScoredItem& entry : ranking_) {
+    if (excluded.count(entry.item) != 0) continue;
+    out->push_back(entry);
+    if (static_cast<int64_t>(out->size()) == k) break;
+  }
+}
+
+}  // namespace imcat

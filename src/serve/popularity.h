@@ -1,0 +1,41 @@
+#ifndef IMCAT_SERVE_POPULARITY_H_
+#define IMCAT_SERVE_POPULARITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "serve/types.h"
+
+/// \file popularity.h
+/// The degraded-mode fallback ranker: a precomputed, user-independent
+/// popularity ranking from train-split item degrees. Serving it keeps the
+/// product answering (with honest `degraded=true` responses) while the
+/// circuit breaker is open or no snapshot is loadable.
+
+namespace imcat {
+
+/// Immutable most-popular-first item ranking. Construct once from the
+/// train split; thread-safe to query concurrently.
+class PopularityRanker {
+ public:
+  /// Ranks all `num_items` items by their degree in `train_edges`
+  /// ((user, item) pairs), most interactions first, ties broken by item id
+  /// so the ranking is deterministic. Items with no train interactions
+  /// rank last with score 0.
+  PopularityRanker(int64_t num_items, const EdgeList& train_edges);
+
+  int64_t num_items() const { return static_cast<int64_t>(ranking_.size()); }
+
+  /// Copies the top `k` ranked items into `out`, skipping ids present in
+  /// `exclude` (unsorted; out-of-range ids are ignored).
+  void TopK(int64_t k, const std::vector<int64_t>& exclude,
+            std::vector<ScoredItem>* out) const;
+
+ private:
+  std::vector<ScoredItem> ranking_;  // Sorted once at construction.
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_SERVE_POPULARITY_H_

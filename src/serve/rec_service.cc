@@ -1,0 +1,240 @@
+#include "serve/rec_service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "util/check.h"
+
+namespace imcat {
+
+namespace {
+
+void DefaultSleepMs(double millis) {
+  if (millis <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(millis));
+}
+
+std::future<RecResponse> ReadyResponse(RecResponse response) {
+  std::promise<RecResponse> promise;
+  promise.set_value(std::move(response));
+  return promise.get_future();
+}
+
+}  // namespace
+
+RecService::RecService(std::shared_ptr<const PopularityRanker> fallback,
+                       const RecServiceOptions& options)
+    : options_(options),
+      fallback_(std::move(fallback)),
+      recommender_([&] {
+        RecommenderOptions ropts = options.recommender;
+        if (!ropts.now_ms && options.now_ms) ropts.now_ms = options.now_ms;
+        return ropts;
+      }()),
+      breaker_(options.breaker, options.now_ms),
+      sleep_ms_(options.sleep_ms ? options.sleep_ms : DefaultSleepMs) {
+  IMCAT_CHECK(fallback_ != nullptr);
+  IMCAT_CHECK(options_.num_workers >= 1);
+  IMCAT_CHECK(options_.queue_capacity >= 1);
+  IMCAT_CHECK(options_.default_top_k >= 1);
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int64_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+RecService::~RecService() { Shutdown(); }
+
+Status RecService::LoadSnapshot(const std::string& path) {
+  std::lock_guard<std::mutex> load_lock(load_mu_);
+  Backoff backoff(options_.load_backoff);
+  Status last;
+  while (true) {
+    auto result = EmbeddingSnapshot::Load(path);
+    if (result.ok()) {
+      std::shared_ptr<EmbeddingSnapshot> loaded = std::move(result).value();
+      loaded->set_version(
+          next_snapshot_version_.fetch_add(1, std::memory_order_relaxed));
+      // Atomic publish: readers holding the old snapshot keep it alive
+      // until their request completes.
+      snapshot_.store(std::shared_ptr<const EmbeddingSnapshot>(loaded));
+      breaker_.RecordSuccess();
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.snapshot_reloads;
+      }
+      return Status::OK();
+    }
+    last = result.status();
+    const double delay_ms = backoff.NextDelayMs();
+    if (!backoff.ShouldRetry()) break;
+    sleep_ms_(delay_ms);
+  }
+  breaker_.RecordFailure();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.snapshot_load_failures;
+  }
+  return Status(last.code(),
+                "snapshot load failed after " +
+                    std::to_string(options_.load_backoff.max_attempts) +
+                    " attempts: " + last.message());
+}
+
+std::future<RecResponse> RecService::Submit(RecRequest request) {
+  bool was_stopped = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    was_stopped = stopped_;
+    if (!stopped_ &&
+        static_cast<int64_t>(queue_.size()) < options_.queue_capacity) {
+      Task task;
+      task.request = std::move(request);
+      std::future<RecResponse> future = task.promise.get_future();
+      queue_.push_back(std::move(task));
+      queue_cv_.notify_one();
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.accepted;
+      return future;
+    }
+  }
+  // Load shedding: reject immediately with a definite status instead of
+  // queueing unboundedly.
+  RecResponse shed;
+  shed.status = Status::Unavailable(
+      was_stopped ? "service is shut down"
+                  : "work queue full (" +
+                        std::to_string(options_.queue_capacity) +
+                        " requests); load shed, retry later");
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.shed;
+  }
+  return ReadyResponse(std::move(shed));
+}
+
+RecResponse RecService::Recommend(RecRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void RecService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  // Fail whatever is still queued with a definite status.
+  std::deque<Task> leftover;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    leftover.swap(queue_);
+  }
+  for (Task& task : leftover) {
+    RecResponse response;
+    response.status = Status::Unavailable("service is shut down");
+    task.promise.set_value(std::move(response));
+  }
+}
+
+std::shared_ptr<const EmbeddingSnapshot> RecService::snapshot() const {
+  return snapshot_.load();
+}
+
+RecServiceStats RecService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void RecService::WorkerLoop() {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+      if (stopped_) return;  // Leftovers are failed by Shutdown().
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task.promise.set_value(Handle(task.request));
+  }
+}
+
+RecResponse RecService::Handle(const RecRequest& request) {
+  const int64_t top_k =
+      request.top_k > 0 ? request.top_k : options_.default_top_k;
+  const double deadline_ms = request.deadline_ms == 0.0
+                                 ? options_.default_deadline_ms
+                                 : request.deadline_ms;
+  std::shared_ptr<const EmbeddingSnapshot> snapshot = snapshot_.load();
+
+  // Validation: out-of-range ids are a clean error, never UB. The upper
+  // bound is checked against the snapshot when one is published; in
+  // snapshotless degraded mode any non-negative user is servable (the
+  // popularity ranking is user-independent).
+  Status invalid;
+  if (request.user < 0) {
+    invalid = Status::InvalidArgument("negative user id " +
+                                      std::to_string(request.user));
+  } else if (snapshot != nullptr && request.user >= snapshot->num_users()) {
+    invalid = Status::InvalidArgument(
+        "unknown user id " + std::to_string(request.user) + " (snapshot has " +
+        std::to_string(snapshot->num_users()) + " users)");
+  }
+  if (invalid.ok() && request.top_k < 0) {
+    invalid = Status::InvalidArgument("negative top_k " +
+                                      std::to_string(request.top_k));
+  }
+  if (!invalid.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.invalid_requests;
+    RecResponse response;
+    response.status = std::move(invalid);
+    return response;
+  }
+
+  // Degraded path: no loadable snapshot, or the breaker refuses the real
+  // path. Either way the caller gets an answer.
+  if (snapshot == nullptr || !breaker_.AllowRequest()) {
+    return DegradedResponse(top_k, request.exclude);
+  }
+
+  RecResponse response;
+  response.status = recommender_.TopK(*snapshot, request.user, top_k,
+                                      deadline_ms, request.exclude,
+                                      &response.items);
+  if (response.status.ok()) {
+    response.snapshot_version = snapshot->version();
+    breaker_.RecordSuccess();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.served_real;
+    return response;
+  }
+  // Scoring failure: feed the breaker and surface the definite status.
+  breaker_.RecordFailure();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (response.status.code() == StatusCode::kDeadlineExceeded) {
+      ++stats_.deadline_exceeded;
+    }
+  }
+  response.items.clear();
+  return response;
+}
+
+RecResponse RecService::DegradedResponse(
+    int64_t top_k, const std::vector<int64_t>& exclude) {
+  RecResponse response;
+  response.degraded = true;
+  fallback_->TopK(top_k, exclude, &response.items);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.served_degraded;
+  }
+  return response;
+}
+
+}  // namespace imcat

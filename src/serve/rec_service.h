@@ -1,0 +1,149 @@
+#ifndef IMCAT_SERVE_REC_SERVICE_H_
+#define IMCAT_SERVE_REC_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/circuit_breaker.h"
+#include "serve/popularity.h"
+#include "serve/recommender.h"
+#include "serve/snapshot.h"
+#include "serve/types.h"
+#include "util/backoff.h"
+#include "util/status.h"
+
+/// \file rec_service.h
+/// The fault-tolerant recommendation service front end. Robustness
+/// properties, each individually testable and chaos-tested together:
+///
+///  - request validation: malformed requests (negative/unknown user ids,
+///    non-positive k) get a clean kInvalidArgument, never UB;
+///  - bounded work queue with load shedding: when the queue is full a
+///    request is rejected immediately with kUnavailable instead of
+///    queueing unboundedly and blowing latency for everyone;
+///  - deadline budgets: scoring checks the per-request deadline between
+///    blocks and returns kDeadlineExceeded instead of hanging;
+///  - snapshot loading retries with exponential backoff + jitter;
+///  - a circuit breaker trips after consecutive snapshot/scoring failures
+///    so a broken dependency is not hammered;
+///  - graceful degradation: while the breaker is open or no snapshot is
+///    loadable, requests are answered from the precomputed popularity
+///    ranking with `degraded=true` — the service keeps answering;
+///  - hot snapshot reload via atomic shared_ptr swap: a mid-flight request
+///    keeps scoring against the snapshot it started with.
+
+namespace imcat {
+
+/// Monotonic counters describing service activity (one consistent read).
+struct RecServiceStats {
+  int64_t accepted = 0;          ///< Requests admitted to the queue.
+  int64_t shed = 0;              ///< Rejected kUnavailable: queue full.
+  int64_t served_real = 0;       ///< Answered with real model scores.
+  int64_t served_degraded = 0;   ///< Answered from the popularity fallback.
+  int64_t deadline_exceeded = 0; ///< Scoring passes cut off by deadline.
+  int64_t invalid_requests = 0;  ///< Validation rejections.
+  int64_t snapshot_reloads = 0;  ///< Successful snapshot (re)loads.
+  int64_t snapshot_load_failures = 0;  ///< LoadSnapshot calls that gave up.
+};
+
+/// Service configuration.
+struct RecServiceOptions {
+  int64_t num_workers = 2;
+  int64_t queue_capacity = 32;
+  int64_t default_top_k = 20;
+  /// Deadline applied when a request does not set one.
+  double default_deadline_ms = 50.0;
+  RecommenderOptions recommender;
+  CircuitBreaker::Options breaker;
+  /// Retry policy for LoadSnapshot (attempts, exponential envelope,
+  /// jitter).
+  BackoffOptions load_backoff;
+  /// Monotonic millisecond clock shared by the breaker and deadline
+  /// checks; empty uses steady_clock. Tests inject a fake clock.
+  std::function<double()> now_ms;
+  /// Sleeper for backoff delays; empty uses this_thread::sleep_for. Tests
+  /// inject a no-op to keep retry loops instant.
+  std::function<void(double)> sleep_ms;
+};
+
+/// The serving front end. Thread-safe; owns its worker pool.
+class RecService {
+ public:
+  /// `fallback` is the precomputed popularity ranking used in degraded
+  /// mode; it must be non-null so the service can always answer.
+  RecService(std::shared_ptr<const PopularityRanker> fallback,
+             const RecServiceOptions& options);
+  ~RecService();
+
+  RecService(const RecService&) = delete;
+  RecService& operator=(const RecService&) = delete;
+
+  /// Loads (or hot-reloads) the serving snapshot from `path`, retrying
+  /// with exponential backoff + jitter. On success the new snapshot is
+  /// swapped in atomically (mid-flight requests keep the old one) and the
+  /// breaker records a success; after the final failed attempt the breaker
+  /// records a failure and the previous snapshot, if any, stays live.
+  Status LoadSnapshot(const std::string& path);
+
+  /// Enqueues a request. Returns a future that is always eventually
+  /// satisfied with a definite RecResponse; when the queue is full the
+  /// future is ready immediately with kUnavailable (load shed).
+  std::future<RecResponse> Submit(RecRequest request);
+
+  /// Synchronous convenience wrapper around Submit.
+  RecResponse Recommend(RecRequest request);
+
+  /// Stops the workers; queued-but-unprocessed requests resolve to
+  /// kUnavailable. Idempotent; also run by the destructor.
+  void Shutdown();
+
+  /// The currently published snapshot (may be null before the first
+  /// successful load).
+  std::shared_ptr<const EmbeddingSnapshot> snapshot() const;
+
+  CircuitBreaker::State breaker_state() const { return breaker_.state(); }
+  RecServiceStats stats() const;
+
+ private:
+  struct Task {
+    RecRequest request;
+    std::promise<RecResponse> promise;
+  };
+
+  void WorkerLoop();
+  RecResponse Handle(const RecRequest& request);
+  RecResponse DegradedResponse(int64_t top_k,
+                               const std::vector<int64_t>& exclude);
+
+  RecServiceOptions options_;
+  std::shared_ptr<const PopularityRanker> fallback_;
+  Recommender recommender_;
+  CircuitBreaker breaker_;
+  std::function<void(double)> sleep_ms_;
+
+  std::atomic<std::shared_ptr<const EmbeddingSnapshot>> snapshot_{nullptr};
+  std::mutex load_mu_;  ///< Serialises LoadSnapshot calls.
+  std::atomic<int64_t> next_snapshot_version_{1};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+  bool stopped_ = false;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex stats_mu_;
+  RecServiceStats stats_;
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_SERVE_REC_SERVICE_H_

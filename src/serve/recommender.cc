@@ -1,0 +1,93 @@
+#include "serve/recommender.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/fault_injector.h"
+
+namespace imcat {
+
+double SteadyNowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Recommender::Recommender(const RecommenderOptions& options)
+    : block_items_(options.block_items),
+      now_ms_(options.now_ms ? options.now_ms : SteadyNowMs) {
+  IMCAT_CHECK(block_items_ > 0);
+}
+
+Status Recommender::TopK(const EmbeddingSnapshot& snapshot, int64_t user,
+                         int64_t k, double deadline_ms,
+                         const std::vector<int64_t>& exclude,
+                         std::vector<ScoredItem>* out) const {
+  out->clear();
+  if (user < 0 || user >= snapshot.num_users()) {
+    return Status::InvalidArgument("user id " + std::to_string(user) +
+                                   " out of range [0, " +
+                                   std::to_string(snapshot.num_users()) + ")");
+  }
+  if (k <= 0) {
+    return Status::InvalidArgument("top_k must be positive, got " +
+                                   std::to_string(k));
+  }
+  const double start_ms = now_ms_();
+  const std::unordered_set<int64_t> excluded(exclude.begin(), exclude.end());
+  const int64_t num_items = snapshot.num_items();
+
+  // Partial top-k: a min-heap of the best k seen so far (heap top = the
+  // current cutoff). `better` is the ranking order (score desc, id asc);
+  // used as the heap's "less-than" it keeps the worst kept item on top.
+  std::vector<ScoredItem> heap;
+  heap.reserve(static_cast<size_t>(std::min(k, num_items)));
+  const auto better = [](const ScoredItem& a, const ScoredItem& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.item < b.item;
+  };
+
+  for (int64_t begin = 0; begin < num_items; begin += block_items_) {
+    if (begin > 0) {
+      // Deadline checkpoint between scoring blocks. The injected
+      // forced-slow fault burns budget here, exactly where a production
+      // stall (page fault storm, NUMA misplacement) would.
+      FaultInjector& injector = FaultInjector::Instance();
+      if (injector.enabled()) {
+        const double slow_ms = injector.ConsumeSlowOp();
+        if (slow_ms > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(slow_ms));
+        }
+      }
+      if (deadline_ms > 0.0 && now_ms_() - start_ms > deadline_ms) {
+        return Status::DeadlineExceeded(
+            "top-k scoring exceeded " + std::to_string(deadline_ms) +
+            " ms after " + std::to_string(begin) + "/" +
+            std::to_string(num_items) + " items");
+      }
+    }
+    const int64_t end = std::min(begin + block_items_, num_items);
+    for (int64_t item = begin; item < end; ++item) {
+      if (excluded.count(item) != 0) continue;
+      const ScoredItem candidate{item, snapshot.Score(user, item)};
+      if (static_cast<int64_t>(heap.size()) < k) {
+        heap.push_back(candidate);
+        std::push_heap(heap.begin(), heap.end(), better);
+      } else if (better(candidate, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), better);
+        heap.back() = candidate;
+        std::push_heap(heap.begin(), heap.end(), better);
+      }
+    }
+  }
+  // Ascending under `better` = best first.
+  std::sort_heap(heap.begin(), heap.end(), better);
+  *out = std::move(heap);
+  return Status::OK();
+}
+
+}  // namespace imcat

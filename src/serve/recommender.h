@@ -1,0 +1,57 @@
+#ifndef IMCAT_SERVE_RECOMMENDER_H_
+#define IMCAT_SERVE_RECOMMENDER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "serve/snapshot.h"
+#include "serve/types.h"
+#include "util/status.h"
+
+/// \file recommender.h
+/// Deadline-aware top-k scoring over an EmbeddingSnapshot: the full item
+/// catalogue is scored in fixed-size blocks with the per-request deadline
+/// budget checked between blocks, so a slow or stalled scoring pass
+/// surfaces as a clean kDeadlineExceeded instead of a hung request.
+
+namespace imcat {
+
+/// Scoring configuration. The defaults suit catalogues up to a few million
+/// items; shrink `block_items` for tighter deadline granularity.
+struct RecommenderOptions {
+  /// Items scored between two deadline checks.
+  int64_t block_items = 1024;
+  /// Monotonic clock in milliseconds; overridable for deterministic tests.
+  /// Defaults to std::chrono::steady_clock.
+  std::function<double()> now_ms;
+};
+
+/// Returns the default steady-clock millisecond reading (exposed so the
+/// service and breaker share one clock source).
+double SteadyNowMs();
+
+/// Stateless scoring engine; thread-safe (all state is per-call).
+class Recommender {
+ public:
+  explicit Recommender(const RecommenderOptions& options = {});
+
+  /// Scores every item of `snapshot` for `user` and fills `out` with the
+  /// top `k` by inner product (score desc, item id asc), skipping ids in
+  /// `exclude`. `deadline_ms` is the total budget from call entry; spent
+  /// budget is checked between scoring blocks and exceeding it returns
+  /// kDeadlineExceeded with `out` empty. A non-positive deadline means no
+  /// limit. `user` must be in range (the service validates ahead of time;
+  /// out-of-range ids here are a clean kInvalidArgument, never UB).
+  Status TopK(const EmbeddingSnapshot& snapshot, int64_t user, int64_t k,
+              double deadline_ms, const std::vector<int64_t>& exclude,
+              std::vector<ScoredItem>* out) const;
+
+ private:
+  int64_t block_items_;
+  std::function<double()> now_ms_;
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_SERVE_RECOMMENDER_H_

@@ -1,0 +1,54 @@
+#include "serve/snapshot.h"
+
+#include <cstring>
+#include <utility>
+
+#include "tensor/checkpoint.h"
+#include "tensor/tensor.h"
+#include "util/fault_injector.h"
+
+namespace imcat {
+
+StatusOr<std::shared_ptr<EmbeddingSnapshot>> EmbeddingSnapshot::Load(
+    const std::string& path) {
+  FaultInjector& injector = FaultInjector::Instance();
+  if (injector.enabled() && injector.ConsumeLoadFailure()) {
+    return Status::IoError(path + ": injected snapshot load failure");
+  }
+  auto shapes = ReadCheckpointShapes(path);
+  IMCAT_RETURN_IF_ERROR(shapes.status());
+  if (shapes.value().size() != 2) {
+    return Status::InvalidArgument(
+        path + ": serving snapshot needs exactly 2 tensors (user table, "
+               "item table), found " +
+        std::to_string(shapes.value().size()));
+  }
+  const auto [num_users, user_dim] = shapes.value()[0];
+  const auto [num_items, item_dim] = shapes.value()[1];
+  if (num_users <= 0 || num_items <= 0 || user_dim <= 0 ||
+      user_dim != item_dim) {
+    return Status::InvalidArgument(
+        path + ": user table " + std::to_string(num_users) + "x" +
+        std::to_string(user_dim) + " and item table " +
+        std::to_string(num_items) + "x" + std::to_string(item_dim) +
+        " are not factor matrices over one embedding dimension");
+  }
+  // Stage through tensors so the full checksum validation in LoadCheckpoint
+  // runs before any data is published.
+  std::vector<Tensor> tensors;
+  tensors.emplace_back(num_users, user_dim);
+  tensors.emplace_back(num_items, item_dim);
+  IMCAT_RETURN_IF_ERROR(LoadCheckpoint(path, &tensors));
+
+  std::shared_ptr<EmbeddingSnapshot> snapshot(new EmbeddingSnapshot());
+  snapshot->num_users_ = num_users;
+  snapshot->num_items_ = num_items;
+  snapshot->dim_ = user_dim;
+  snapshot->users_.assign(tensors[0].data(),
+                          tensors[0].data() + tensors[0].size());
+  snapshot->items_.assign(tensors[1].data(),
+                          tensors[1].data() + tensors[1].size());
+  return snapshot;
+}
+
+}  // namespace imcat

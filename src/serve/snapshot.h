@@ -1,0 +1,71 @@
+#ifndef IMCAT_SERVE_SNAPSHOT_H_
+#define IMCAT_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file snapshot.h
+/// Immutable factor-matrix snapshots for serving. A snapshot is exported
+/// from training as an ordinary IMCAT checkpoint (v2 format, trailing
+/// FNV-1a checksum) holding the user table then the item table; the loader
+/// validates the whole file — magic, shapes, length fields and checksum —
+/// before a single byte becomes visible to scoring, so a corrupt file can
+/// never be served. Snapshots are shared immutably (shared_ptr<const>):
+/// the service hot-swaps them atomically and mid-flight requests keep
+/// scoring against the snapshot they started with.
+
+namespace imcat {
+
+/// Immutable user/item embedding matrices loaded from a checkpoint.
+class EmbeddingSnapshot {
+ public:
+  /// Loads a snapshot from an IMCAT checkpoint (v1 or v2; training state,
+  /// if present, is validated and discarded). The checkpoint must hold
+  /// exactly two tensors with one embedding dimension: the user table
+  /// (num_users x d) then the item table (num_items x d) — the layout
+  /// `ExportServingCheckpoint` writes for factor models. Fails with
+  /// kDataLoss on corruption, kIoError on missing/unreadable files and
+  /// kInvalidArgument on a layout the serving path cannot score.
+  static StatusOr<std::shared_ptr<EmbeddingSnapshot>> Load(
+      const std::string& path);
+
+  int64_t num_users() const { return num_users_; }
+  int64_t num_items() const { return num_items_; }
+  int64_t dim() const { return dim_; }
+
+  /// Row pointers into the factor matrices (row-major, `dim()` floats).
+  const float* user(int64_t u) const { return users_.data() + u * dim_; }
+  const float* item(int64_t i) const { return items_.data() + i * dim_; }
+
+  /// Inner-product relevance score for one (user, item) pair.
+  float Score(int64_t u, int64_t i) const {
+    const float* a = user(u);
+    const float* b = item(i);
+    float s = 0.0f;
+    for (int64_t d = 0; d < dim_; ++d) s += a[d] * b[d];
+    return s;
+  }
+
+  /// Monotonically increasing id assigned by the service on publish
+  /// (0 = never published).
+  int64_t version() const { return version_; }
+  void set_version(int64_t version) { version_ = version; }
+
+ private:
+  EmbeddingSnapshot() = default;
+
+  int64_t num_users_ = 0;
+  int64_t num_items_ = 0;
+  int64_t dim_ = 0;
+  int64_t version_ = 0;
+  std::vector<float> users_;
+  std::vector<float> items_;
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_SERVE_SNAPSHOT_H_

@@ -1,0 +1,51 @@
+#ifndef IMCAT_SERVE_TYPES_H_
+#define IMCAT_SERVE_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file types.h
+/// Request/response value types shared across the serving layer.
+
+namespace imcat {
+
+/// One recommended item with its relevance score (inner-product score on
+/// the real path, train-split item degree on the popularity fallback).
+struct ScoredItem {
+  int64_t item = -1;
+  float score = 0.0f;
+};
+
+/// A recommendation request. Zero-valued fields fall back to the service
+/// defaults, so `RecRequest{.user = 7}` is a complete request.
+struct RecRequest {
+  int64_t user = 0;
+  /// Number of items wanted; 0 uses the service default.
+  int64_t top_k = 0;
+  /// Per-request deadline budget. 0 uses the service default; negative
+  /// disables the deadline entirely.
+  double deadline_ms = 0.0;
+  /// Item ids to exclude from the ranking (e.g. the user's seen items).
+  /// Out-of-range ids are ignored.
+  std::vector<int64_t> exclude;
+};
+
+/// A recommendation response. `status` is always definite: OK (possibly
+/// degraded), kInvalidArgument, kDeadlineExceeded or kUnavailable — the
+/// service never hangs and never crashes the caller.
+struct RecResponse {
+  Status status;
+  std::vector<ScoredItem> items;
+  /// True when the items come from the popularity fallback rather than
+  /// model scores (circuit breaker open or no loadable snapshot).
+  bool degraded = false;
+  /// Version of the snapshot that scored this response (0 for degraded
+  /// fallback responses, which use no snapshot).
+  int64_t snapshot_version = 0;
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_SERVE_TYPES_H_

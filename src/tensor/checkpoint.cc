@@ -144,6 +144,13 @@ class Reader {
     }
     in_.read(static_cast<char*>(out), static_cast<std::streamsize>(size));
     if (!in_.good()) return Status::DataLoss(path_ + ": truncated checkpoint");
+    // Injected read-side corruption (the on-disk file stays intact); the
+    // running checksum hashes what the reader actually saw, so a flipped
+    // byte surfaces as a checksum mismatch.
+    FaultInjector& injector = FaultInjector::Instance();
+    if (injector.enabled()) {
+      injector.FilterRead(pos_, static_cast<unsigned char*>(out), size);
+    }
     pos_ += static_cast<int64_t>(size);
     if (hashed) hash_.Update(out, size);
     return Status::OK();

@@ -304,4 +304,9 @@ TrainHistory Trainer::Fit(TrainableModel* model,
   return history;
 }
 
+Status ExportServingCheckpoint(TrainableModel* model,
+                               const std::string& path) {
+  return SaveCheckpoint(path, model->Parameters());
+}
+
 }  // namespace imcat

@@ -117,6 +117,12 @@ struct TrainHistory {
   int64_t start_epoch = 0;
 };
 
+/// Exports the model's current parameters as a stateless v2 checkpoint
+/// (atomic write, trailing checksum) for the serving layer. For factor
+/// models such as BPR-MF the tensor order is the user table then the item
+/// table — the layout `EmbeddingSnapshot::Load` expects.
+Status ExportServingCheckpoint(TrainableModel* model, const std::string& path);
+
 /// Orchestrates epochs, periodic validation, early stopping, divergence
 /// rollback and restoring the best parameters.
 class Trainer {

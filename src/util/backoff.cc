@@ -1,0 +1,30 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace imcat {
+
+Backoff::Backoff(const BackoffOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      current_delay_ms_(options.initial_delay_ms) {
+  IMCAT_CHECK(options_.max_attempts >= 1);
+  IMCAT_CHECK(options_.initial_delay_ms >= 0.0);
+  IMCAT_CHECK(options_.multiplier >= 1.0);
+  IMCAT_CHECK(options_.jitter >= 0.0 && options_.jitter <= 1.0);
+}
+
+double Backoff::NextDelayMs() {
+  ++attempt_;
+  if (!ShouldRetry()) return 0.0;
+  const double envelope = std::min(current_delay_ms_, options_.max_delay_ms);
+  current_delay_ms_ = std::min(current_delay_ms_ * options_.multiplier,
+                               options_.max_delay_ms);
+  if (options_.jitter == 0.0) return envelope;
+  const double lo = envelope * (1.0 - options_.jitter);
+  return lo + rng_.Uniform() * (envelope - lo);
+}
+
+}  // namespace imcat

@@ -1,0 +1,59 @@
+#ifndef IMCAT_UTIL_BACKOFF_H_
+#define IMCAT_UTIL_BACKOFF_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+/// \file backoff.h
+/// Exponential backoff with decorrelated jitter for retry loops (snapshot
+/// loading in the serving layer, and any future remote I/O). Deterministic
+/// given the seed, so tests can assert exact schedules.
+
+namespace imcat {
+
+/// Retry policy: how many attempts, and how the delay between them grows.
+struct BackoffOptions {
+  /// Total attempts including the first one (1 = no retries).
+  int64_t max_attempts = 4;
+  /// Base delay before the first retry.
+  double initial_delay_ms = 1.0;
+  /// Multiplier applied to the cap after every retry.
+  double multiplier = 2.0;
+  /// Upper bound on any single delay.
+  double max_delay_ms = 1000.0;
+  /// Fraction of the delay randomised away: the returned delay is drawn
+  /// uniformly from [(1-jitter)*d, d]. 0 disables jitter.
+  double jitter = 0.5;
+  /// Seed for the jitter stream (deterministic per Backoff instance).
+  uint64_t seed = 1;
+};
+
+/// Produces the delay sequence for one retry loop. Not thread-safe; create
+/// one per retry loop.
+class Backoff {
+ public:
+  explicit Backoff(const BackoffOptions& options);
+
+  /// True while another attempt is allowed.
+  bool ShouldRetry() const { return attempt_ < options_.max_attempts; }
+
+  /// Records an attempt and returns the jittered delay in milliseconds to
+  /// wait before the *next* attempt (0 when no attempt remains). The
+  /// un-jittered envelope doubles each call: initial, 2*initial, ... capped
+  /// at max_delay_ms.
+  double NextDelayMs();
+
+  /// Attempts consumed so far.
+  int64_t attempt() const { return attempt_; }
+
+ private:
+  BackoffOptions options_;
+  Rng rng_;
+  int64_t attempt_ = 0;
+  double current_delay_ms_;
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_UTIL_BACKOFF_H_

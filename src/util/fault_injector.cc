@@ -10,46 +10,80 @@ FaultInjector& FaultInjector::Instance() {
 }
 
 void FaultInjector::Reset() {
-  enabled_ = false;
+  std::lock_guard<std::mutex> lock(mu_);
   faults_fired_ = 0;
   write_failure_armed_ = false;
   short_write_armed_ = false;
   bit_flip_armed_ = false;
   nan_loss_armed_ = false;
+  read_flip_count_ = 0;
+  slow_op_count_ = 0;
+  load_failure_count_ = 0;
+  RecomputeEnabledLocked();
 }
 
-void FaultInjector::RecomputeEnabled() {
-  enabled_ = write_failure_armed_ || short_write_armed_ || bit_flip_armed_ ||
-             nan_loss_armed_;
+void FaultInjector::RecomputeEnabledLocked() {
+  enabled_.store(write_failure_armed_ || short_write_armed_ ||
+                     bit_flip_armed_ || nan_loss_armed_ ||
+                     read_flip_count_ > 0 || slow_op_count_ > 0 ||
+                     load_failure_count_ > 0,
+                 std::memory_order_relaxed);
 }
 
 void FaultInjector::ArmWriteFailure(int64_t after_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   write_failure_armed_ = true;
   write_failure_after_ = after_bytes;
-  RecomputeEnabled();
+  RecomputeEnabledLocked();
 }
 
 void FaultInjector::ArmShortWrite(int64_t after_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   short_write_armed_ = true;
   short_write_after_ = after_bytes;
-  RecomputeEnabled();
+  RecomputeEnabledLocked();
 }
 
 void FaultInjector::ArmBitFlip(int64_t offset, uint8_t mask) {
+  std::lock_guard<std::mutex> lock(mu_);
   bit_flip_armed_ = true;
   bit_flip_offset_ = offset;
   bit_flip_mask_ = mask;
-  RecomputeEnabled();
+  RecomputeEnabledLocked();
+}
+
+void FaultInjector::ArmReadBitFlip(int64_t offset, uint8_t mask,
+                                   int64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  read_flip_count_ = count;
+  read_flip_offset_ = offset;
+  read_flip_mask_ = mask;
+  RecomputeEnabledLocked();
 }
 
 void FaultInjector::ArmNanLoss(int64_t after_steps) {
+  std::lock_guard<std::mutex> lock(mu_);
   nan_loss_armed_ = true;
   nan_loss_countdown_ = after_steps;
-  RecomputeEnabled();
+  RecomputeEnabledLocked();
+}
+
+void FaultInjector::ArmSlowOps(int64_t count, double millis) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_op_count_ = count;
+  slow_op_millis_ = millis;
+  RecomputeEnabledLocked();
+}
+
+void FaultInjector::ArmLoadFailures(int64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  load_failure_count_ = count;
+  RecomputeEnabledLocked();
 }
 
 size_t FaultInjector::FilterWrite(int64_t stream_offset, unsigned char* buf,
                                   size_t size, bool* fail) {
+  std::lock_guard<std::mutex> lock(mu_);
   *fail = false;
   size_t allowed = size;
   const int64_t end = stream_offset + static_cast<int64_t>(size);
@@ -75,17 +109,54 @@ size_t FaultInjector::FilterWrite(int64_t stream_offset, unsigned char* buf,
     ++faults_fired_;
     *fail = true;
   }
-  RecomputeEnabled();
+  RecomputeEnabledLocked();
   return allowed;
 }
 
+void FaultInjector::FilterRead(int64_t stream_offset, unsigned char* buf,
+                               size_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t end = stream_offset + static_cast<int64_t>(size);
+  if (read_flip_count_ > 0 && read_flip_offset_ >= stream_offset &&
+      read_flip_offset_ < end) {
+    buf[read_flip_offset_ - stream_offset] ^= read_flip_mask_;
+    --read_flip_count_;
+    ++faults_fired_;
+    RecomputeEnabledLocked();
+  }
+}
+
 bool FaultInjector::ConsumeNanLoss() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!nan_loss_armed_) return false;
   if (nan_loss_countdown_-- > 0) return false;
   nan_loss_armed_ = false;
   ++faults_fired_;
-  RecomputeEnabled();
+  RecomputeEnabledLocked();
   return true;
+}
+
+double FaultInjector::ConsumeSlowOp() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slow_op_count_ <= 0) return 0.0;
+  --slow_op_count_;
+  ++faults_fired_;
+  RecomputeEnabledLocked();
+  return slow_op_millis_;
+}
+
+bool FaultInjector::ConsumeLoadFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (load_failure_count_ <= 0) return false;
+  --load_failure_count_;
+  ++faults_fired_;
+  RecomputeEnabledLocked();
+  return true;
+}
+
+int64_t FaultInjector::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_fired_;
 }
 
 }  // namespace imcat

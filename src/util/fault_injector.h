@@ -1,28 +1,47 @@
 #ifndef IMCAT_UTIL_FAULT_INJECTOR_H_
 #define IMCAT_UTIL_FAULT_INJECTOR_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 
 /// \file fault_injector.h
-/// Test-only fault injection for the fault-tolerance subsystem. Production
-/// code paths (checkpoint writer, training loop wrappers) consult the
-/// process-wide injector, which is inert unless a test arms it, so the
-/// overhead in normal operation is a single branch on a bool.
+/// Test-only fault injection for the fault-tolerance subsystems. Production
+/// code paths (checkpoint writer/reader, training loop wrappers, the
+/// serving layer) consult the process-wide injector, which is inert unless
+/// a test arms it, so the overhead in normal operation is a single relaxed
+/// atomic load.
+///
+/// Thread-safe: the serving chaos tests arm faults from a driver thread
+/// while worker threads poll them. All mutation happens under one mutex;
+/// the fast-path enabled() check is a lock-free atomic.
 ///
 /// Supported faults:
 ///  - write failure: the byte stream reports an I/O error after N bytes;
 ///  - short write: bytes beyond N are silently dropped (torn write that the
 ///    writing process never observes, e.g. power loss after a lying fsync);
-///  - bit flip: one byte at an absolute stream offset is XOR-corrupted in
-///    flight (silent media corruption);
+///  - write bit flip: one byte at an absolute stream offset is
+///    XOR-corrupted in flight (silent media corruption on write);
+///  - read bit flip: one byte at an absolute stream offset is XOR-corrupted
+///    as it is read back (silent media corruption at rest — the file on
+///    disk is fine, the bytes the reader sees are not);
 ///  - forced-NaN loss: a TrainableModel test wrapper polls
-///    ConsumeNanLoss() each TrainStep and poisons the loss when it fires.
+///    ConsumeNanLoss() each TrainStep and poisons the loss when it fires;
+///  - forced-slow operation: instrumented hot paths poll ConsumeSlowOp()
+///    and sleep for the armed duration, so deadline enforcement can be
+///    exercised deterministically;
+///  - load failure: snapshot/checkpoint load entry points poll
+///    ConsumeLoadFailure() and fail with an injected error.
+///
+/// Write-stream faults (write failure, short write, write bit flip) fire
+/// once and then disarm. Slow-op, read-bit-flip and load-failure faults
+/// take a count and fire on that many consecutive polls, so sustained
+/// degradation (every reload corrupt, every request slow) is expressible.
 
 namespace imcat {
 
-/// Process-wide fault-injection control. Not thread-safe; intended for
-/// single-threaded tests. All armed faults fire once and then disarm.
+/// Process-wide fault-injection control.
 class FaultInjector {
  public:
   /// The singleton consulted by instrumented code paths.
@@ -32,7 +51,7 @@ class FaultInjector {
   void Reset();
 
   /// True if any fault is currently armed (fast path check).
-  bool enabled() const { return enabled_; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Arms an I/O error reported after `after_bytes` bytes of a stream have
   /// been written. Bytes up to the limit still reach the file.
@@ -42,13 +61,29 @@ class FaultInjector {
   /// any error surfacing to the writer.
   void ArmShortWrite(int64_t after_bytes);
 
-  /// Arms a bit flip: the byte at absolute stream offset `offset` is XORed
-  /// with `mask` (mask must be non-zero to corrupt) as it is written.
+  /// Arms a write-side bit flip: the byte at absolute stream offset
+  /// `offset` is XORed with `mask` (mask must be non-zero to corrupt) as it
+  /// is written.
   void ArmBitFlip(int64_t offset, uint8_t mask);
+
+  /// Arms a read-side bit flip: the next `count` times a reader consumes
+  /// the byte at absolute stream offset `offset`, it is XORed with `mask`.
+  /// Readers consume a given offset at most once per file load, so `count`
+  /// is effectively "the next `count` loads see corruption". The file
+  /// itself is untouched (silent media/transport corruption).
+  void ArmReadBitFlip(int64_t offset, uint8_t mask, int64_t count = 1);
 
   /// Arms a forced-NaN training loss on the `after_steps`-th subsequent
   /// call to ConsumeNanLoss() (0 = the very next call).
   void ArmNanLoss(int64_t after_steps);
+
+  /// Arms `count` forced-slow operations of `millis` each: the next `count`
+  /// calls to ConsumeSlowOp() report that delay.
+  void ArmSlowOps(int64_t count, double millis);
+
+  /// Arms `count` injected load failures: the next `count` calls to
+  /// ConsumeLoadFailure() return true.
+  void ArmLoadFailures(int64_t count);
 
   /// Write hook used by instrumented writers. `stream_offset` is the
   /// absolute offset of `buf` within the logical stream. May corrupt bytes
@@ -59,18 +94,32 @@ class FaultInjector {
   size_t FilterWrite(int64_t stream_offset, unsigned char* buf, size_t size,
                      bool* fail);
 
+  /// Read hook used by instrumented readers: corrupts bytes of `buf` in
+  /// place when a read bit flip is armed for a position inside
+  /// [stream_offset, stream_offset + size), consuming one armed count.
+  void FilterRead(int64_t stream_offset, unsigned char* buf, size_t size);
+
   /// Poll point for the forced-NaN loss fault; returns true when the
   /// armed step is reached.
   bool ConsumeNanLoss();
 
+  /// Poll point for forced-slow operations; returns the injected delay in
+  /// milliseconds (0 when none armed). Does not sleep — the caller decides
+  /// how to spend the delay.
+  double ConsumeSlowOp();
+
+  /// Poll point for injected load failures; returns true while armed.
+  bool ConsumeLoadFailure();
+
   /// Total number of faults that have fired since the last Reset().
-  int64_t faults_fired() const { return faults_fired_; }
+  int64_t faults_fired() const;
 
  private:
   FaultInjector() = default;
-  void RecomputeEnabled();
+  void RecomputeEnabledLocked();
 
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
   int64_t faults_fired_ = 0;
 
   bool write_failure_armed_ = false;
@@ -82,6 +131,12 @@ class FaultInjector {
   uint8_t bit_flip_mask_ = 0;
   bool nan_loss_armed_ = false;
   int64_t nan_loss_countdown_ = 0;
+  int64_t read_flip_count_ = 0;
+  int64_t read_flip_offset_ = 0;
+  uint8_t read_flip_mask_ = 0;
+  int64_t slow_op_count_ = 0;
+  double slow_op_millis_ = 0.0;
+  int64_t load_failure_count_ = 0;
 };
 
 }  // namespace imcat

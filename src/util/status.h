@@ -22,7 +22,16 @@ enum class StatusCode : int {
   kFailedPrecondition = 4,
   /// Stored data is unrecoverably corrupt (checksum mismatch, torn write).
   kDataLoss = 5,
+  /// A per-request deadline expired before the operation completed.
+  kDeadlineExceeded = 6,
+  /// The service cannot take the request right now (overload, shed load,
+  /// shutdown); safe to retry later.
+  kUnavailable = 7,
 };
+
+/// One past the largest StatusCode value; lets tests enumerate every code
+/// so a new code cannot ship without ToString coverage.
+inline constexpr int kNumStatusCodes = 8;
 
 /// A success-or-error result carrying a code and human-readable message.
 class Status {
@@ -48,6 +57,12 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

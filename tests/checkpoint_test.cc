@@ -348,6 +348,34 @@ TEST(CheckpointTest, TruncationAtEveryBoundaryRejected) {
   }
 }
 
+TEST(CheckpointTest, TruncationAtEveryByteRejected) {
+  // Exhaustive sweep on a deliberately small checkpoint (one 1x2 tensor
+  // plus full train state): cut the file at *every* possible length from 0
+  // to size-1 and require a clean non-OK Status each time. This subsumes
+  // the spread-of-lengths sweep above for small files and guarantees no
+  // parser state accepts a prefix; scripts/check.sh re-runs it under
+  // ASan/UBSan so a truncated length can also never read out of bounds.
+  std::vector<Tensor> tensors = {Tensor(1, 2, {0.5f, -1.0f}, true)};
+  const std::string path = TempPath("trunc_every_src.ckpt");
+  ASSERT_TRUE(SaveTrainingCheckpoint(path, tensors, ExampleState()).ok());
+  const std::vector<char> bytes = ReadAll(path);
+  ASSERT_GT(bytes.size(), 0u);
+
+  const std::string cut = TempPath("trunc_every_cut.ckpt");
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::ofstream(cut, std::ios::binary | std::ios::trunc)
+        .write(bytes.data(), static_cast<std::streamsize>(len));
+    std::vector<Tensor> target = {Tensor(1, 2, true)};
+    TrainState state;
+    bool has_state = false;
+    Status status = LoadTrainingCheckpoint(cut, &target, &state, &has_state);
+    EXPECT_FALSE(status.ok()) << "truncation to " << len << " of "
+                              << bytes.size() << " bytes accepted";
+  }
+  std::remove(path.c_str());
+  std::remove(cut.c_str());
+}
+
 TEST(CheckpointTest, BitFlipInEveryByteRejected) {
   // A small checkpoint so the exhaustive sweep stays fast: flip one bit in
   // every byte of the file (header, tensor shapes, payload, train state

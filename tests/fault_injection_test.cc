@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <limits>
 #include <memory>
 #include <string>
@@ -344,6 +345,92 @@ TEST_F(FaultToleranceTest, FailedPeriodicCheckpointDoesNotKillTheRun) {
   EXPECT_TRUE(h.resumed);
   EXPECT_EQ(h.start_epoch, 3);
   std::remove(ckpt.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// New injector modes: read-side corruption, forced-slow ops, load failures.
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST_F(FaultToleranceTest, ReadBitFlipCorruptsArmedLoadsOnly) {
+  const std::string path = TempPath("read_flip.ckpt");
+  std::vector<Tensor> saved = {Tensor(2, 3, {1, 2, 3, 4, 5, 6})};
+  ASSERT_TRUE(SaveCheckpoint(path, saved).ok());
+
+  // Offset 32 is the first byte of tensor payload (magic 4 + version 4 +
+  // count 8 + rows 8 + cols 8); flipping it must break the checksum on the
+  // next two loads, after which the fault is exhausted.
+  FaultInjector::Instance().ArmReadBitFlip(/*offset=*/32, /*mask=*/0x01,
+                                           /*count=*/2);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::vector<Tensor> loaded = {Tensor(2, 3)};
+    Status status = LoadCheckpoint(path, &loaded);
+    ASSERT_FALSE(status.ok()) << "load " << attempt;
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  }
+  EXPECT_EQ(FaultInjector::Instance().faults_fired(), 2);
+  EXPECT_FALSE(FaultInjector::Instance().enabled());
+
+  std::vector<Tensor> clean = {Tensor(2, 3)};
+  ASSERT_TRUE(LoadCheckpoint(path, &clean).ok());
+  for (int64_t i = 0; i < clean[0].size(); ++i) {
+    EXPECT_EQ(clean[0].data()[i], saved[0].data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultToleranceTest, ReadBitFlipLeavesTheFileOnDiskIntact) {
+  const std::string path = TempPath("read_flip_intact.ckpt");
+  std::vector<Tensor> saved = {Tensor(1, 4, {9, 8, 7, 6})};
+  ASSERT_TRUE(SaveCheckpoint(path, saved).ok());
+  const std::string before = ReadFileBytes(path);
+
+  FaultInjector::Instance().ArmReadBitFlip(32, 0xFF, 1);
+  std::vector<Tensor> loaded = {Tensor(1, 4)};
+  EXPECT_FALSE(LoadCheckpoint(path, &loaded).ok());
+
+  // The corruption lived only in the reader's buffer.
+  EXPECT_EQ(ReadFileBytes(path), before);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultToleranceTest, SlowOpsFireExactlyTheArmedCount) {
+  FaultInjector& injector = FaultInjector::Instance();
+  injector.ArmSlowOps(/*count=*/3, /*millis=*/2.5);
+  EXPECT_TRUE(injector.enabled());
+  EXPECT_EQ(injector.ConsumeSlowOp(), 2.5);
+  EXPECT_EQ(injector.ConsumeSlowOp(), 2.5);
+  EXPECT_EQ(injector.ConsumeSlowOp(), 2.5);
+  EXPECT_EQ(injector.ConsumeSlowOp(), 0.0);  // Exhausted.
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_EQ(injector.faults_fired(), 3);
+}
+
+TEST_F(FaultToleranceTest, LoadFailuresFireExactlyTheArmedCount) {
+  FaultInjector& injector = FaultInjector::Instance();
+  injector.ArmLoadFailures(2);
+  EXPECT_TRUE(injector.ConsumeLoadFailure());
+  EXPECT_TRUE(injector.ConsumeLoadFailure());
+  EXPECT_FALSE(injector.ConsumeLoadFailure());
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_EQ(injector.faults_fired(), 2);
+}
+
+TEST_F(FaultToleranceTest, ResetDisarmsCountedFaults) {
+  FaultInjector& injector = FaultInjector::Instance();
+  injector.ArmSlowOps(10, 1.0);
+  injector.ArmLoadFailures(10);
+  injector.ArmReadBitFlip(0, 0x01, 10);
+  EXPECT_TRUE(injector.enabled());
+  injector.Reset();
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_EQ(injector.ConsumeSlowOp(), 0.0);
+  EXPECT_FALSE(injector.ConsumeLoadFailure());
+  EXPECT_EQ(injector.faults_fired(), 0);
 }
 
 }  // namespace

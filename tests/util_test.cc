@@ -134,6 +134,22 @@ TEST(StatusTest, ToStringCoversAllCodes) {
   EXPECT_EQ(Status::FailedPrecondition("m").ToString(),
             "FailedPrecondition: m");
   EXPECT_EQ(Status::DataLoss("m").ToString(), "DataLoss: m");
+  EXPECT_EQ(Status::DeadlineExceeded("m").ToString(), "DeadlineExceeded: m");
+  EXPECT_EQ(Status::Unavailable("m").ToString(), "Unavailable: m");
+}
+
+TEST(StatusTest, EveryCodeStringifies) {
+  // Enumerate every code value up to the sentinel: a newly added code that
+  // is missing from CodeName's switch shows up here as "Unknown".
+  for (int code = 0; code < kNumStatusCodes; ++code) {
+    Status s(static_cast<StatusCode>(code), "msg");
+    EXPECT_EQ(s.ToString().find("Unknown"), std::string::npos)
+        << "StatusCode " << code << " has no ToString name";
+    if (code != 0) {
+      EXPECT_NE(s.ToString().find(": msg"), std::string::npos)
+          << "StatusCode " << code << " dropped its message";
+    }
+  }
 }
 
 TEST(StatusTest, DataLossFactory) {
