@@ -70,7 +70,9 @@ class Flags {
   std::map<std::string, std::string> values_;
 };
 
-Dataset LoadData(const Flags& flags) {
+/// Loads TSV or preset data; `provenance` (optional) receives a one-line
+/// ingest summary suitable for TrainerOptions::data_provenance.
+Dataset LoadData(const Flags& flags, std::string* provenance = nullptr) {
   if (flags.Has("ui") || flags.Has("it")) {
     if (!flags.Has("ui") || !flags.Has("it")) {
       std::fprintf(stderr, "--ui and --it must be given together\n");
@@ -80,13 +82,35 @@ Dataset LoadData(const Flags& flags) {
     options.min_user_interactions = flags.GetInt("min-user", 0);
     options.min_item_interactions = flags.GetInt("min-item", 0);
     options.min_tag_items = flags.GetInt("min-tag", 0);
-    auto loaded =
-        LoadDatasetFromTsv(flags.Get("ui", ""), flags.Get("it", ""), options);
+    const std::string policy = flags.Get("policy", "strict");
+    if (policy == "permissive") {
+      options.policy = ParsePolicy::kPermissive;
+    } else if (policy != "strict") {
+      std::fprintf(stderr, "--policy must be strict or permissive\n");
+      std::exit(2);
+    }
+    IngestReport report;
+    auto loaded = LoadDatasetFromTsv(flags.Get("ui", ""), flags.Get("it", ""),
+                                     options, &report);
     if (!loaded.ok()) {
       std::fprintf(stderr, "failed to load data: %s\n",
                    loaded.status().ToString().c_str());
       std::exit(1);
     }
+    if (report.interactions.quarantined > 0 ||
+        report.item_tags.quarantined > 0) {
+      std::fprintf(stderr, "ingest quarantine: %s\n",
+                   report.Summary().c_str());
+      for (const auto& file : {report.interactions, report.item_tags}) {
+        for (const auto& s : file.samples) {
+          std::fprintf(stderr, "  %s:%lld:%lld: [%s] %s\n", file.path.c_str(),
+                       static_cast<long long>(s.line),
+                       static_cast<long long>(s.column),
+                       IngestErrorName(s.error), s.detail.c_str());
+        }
+      }
+    }
+    if (provenance != nullptr) *provenance = report.Summary();
     return std::move(loaded).value();
   }
   const std::string preset = flags.Get("preset", "CiteULike");
@@ -96,6 +120,9 @@ Dataset LoadData(const Flags& flags) {
     std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
     std::exit(1);
   }
+  if (provenance != nullptr) {
+    *provenance = "synthetic preset " + preset;
+  }
   return GenerateSynthetic(config.value());
 }
 
@@ -104,10 +131,12 @@ struct Session {
   DataSplit split;
   Evaluator evaluator;
   std::unique_ptr<TrainableModel> model;
+  std::string provenance;
 };
 
 Session MakeSession(const Flags& flags) {
-  Dataset dataset = LoadData(flags);
+  std::string provenance;
+  Dataset dataset = LoadData(flags, &provenance);
   DataSplit split = SplitByUser(dataset, SplitOptions{});
   Evaluator evaluator(dataset, split);
 
@@ -126,7 +155,7 @@ Session MakeSession(const Flags& flags) {
     std::exit(1);
   }
   Session session{std::move(dataset), std::move(split),
-                  std::move(evaluator), nullptr};
+                  std::move(evaluator), nullptr, std::move(provenance)};
   session.model = std::move(created).value();
   return session;
 }
@@ -180,6 +209,7 @@ int CmdTrain(const Flags& flags) {
   options.eval_every = flags.GetInt("eval-every", 10);
   options.patience = flags.GetInt("patience", 8);
   options.verbose = true;
+  options.data_provenance = session.provenance;
   SetLogLevel(LogLevel::kInfo);
   TrainHistory history = trainer.Fit(session.model.get(), options);
   std::printf("trained %s for %lld epochs (%.1fs), best epoch %lld\n",
@@ -249,6 +279,8 @@ void Usage() {
                "usage: imcat_cli <stats|train|evaluate|recommend|models> "
                "[--flags]\n"
                "data:  --preset NAME --scale S | --ui FILE --it FILE\n"
+               "       [--policy strict|permissive] [--min-user N] "
+               "[--min-item N] [--min-tag N]\n"
                "model: --model NAME --dim D --seed S --intents K\n"
                "train: --epochs E --out CKPT   eval/rec: --ckpt CKPT\n");
 }

@@ -11,6 +11,7 @@
 #   scripts/check.sh --plain    # tier-1 only
 #   scripts/check.sh --sanitize # sanitized only
 #   scripts/check.sh --chaos    # fault-injection + serving chaos suites
+#   scripts/check.sh --fuzz     # ingestion corruption-fuzz sweep (sanitized)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,12 +20,14 @@ jobs=$(nproc 2>/dev/null || echo 4)
 run_plain=1
 run_sanitized=1
 run_chaos=0
+run_fuzz=0
 case "${1:-}" in
   --plain)    run_sanitized=0 ;;
   --sanitize) run_plain=0 ;;
   --chaos)    run_plain=0; run_sanitized=0; run_chaos=1 ;;
+  --fuzz)     run_plain=0; run_sanitized=0; run_fuzz=1 ;;
   "") ;;
-  *) echo "usage: $0 [--plain|--sanitize|--chaos]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--plain|--sanitize|--chaos|--fuzz]" >&2; exit 2 ;;
 esac
 
 if [[ "$run_plain" == 1 ]]; then
@@ -52,6 +55,17 @@ if [[ "$run_chaos" == 1 ]]; then
   cmake --build build -j "$jobs"
   (cd build && ctest -L chaos --output-on-failure --repeat until-pass:1 \
       --timeout 120)
+fi
+
+if [[ "$run_fuzz" == 1 ]]; then
+  # The ingestion corruption-fuzz sweep (ctest -L fuzz) mutates and
+  # truncates every byte offset of a valid TSV pair; it must run under
+  # ASan/UBSan so that "never crashes, never trips a sanitizer" is what
+  # the pass actually proves. A timeout turns a parser hang into a failure.
+  echo "=== ingestion fuzz sweep under ASan/UBSan (ctest -L fuzz) ==="
+  cmake -B build-asan -S . -DIMCAT_SANITIZE="address;undefined" >/dev/null
+  cmake --build build-asan -j "$jobs"
+  (cd build-asan && ctest -L fuzz --output-on-failure --timeout 300)
 fi
 
 echo "All checks passed."

@@ -1,0 +1,403 @@
+#include "data/ingest.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <unordered_set>
+#include <utility>
+
+#include "util/fault_injector.h"
+#include "util/string_util.h"
+
+namespace imcat {
+
+namespace {
+
+/// I/O chunk size for the streaming reader.
+constexpr size_t kChunkBytes = 1 << 16;
+
+/// How much of an offending line the quarantine report retains.
+constexpr size_t kSampleTextBytes = 80;
+
+const char kUtf8Bom[] = "\xEF\xBB\xBF";
+
+}  // namespace
+
+const char* IngestErrorName(IngestError error) {
+  switch (error) {
+    case IngestError::kLineTooLong:
+      return "line-too-long";
+    case IngestError::kTruncatedFinalLine:
+      return "truncated-final-line";
+    case IngestError::kBadColumnCount:
+      return "bad-column-count";
+    case IngestError::kNonIntegerToken:
+      return "non-integer-token";
+    case IngestError::kIdOverflow:
+      return "id-overflow";
+    case IngestError::kNegativeId:
+      return "negative-id";
+    case IngestError::kIdOutOfRange:
+      return "id-out-of-range";
+    case IngestError::kSelfLoop:
+      return "self-loop";
+    case IngestError::kDuplicateEdge:
+      return "duplicate-edge";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// LineReader.
+// ---------------------------------------------------------------------------
+
+LineReader::~LineReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status LineReader::Open(const std::string& path, const IngestLimits& limits) {
+  path_ = path;
+  limits_ = limits;
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) return Status::IoError("cannot open " + path);
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::IoError(path + ": cannot determine file size");
+  }
+  const long size = std::ftell(file_);  // NOLINT: 64-bit on this platform.
+  if (size < 0) return Status::IoError(path + ": cannot determine file size");
+  std::rewind(file_);
+  file_size_ = static_cast<int64_t>(size);
+  if (file_size_ > limits.max_file_bytes) {
+    return Status::ResourceExhausted(
+        path + ": file size " + std::to_string(file_size_) +
+        " exceeds limit " + std::to_string(limits.max_file_bytes));
+  }
+  return Status::OK();
+}
+
+Status LineReader::Refill() {
+  buf_pos_ = 0;
+  buf_len_ = 0;
+  if (eof_) return Status::OK();
+  buf_.resize(kChunkBytes);
+  size_t got = std::fread(buf_.data(), 1, buf_.size(), file_);
+  if (got < buf_.size() && std::ferror(file_) != 0) {
+    eof_ = true;
+    return Status::IoError(path_ + ": read error mid-stream");
+  }
+  // Because Next() drains the buffer completely before refilling,
+  // `delivered_` is exactly the absolute stream offset of this chunk.
+  FaultInjector& injector = FaultInjector::Instance();
+  if (injector.enabled()) {
+    const size_t allowed = injector.FilterReadLength(delivered_, got);
+    if (allowed < got) {
+      got = allowed;
+      eof_ = true;  // Injected short read: the stream ends here.
+    }
+    injector.FilterRead(delivered_, buf_.data(), got);
+  }
+  buf_len_ = got;
+  if (got == 0) eof_ = true;
+  return Status::OK();
+}
+
+Status LineReader::Next(RawLine* line, bool* has_line) {
+  *has_line = false;
+  line->text.clear();
+  line->terminated = false;
+  line->overlong = false;
+  line->offset = delivered_;
+  const size_t max_line = static_cast<size_t>(limits_.max_line_bytes);
+  bool any_bytes = false;
+  bool found_newline = false;
+  while (!found_newline) {
+    if (buf_pos_ == buf_len_) {
+      if (eof_) break;
+      IMCAT_RETURN_IF_ERROR(Refill());
+      if (buf_len_ == 0) break;
+    }
+    any_bytes = true;
+    const unsigned char* start = buf_.data() + buf_pos_;
+    const auto* nl = static_cast<const unsigned char*>(
+        std::memchr(start, '\n', buf_len_ - buf_pos_));
+    const size_t take =
+        nl != nullptr ? static_cast<size_t>(nl - start) : buf_len_ - buf_pos_;
+    if (nl != nullptr) found_newline = true;
+    if (line->text.size() < max_line) {
+      const size_t copy = std::min(max_line - line->text.size(), take);
+      line->text.append(reinterpret_cast<const char*>(start), copy);
+      if (copy < take) line->overlong = true;
+    } else if (take > 0) {
+      line->overlong = true;  // Excess is skipped, never buffered.
+    }
+    const size_t consumed = take + (nl != nullptr ? 1 : 0);
+    buf_pos_ += consumed;
+    delivered_ += static_cast<int64_t>(consumed);
+  }
+  if (!any_bytes && !found_newline) {
+    // End of stream with nothing pending: verify it is the real end of the
+    // file, not a short read (failing media / injected truncation).
+    if (delivered_ < file_size_) {
+      return Status::DataLoss(path_ + ": unexpected end of stream after " +
+                              std::to_string(delivered_) + " of " +
+                              std::to_string(file_size_) + " bytes");
+    }
+    return Status::OK();
+  }
+  // An unterminated line cut short by the stream (not merely missing its
+  // final newline) is data loss, not a parseable record.
+  if (!found_newline && delivered_ < file_size_) {
+    return Status::DataLoss(path_ + ": unexpected end of stream after " +
+                            std::to_string(delivered_) + " of " +
+                            std::to_string(file_size_) + " bytes");
+  }
+  if (first_line_) {
+    first_line_ = false;
+    if (line->text.rfind(kUtf8Bom, 0) == 0) line->text.erase(0, 3);
+  }
+  if (!line->text.empty() && line->text.back() == '\r') {
+    line->text.pop_back();  // CRLF tolerance.
+  }
+  ++line_no_;
+  line->number = line_no_;
+  line->terminated = found_newline;
+  *has_line = true;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Record classification.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class RecordKind { kSkip, kEdge, kBad };
+
+struct Classified {
+  RecordKind kind = RecordKind::kSkip;
+  int64_t left = 0;
+  int64_t right = 0;
+  IngestError error = IngestError::kBadColumnCount;
+  int64_t column = 1;
+  std::string detail;
+};
+
+/// True for tokens of the shape [+-]?[0-9]+ — an integer that, if
+/// unparseable, failed by overflow rather than by syntax.
+bool IsIntegerShaped(std::string_view token) {
+  size_t i = 0;
+  if (i < token.size() && (token[i] == '+' || token[i] == '-')) ++i;
+  if (i == token.size()) return false;
+  for (; i < token.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(token[i]))) return false;
+  }
+  return true;
+}
+
+Classified Bad(IngestError error, int64_t column, std::string detail) {
+  Classified c;
+  c.kind = RecordKind::kBad;
+  c.error = error;
+  c.column = column;
+  c.detail = std::move(detail);
+  return c;
+}
+
+Classified ClassifyRecord(const RawLine& line, const IngestOptions& options) {
+  if (line.overlong) {
+    return Bad(IngestError::kLineTooLong, 1,
+               "line exceeds max length " +
+                   std::to_string(options.limits.max_line_bytes));
+  }
+  // Tokenize on whitespace runs, tracking 1-based columns.
+  const std::string_view sv = line.text;
+  std::vector<std::pair<size_t, std::string_view>> tokens;
+  size_t i = 0;
+  while (i < sv.size()) {
+    if (std::isspace(static_cast<unsigned char>(sv[i]))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    while (i < sv.size() && !std::isspace(static_cast<unsigned char>(sv[i]))) {
+      ++i;
+    }
+    tokens.emplace_back(start, sv.substr(start, i - start));
+  }
+  if (tokens.empty() || tokens.front().second.front() == '#') {
+    return Classified{};  // Blank or comment line, not a record.
+  }
+  if (!line.terminated) {
+    return Bad(IngestError::kTruncatedFinalLine,
+               static_cast<int64_t>(sv.size()) + 1,
+               "final line is missing its newline (possible mid-record "
+               "truncation)");
+  }
+  if (tokens.size() != 2) {
+    const int64_t column = tokens.size() > 2
+                               ? static_cast<int64_t>(tokens[2].first) + 1
+                               : static_cast<int64_t>(sv.size()) + 1;
+    return Bad(IngestError::kBadColumnCount, column,
+               "expected two columns, found " + std::to_string(tokens.size()));
+  }
+  int64_t values[2] = {0, 0};
+  for (int k = 0; k < 2; ++k) {
+    const auto& [pos, token] = tokens[k];
+    const int64_t column = static_cast<int64_t>(pos) + 1;
+    if (!ParseInt64(token, &values[k])) {
+      if (IsIntegerShaped(token)) {
+        return Bad(IngestError::kIdOverflow, column,
+                   "integer overflow in '" + std::string(token) + "'");
+      }
+      return Bad(IngestError::kNonIntegerToken, column,
+                 "'" + std::string(token) + "' is not an integer");
+    }
+    if (values[k] < 0) {
+      return Bad(IngestError::kNegativeId, column,
+                 "negative id " + std::to_string(values[k]));
+    }
+    if (values[k] > options.max_raw_id) {
+      return Bad(IngestError::kIdOutOfRange, column,
+                 "id " + std::to_string(values[k]) + " exceeds max raw id " +
+                     std::to_string(options.max_raw_id));
+    }
+  }
+  if (options.reject_self_loops && values[0] == values[1]) {
+    return Bad(IngestError::kSelfLoop,
+               static_cast<int64_t>(tokens[0].first) + 1,
+               "self-referential edge " + std::to_string(values[0]) + " -> " +
+                   std::to_string(values[1]));
+  }
+  Classified c;
+  c.kind = RecordKind::kEdge;
+  c.left = values[0];
+  c.right = values[1];
+  return c;
+}
+
+/// Maps a record error class to the strict-mode Status family.
+Status StrictStatus(const std::string& path, int64_t line, int64_t column,
+                    IngestError error, const std::string& detail) {
+  const std::string at = path + ":" + std::to_string(line) + ":" +
+                         std::to_string(column) + ": " + detail;
+  switch (error) {
+    case IngestError::kLineTooLong:
+      return Status::ResourceExhausted(at);
+    case IngestError::kTruncatedFinalLine:
+      return Status::DataLoss(at);
+    default:
+      return Status::InvalidArgument(at);
+  }
+}
+
+void Quarantine(const RawLine& line, IngestError error, int64_t column,
+                const std::string& detail, const IngestOptions& options,
+                IngestFileReport* report) {
+  ++report->quarantined;
+  ++report->error_counts[static_cast<int>(error)];
+  if (static_cast<int64_t>(report->samples.size()) <
+      options.max_quarantine_samples) {
+    QuarantinedRecord record;
+    record.line = line.number;
+    record.column = column;
+    record.error = error;
+    record.text = line.text.substr(0, kSampleTextBytes);
+    if (line.text.size() > kSampleTextBytes) record.text += "...";
+    record.detail = detail;
+    report->samples.push_back(std::move(record));
+  }
+}
+
+struct PairHash {
+  size_t operator()(const std::pair<int64_t, int64_t>& p) const {
+    uint64_t h = static_cast<uint64_t>(p.first) * 0x9E3779B97F4A7C15ULL;
+    h ^= static_cast<uint64_t>(p.second) * 0xC2B2AE3D27D4EB4FULL;
+    h ^= h >> 29;
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Reports.
+// ---------------------------------------------------------------------------
+
+std::string IngestFileReport::Summary() const {
+  std::string s = path + ": " + std::to_string(total_records) + " records, " +
+                  std::to_string(kept) + " kept, " +
+                  std::to_string(quarantined) + " quarantined";
+  if (quarantined > 0) {
+    s += " (";
+    bool first = true;
+    for (int i = 0; i < kNumIngestErrors; ++i) {
+      if (error_counts[i] == 0) continue;
+      if (!first) s += ", ";
+      first = false;
+      s += std::string(IngestErrorName(static_cast<IngestError>(i))) + ":" +
+           std::to_string(error_counts[i]);
+    }
+    s += ")";
+  }
+  if (filtered_by_degree > 0) {
+    s += ", " + std::to_string(filtered_by_degree) + " filtered by degree";
+  }
+  return s;
+}
+
+std::string IngestReport::Summary() const {
+  return "interactions " + interactions.Summary() + "; item-tags " +
+         item_tags.Summary();
+}
+
+// ---------------------------------------------------------------------------
+// ReadEdgeFile.
+// ---------------------------------------------------------------------------
+
+Status ReadEdgeFile(const std::string& path, const IngestOptions& options,
+                    EdgeList* out, IngestFileReport* report) {
+  *report = IngestFileReport{};
+  report->path = path;
+  out->clear();
+  LineReader reader;
+  IMCAT_RETURN_IF_ERROR(reader.Open(path, options.limits));
+  std::unordered_set<std::pair<int64_t, int64_t>, PairHash> seen;
+  RawLine line;
+  bool has_line = false;
+  while (true) {
+    IMCAT_RETURN_IF_ERROR(reader.Next(&line, &has_line));
+    if (!has_line) break;
+    const Classified c = ClassifyRecord(line, options);
+    if (c.kind == RecordKind::kSkip) continue;
+    if (c.kind == RecordKind::kBad) {
+      ++report->total_records;
+      Quarantine(line, c.error, c.column, c.detail, options, report);
+      if (options.policy == ParsePolicy::kStrict) {
+        return StrictStatus(path, line.number, c.column, c.error, c.detail);
+      }
+      continue;
+    }
+    // Duplicates are dropped-and-counted under either policy: the
+    // in-memory Dataset is a set, and surfacing them in the report beats
+    // both failing the load and hiding them.
+    if (!seen.emplace(c.left, c.right).second) {
+      ++report->total_records;
+      Quarantine(line, IngestError::kDuplicateEdge, 1,
+                 "duplicate of an earlier edge", options, report);
+      continue;
+    }
+    // Resource guards fire before the offending record is counted, so the
+    // kept + quarantined == total_records invariant holds on every path.
+    if (static_cast<int64_t>(out->size()) >= options.limits.max_records) {
+      return Status::ResourceExhausted(
+          path + ": edge count exceeds limit " +
+          std::to_string(options.limits.max_records));
+    }
+    ++report->total_records;
+    ++report->kept;
+    out->emplace_back(c.left, c.right);
+  }
+  return Status::OK();
+}
+
+}  // namespace imcat

@@ -1,0 +1,207 @@
+#ifndef IMCAT_DATA_INGEST_H_
+#define IMCAT_DATA_INGEST_H_
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+/// \file ingest.h
+/// Hardened ingestion of untrusted edge files. The TSV loader is the
+/// documented drop-in path for real public datasets (HetRec, CiteULike,
+/// Last.fm), which makes it an untrusted input boundary: ingestion must
+/// never crash, never silently mangle data, and always report exactly what
+/// it dropped and why. Three pieces deliver that contract:
+///
+///  - `LineReader`: a streaming reader with resource guards (max file
+///    size, max line length) that tolerates CRLF endings and a UTF-8 BOM,
+///    flags an unterminated final line (possible mid-record truncation),
+///    detects unexpected end-of-stream (short reads) as `kDataLoss`, and
+///    routes every chunk through the process `FaultInjector` so tests can
+///    inject short reads and garbage bytes;
+///  - `IngestError`: a per-record error taxonomy, so every malformed
+///    record is classified rather than lumped into one failure;
+///  - `IngestFileReport` / `IngestReport`: quarantine accounting with the
+///    hard invariant `kept + quarantined == total_records` per file.
+///
+/// `ParsePolicy` selects what happens on a bad record: `kStrict` fails
+/// fast with `file:line:column` context in the Status message;
+/// `kPermissive` quarantines the record (counted per error class, first N
+/// offending lines sampled) and keeps going. Duplicate edges are the one
+/// policy-independent class: the in-memory `Dataset` is a set, so a repeat
+/// is always dropped-and-counted, never fatal — failing an entire load for
+/// a benign repeat would make strict mode useless on real data, while
+/// dropping it silently would hide file damage; the report surfaces it.
+
+namespace imcat {
+
+/// What to do when a record fails validation.
+enum class ParsePolicy : int {
+  /// Fail the whole load on the first bad record, with file:line:column
+  /// context in the Status message.
+  kStrict = 0,
+  /// Drop bad records into the quarantine report and keep going.
+  kPermissive = 1,
+};
+
+/// Per-record error taxonomy. Every quarantined record is classified as
+/// exactly one of these.
+enum class IngestError : int {
+  /// The line exceeds `IngestLimits::max_line_bytes` (buffering it whole
+  /// would risk OOM on a corrupt or binary file).
+  kLineTooLong = 0,
+  /// The final line has no terminating newline — the file may have been
+  /// cut mid-record (e.g. id `456` truncated to a plausible `45`), so the
+  /// record cannot be trusted.
+  kTruncatedFinalLine = 1,
+  /// Not exactly two whitespace-separated columns.
+  kBadColumnCount = 2,
+  /// A column is not an integer token.
+  kNonIntegerToken = 3,
+  /// A column is integer-shaped but does not fit in int64.
+  kIdOverflow = 4,
+  /// A negative id.
+  kNegativeId = 5,
+  /// An id above `IngestOptions::max_raw_id`.
+  kIdOutOfRange = 6,
+  /// Left and right id are equal in a file declared self-loop-free.
+  kSelfLoop = 7,
+  /// An exact (left, right) repeat of an earlier record in the same file.
+  /// Policy-independent: always dropped and counted, never fatal.
+  kDuplicateEdge = 8,
+};
+
+/// One past the largest IngestError value; lets tests enumerate the
+/// taxonomy so a new class cannot ship without name/report coverage.
+inline constexpr int kNumIngestErrors = 9;
+
+/// Stable kebab-case name for an error class (report/log vocabulary).
+const char* IngestErrorName(IngestError error);
+
+/// Resource guards for the streaming reader. Exceeding a guard yields a
+/// clean `kResourceExhausted` instead of unbounded memory use.
+struct IngestLimits {
+  /// Whole-file ceiling, checked at open (default 2 GiB).
+  int64_t max_file_bytes = int64_t{2} << 30;
+  /// Per-line ceiling; longer lines are classified kLineTooLong and the
+  /// excess is skipped without buffering (default 64 KiB).
+  int64_t max_line_bytes = int64_t{1} << 16;
+  /// Ceiling on kept edges per file (default 256M edges).
+  int64_t max_records = int64_t{1} << 28;
+};
+
+/// Options for ReadEdgeFile.
+struct IngestOptions {
+  ParsePolicy policy = ParsePolicy::kStrict;
+  IngestLimits limits;
+  /// Raw ids above this bound are classified kIdOutOfRange (they would
+  /// otherwise be remapped silently, masking file damage).
+  int64_t max_raw_id = int64_t{1} << 40;
+  /// When true, records with equal left and right id are classified
+  /// kSelfLoop (for same-domain edge files; bipartite files keep the
+  /// default false — user 5 interacting with item 5 is legitimate).
+  bool reject_self_loops = false;
+  /// How many offending lines to retain verbatim in the report.
+  int64_t max_quarantine_samples = 8;
+};
+
+/// A line delivered by LineReader: 1-based number, byte offset of the line
+/// start, and the text without its newline/CR (BOM stripped on line 1).
+struct RawLine {
+  int64_t number = 0;
+  int64_t offset = 0;
+  /// False when the file ended without a final newline.
+  bool terminated = true;
+  /// True when the line exceeded max_line_bytes; `text` holds the prefix.
+  bool overlong = false;
+  std::string text;
+};
+
+/// Streaming line reader with resource guards and fault-injection hooks.
+/// Memory use is bounded by max_line_bytes + one I/O chunk regardless of
+/// file contents.
+class LineReader {
+ public:
+  LineReader() = default;
+  LineReader(const LineReader&) = delete;
+  LineReader& operator=(const LineReader&) = delete;
+  ~LineReader();
+
+  /// Opens `path` and checks its size against `limits.max_file_bytes`
+  /// (kResourceExhausted when exceeded, kIoError when unopenable).
+  Status Open(const std::string& path, const IngestLimits& limits);
+
+  /// Delivers the next line. Sets `*has_line` false on clean end of file.
+  /// Fails with kIoError on a stream error and kDataLoss when the stream
+  /// ends before the size observed at Open (a short read).
+  Status Next(RawLine* line, bool* has_line);
+
+ private:
+  /// Loads the next chunk through the FaultInjector hooks.
+  Status Refill();
+
+  std::string path_;
+  IngestLimits limits_;
+  std::FILE* file_ = nullptr;
+  int64_t file_size_ = 0;
+  int64_t delivered_ = 0;  ///< Bytes handed to line assembly so far.
+  int64_t line_no_ = 0;
+  bool eof_ = false;
+  bool first_line_ = true;
+  std::vector<unsigned char> buf_;
+  size_t buf_pos_ = 0;
+  size_t buf_len_ = 0;
+};
+
+/// A record retained verbatim in the quarantine report.
+struct QuarantinedRecord {
+  int64_t line = 0;    ///< 1-based line number.
+  int64_t column = 0;  ///< 1-based column of the offending token.
+  IngestError error = IngestError::kBadColumnCount;
+  std::string text;    ///< Offending line, truncated for the report.
+  std::string detail;  ///< Human-readable classification detail.
+};
+
+/// Per-file quarantine accounting. Invariant (asserted by the fuzz
+/// harness): kept + quarantined == total_records, where total_records
+/// counts every non-blank, non-comment line the reader delivered.
+struct IngestFileReport {
+  std::string path;
+  int64_t total_records = 0;
+  int64_t kept = 0;
+  int64_t quarantined = 0;
+  /// Exact count per error class, indexed by IngestError.
+  std::array<int64_t, kNumIngestErrors> error_counts{};
+  /// First max_quarantine_samples offending lines.
+  std::vector<QuarantinedRecord> samples;
+  /// Well-formed edges later removed by the loader's min-degree filters
+  /// (not corruption; outside the kept/quarantined invariant).
+  int64_t filtered_by_degree = 0;
+
+  /// One-line human-readable summary ("path: N records, K kept, ...").
+  std::string Summary() const;
+};
+
+/// The loader's combined report over both input files.
+struct IngestReport {
+  IngestFileReport interactions;
+  IngestFileReport item_tags;
+
+  /// Two-line summary for startup logs.
+  std::string Summary() const;
+};
+
+/// Reads a two-column integer edge file into raw (left, right) id pairs,
+/// deduplicated in first-appearance order, classifying every bad record
+/// per the taxonomy above. `report` is always populated with exact
+/// accounting for everything consumed, including on failure.
+Status ReadEdgeFile(const std::string& path, const IngestOptions& options,
+                    EdgeList* out, IngestFileReport* report);
+
+}  // namespace imcat
+
+#endif  // IMCAT_DATA_INGEST_H_

@@ -1,53 +1,13 @@
 #include "data/loader.h"
 
-#include <cstdio>
-#include <fstream>
 #include <unordered_map>
+#include <utility>
 
-#include "util/string_util.h"
+#include "util/atomic_file.h"
 
 namespace imcat {
 
 namespace {
-
-/// Reads a two-column integer edge file into raw (left, right) id pairs.
-/// Every malformed, negative or out-of-range id is rejected with the
-/// offending line number, so corrupt files fail here with a Status rather
-/// than tripping IMCAT_CHECK aborts deeper in the pipeline.
-Status ReadEdgeFile(const std::string& path, int64_t max_raw_id,
-                    EdgeList* out) {
-  std::ifstream in(path);
-  if (!in.is_open()) return Status::IoError("cannot open " + path);
-  std::string line;
-  int64_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    const std::string at_line = path + ":" + std::to_string(line_no);
-    std::string_view sv = StripWhitespace(line);
-    if (sv.empty() || sv[0] == '#') continue;
-    // Accept tab or any run of spaces as the separator.
-    size_t sep = sv.find_first_of(" \t");
-    if (sep == std::string_view::npos) {
-      return Status::InvalidArgument(at_line + ": expected two columns");
-    }
-    int64_t left = 0, right = 0;
-    if (!ParseInt64(sv.substr(0, sep), &left) ||
-        !ParseInt64(sv.substr(sep + 1), &right)) {
-      return Status::InvalidArgument(at_line + ": malformed ids");
-    }
-    if (left < 0 || right < 0) {
-      return Status::InvalidArgument(
-          at_line + ": negative id " + std::to_string(left < 0 ? left : right));
-    }
-    if (left > max_raw_id || right > max_raw_id) {
-      return Status::InvalidArgument(
-          at_line + ": id " + std::to_string(left > max_raw_id ? left : right) +
-          " exceeds max raw id " + std::to_string(max_raw_id));
-    }
-    out->emplace_back(left, right);
-  }
-  return Status::OK();
-}
 
 /// Dense-id remapper in first-appearance order.
 class IdMap {
@@ -73,7 +33,8 @@ class IdMap {
 
 StatusOr<Dataset> LoadDatasetFromTsv(const std::string& interactions_path,
                                      const std::string& item_tags_path,
-                                     const LoaderOptions& options) {
+                                     const LoaderOptions& options,
+                                     IngestReport* report) {
   if (options.max_raw_id < 0) {
     return Status::InvalidArgument("max_raw_id must be non-negative");
   }
@@ -81,11 +42,27 @@ StatusOr<Dataset> LoadDatasetFromTsv(const std::string& interactions_path,
       options.min_tag_items < 0) {
     return Status::InvalidArgument("filtering thresholds must be >= 0");
   }
+  if (options.limits.max_file_bytes < 0 || options.limits.max_line_bytes <= 0 ||
+      options.limits.max_records < 0) {
+    return Status::InvalidArgument("ingest limits must be non-negative");
+  }
+  IngestReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = IngestReport{};
+
+  IngestOptions ingest;
+  ingest.policy = options.policy;
+  ingest.limits = options.limits;
+  ingest.max_raw_id = options.max_raw_id;
+  ingest.max_quarantine_samples = options.max_quarantine_samples;
+
+  // ReadEdgeFile deduplicates within each file, so the degree counts below
+  // are over distinct edges — duplicates can no longer inflate them.
   EdgeList raw_ui, raw_it;
+  IMCAT_RETURN_IF_ERROR(ReadEdgeFile(interactions_path, ingest, &raw_ui,
+                                     &report->interactions));
   IMCAT_RETURN_IF_ERROR(
-      ReadEdgeFile(interactions_path, options.max_raw_id, &raw_ui));
-  IMCAT_RETURN_IF_ERROR(
-      ReadEdgeFile(item_tags_path, options.max_raw_id, &raw_it));
+      ReadEdgeFile(item_tags_path, ingest, &raw_it, &report->item_tags));
 
   // One filtering pass on raw ids.
   if (options.min_user_interactions > 0 || options.min_item_interactions > 0 ||
@@ -95,12 +72,9 @@ StatusOr<Dataset> LoadDatasetFromTsv(const std::string& interactions_path,
       ++user_deg[u];
       ++item_deg[v];
     }
-    std::unordered_map<int64_t, std::unordered_map<int64_t, bool>> seen_ti;
     for (const auto& [v, t] : raw_it) {
-      if (!seen_ti[t].count(v)) {
-        seen_ti[t][v] = true;
-        ++tag_deg[t];
-      }
+      (void)v;
+      ++tag_deg[t];
     }
     EdgeList ui_kept, it_kept;
     for (const auto& [u, v] : raw_ui) {
@@ -116,6 +90,10 @@ StatusOr<Dataset> LoadDatasetFromTsv(const std::string& interactions_path,
         it_kept.emplace_back(v, t);
       }
     }
+    report->interactions.filtered_by_degree =
+        static_cast<int64_t>(raw_ui.size() - ui_kept.size());
+    report->item_tags.filtered_by_degree =
+        static_cast<int64_t>(raw_it.size() - it_kept.size());
     raw_ui = std::move(ui_kept);
     raw_it = std::move(it_kept);
   }
@@ -134,22 +112,44 @@ StatusOr<Dataset> LoadDatasetFromTsv(const std::string& interactions_path,
   ds.num_users = users.size();
   ds.num_items = items.size();
   ds.num_tags = tags.size();
+  // Ingestion already deduplicated per file and the dense remap is
+  // injective, so these are range-validating sorts that remove nothing.
   DeduplicateEdges(ds.num_users, ds.num_items, &ds.interactions);
   DeduplicateEdges(ds.num_items, ds.num_tags, &ds.item_tags);
   return ds;
 }
 
+namespace {
+
+Status WriteEdgeFile(const EdgeList& edges, const std::string& path) {
+  AtomicFileWriter writer(path);
+  IMCAT_RETURN_IF_ERROR(writer.Open());
+  std::string buffer;
+  for (const auto& [l, r] : edges) {
+    buffer += std::to_string(l);
+    buffer += '\t';
+    buffer += std::to_string(r);
+    buffer += '\n';
+    if (buffer.size() >= size_t{1} << 16) {
+      IMCAT_RETURN_IF_ERROR(writer.Write(buffer));
+      buffer.clear();
+    }
+  }
+  if (!buffer.empty()) IMCAT_RETURN_IF_ERROR(writer.Write(buffer));
+  return writer.Commit();
+}
+
+}  // namespace
+
 Status SaveDatasetToTsv(const Dataset& dataset,
                         const std::string& interactions_path,
                         const std::string& item_tags_path) {
-  std::ofstream ui(interactions_path);
-  if (!ui.is_open())
-    return Status::IoError("cannot write " + interactions_path);
-  for (const auto& [u, v] : dataset.interactions) ui << u << '\t' << v << '\n';
-  std::ofstream it(item_tags_path);
-  if (!it.is_open()) return Status::IoError("cannot write " + item_tags_path);
-  for (const auto& [v, t] : dataset.item_tags) it << v << '\t' << t << '\n';
-  return Status::OK();
+  // Each file is individually atomic; the interactions file is committed
+  // first, so a crash between the two renames leaves a new interactions
+  // file beside the old item-tags file — both untorn and loadable.
+  IMCAT_RETURN_IF_ERROR(WriteEdgeFile(dataset.interactions,
+                                      interactions_path));
+  return WriteEdgeFile(dataset.item_tags, item_tags_path);
 }
 
 }  // namespace imcat

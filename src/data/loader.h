@@ -4,16 +4,23 @@
 #include <string>
 
 #include "data/dataset.h"
+#include "data/ingest.h"
 #include "util/status.h"
 
 /// \file loader.h
 /// TSV dataset loading so that real public datasets (HetRec, CiteULike,
 /// ...) can be dropped in as an alternative to the synthetic generator.
+/// Built on the hardened ingestion subsystem (ingest.h): every record is
+/// validated against the error taxonomy, resource guards bound memory use,
+/// and an IngestReport accounts for everything read.
 ///
-/// File format: one edge per line, two tab- or space-separated integer
-/// columns. Lines starting with '#' and blank lines are skipped. Ids may be
-/// arbitrary non-negative integers; they are remapped to dense [0, n) ids
-/// in first-appearance order.
+/// File format: one edge per line, two whitespace-separated non-negative
+/// integer columns, newline-terminated (CRLF and a UTF-8 BOM are
+/// tolerated). Lines starting with '#' and blank lines are skipped. Ids
+/// may be arbitrary non-negative integers; they are remapped to dense
+/// [0, n) ids in first-appearance order. Duplicate edges are dropped
+/// before the min-degree filters run (so duplicates cannot inflate the
+/// interaction counts the filters use) and are counted in the report.
 
 namespace imcat {
 
@@ -21,8 +28,8 @@ namespace imcat {
 struct LoaderOptions {
   /// Users/items/tags with fewer edges than these thresholds are dropped
   /// (the paper filters users/items with < 10 interactions and tags
-  /// assigned to < 5 items). Filtering is applied once (a single pass), as
-  /// is common practice. Set to 0 to disable.
+  /// assigned to < 5 items). Filtering is applied once (a single pass) on
+  /// deduplicated edges, as is common practice. Set to 0 to disable.
   int64_t min_user_interactions = 0;
   int64_t min_item_interactions = 0;
   int64_t min_tag_items = 0;
@@ -30,18 +37,33 @@ struct LoaderOptions {
   /// otherwise be remapped silently, masking file damage). The default is
   /// far above any real dataset's id space.
   int64_t max_raw_id = int64_t{1} << 40;
+  /// kStrict fails fast on the first bad record with file:line:column
+  /// context; kPermissive quarantines bad records into the IngestReport
+  /// and keeps going. See ingest.h for the taxonomy and semantics.
+  ParsePolicy policy = ParsePolicy::kStrict;
+  /// Resource guards for the streaming reader (file size, line length,
+  /// edge count); exceeding one yields kResourceExhausted.
+  IngestLimits limits;
+  /// How many offending lines the report retains verbatim per file.
+  int64_t max_quarantine_samples = 8;
 };
 
 /// Loads user-item interactions from `interactions_path` and item-tag
 /// labels from `item_tags_path`. Items missing from the interaction file
 /// but present in the tag file are kept; tags for unknown items are
-/// dropped.
+/// dropped. When `report` is non-null it receives exact per-file
+/// quarantine accounting (kept + quarantined == total records), populated
+/// even when the load fails.
 StatusOr<Dataset> LoadDatasetFromTsv(const std::string& interactions_path,
                                      const std::string& item_tags_path,
-                                     const LoaderOptions& options = {});
+                                     const LoaderOptions& options = {},
+                                     IngestReport* report = nullptr);
 
 /// Writes a dataset back to the two-file TSV format (useful for exporting
-/// synthetic data). Overwrites existing files.
+/// synthetic data). Each file is written atomically (temp file + fsync +
+/// rename), so a crash mid-save never leaves a torn TSV where a good file
+/// used to be; the interactions file is committed before the item-tags
+/// file. Overwrites existing files; write errors surface as a Status.
 Status SaveDatasetToTsv(const Dataset& dataset,
                         const std::string& interactions_path,
                         const std::string& item_tags_path);

@@ -1,12 +1,11 @@
 #include "tensor/checkpoint.h"
 
-#include <unistd.h>
-
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 
+#include "util/atomic_file.h"
 #include "util/fault_injector.h"
 
 namespace imcat {
@@ -31,80 +30,6 @@ class Fnv1a {
 
  private:
   uint64_t hash_ = 0xCBF29CE484222325ULL;
-};
-
-/// Writes a byte stream to `<path>.tmp` and renames it over `path` only
-/// after a successful flush + fsync, so a failed or interrupted save never
-/// clobbers an existing good checkpoint. All writes are routed through the
-/// process FaultInjector so tests can inject I/O errors, torn writes and
-/// bit flips.
-class AtomicFileWriter {
- public:
-  explicit AtomicFileWriter(const std::string& path)
-      : final_path_(path), tmp_path_(path + ".tmp") {}
-
-  AtomicFileWriter(const AtomicFileWriter&) = delete;
-  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
-
-  ~AtomicFileWriter() {
-    if (file_ != nullptr) {
-      std::fclose(file_);
-      std::remove(tmp_path_.c_str());
-    }
-  }
-
-  Status Open() {
-    file_ = std::fopen(tmp_path_.c_str(), "wb");
-    if (file_ == nullptr) return Status::IoError("cannot write " + tmp_path_);
-    return Status::OK();
-  }
-
-  Status Write(const void* data, size_t size) {
-    const auto* bytes = static_cast<const unsigned char*>(data);
-    size_t to_write = size;
-    bool injected_failure = false;
-    std::vector<unsigned char> scratch;
-    FaultInjector& injector = FaultInjector::Instance();
-    if (injector.enabled()) {
-      scratch.assign(bytes, bytes + size);
-      to_write = injector.FilterWrite(offset_, scratch.data(), size,
-                                      &injected_failure);
-      bytes = scratch.data();
-    }
-    const size_t written =
-        to_write == 0 ? 0 : std::fwrite(bytes, 1, to_write, file_);
-    offset_ += static_cast<int64_t>(written);
-    if (injected_failure || written != to_write) {
-      return Status::IoError("write failed for " + tmp_path_);
-    }
-    // A short write (to_write < size) is deliberately not an error: it
-    // simulates a torn write the writing process never observed.
-    return Status::OK();
-  }
-
-  Status Commit() {
-    if (std::fflush(file_) != 0 || fsync(fileno(file_)) != 0) {
-      return Status::IoError("flush failed for " + tmp_path_);
-    }
-    FILE* file = file_;
-    file_ = nullptr;
-    if (std::fclose(file) != 0) {
-      std::remove(tmp_path_.c_str());
-      return Status::IoError("close failed for " + tmp_path_);
-    }
-    if (std::rename(tmp_path_.c_str(), final_path_.c_str()) != 0) {
-      std::remove(tmp_path_.c_str());
-      return Status::IoError("cannot rename " + tmp_path_ + " to " +
-                             final_path_);
-    }
-    return Status::OK();
-  }
-
- private:
-  std::string final_path_;
-  std::string tmp_path_;
-  FILE* file_ = nullptr;
-  int64_t offset_ = 0;
 };
 
 template <typename T>

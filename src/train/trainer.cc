@@ -91,6 +91,11 @@ TrainHistory Trainer::Fit(TrainableModel* model,
   AdamOptimizer* optimizer = model->optimizer();
   HealthMonitor health(options.health);
 
+  if (options.verbose && !options.data_provenance.empty()) {
+    IMCAT_LOG(INFO) << model->name()
+                    << " ingest: " << options.data_provenance;
+  }
+
   std::vector<std::vector<float>> best_snapshot;
   double best_recall = -1.0;
   int64_t evals_without_improvement = 0;

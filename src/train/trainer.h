@@ -55,6 +55,11 @@ class TrainableModel : public Ranker {
 /// Training-loop options.
 struct TrainerOptions {
   int64_t max_epochs = 200;
+  /// Optional one-line provenance of the training data (typically
+  /// IngestReport::Summary() from the TSV loader); logged once at the
+  /// start of Fit when verbose, so every training log records exactly
+  /// what the ingestion pipeline kept, quarantined and filtered.
+  std::string data_provenance;
   /// Validate every this many epochs.
   int64_t eval_every = 5;
   /// Stop after this many consecutive validations without improvement.

@@ -1,0 +1,59 @@
+#ifndef IMCAT_UTIL_ATOMIC_FILE_H_
+#define IMCAT_UTIL_ATOMIC_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "util/status.h"
+
+/// \file atomic_file.h
+/// Crash-safe file replacement shared by every writer of durable state
+/// (checkpoints, TSV dataset exports). Data goes to `<path>.tmp`, is
+/// flushed and fsynced, and only then renamed over `path`, so a crash or
+/// injected failure mid-write never leaves a torn file where the final
+/// one should be. All writes are routed through the process FaultInjector
+/// so tests can inject I/O errors, torn writes and bit flips.
+
+namespace imcat {
+
+/// Writes a byte stream to `<path>.tmp` and renames it over `path` only on
+/// Commit(). Destroying the writer without a successful Commit() removes
+/// the temp file and leaves any pre-existing `path` untouched.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(const std::string& path)
+      : final_path_(path), tmp_path_(path + ".tmp") {}
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  ~AtomicFileWriter();
+
+  /// Opens the temp file for writing. Must be called (and succeed) before
+  /// Write/Commit.
+  Status Open();
+
+  /// Appends `size` bytes. A short write injected by the FaultInjector is
+  /// deliberately not an error: it simulates a torn write the writing
+  /// process never observed.
+  Status Write(const void* data, size_t size);
+
+  /// Appends a string (convenience for text formats).
+  Status Write(const std::string& text) {
+    return Write(text.data(), text.size());
+  }
+
+  /// Flushes, fsyncs, closes and renames the temp file into place.
+  Status Commit();
+
+ private:
+  std::string final_path_;
+  std::string tmp_path_;
+  std::FILE* file_ = nullptr;
+  int64_t offset_ = 0;
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_UTIL_ATOMIC_FILE_H_

@@ -17,6 +17,7 @@ void FaultInjector::Reset() {
   bit_flip_armed_ = false;
   nan_loss_armed_ = false;
   read_flip_count_ = 0;
+  short_read_armed_ = false;
   slow_op_count_ = 0;
   load_failure_count_ = 0;
   RecomputeEnabledLocked();
@@ -25,8 +26,8 @@ void FaultInjector::Reset() {
 void FaultInjector::RecomputeEnabledLocked() {
   enabled_.store(write_failure_armed_ || short_write_armed_ ||
                      bit_flip_armed_ || nan_loss_armed_ ||
-                     read_flip_count_ > 0 || slow_op_count_ > 0 ||
-                     load_failure_count_ > 0,
+                     read_flip_count_ > 0 || short_read_armed_ ||
+                     slow_op_count_ > 0 || load_failure_count_ > 0,
                  std::memory_order_relaxed);
 }
 
@@ -58,6 +59,13 @@ void FaultInjector::ArmReadBitFlip(int64_t offset, uint8_t mask,
   read_flip_count_ = count;
   read_flip_offset_ = offset;
   read_flip_mask_ = mask;
+  RecomputeEnabledLocked();
+}
+
+void FaultInjector::ArmShortRead(int64_t after_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  short_read_armed_ = true;
+  short_read_after_ = after_bytes;
   RecomputeEnabledLocked();
 }
 
@@ -124,6 +132,18 @@ void FaultInjector::FilterRead(int64_t stream_offset, unsigned char* buf,
     ++faults_fired_;
     RecomputeEnabledLocked();
   }
+}
+
+size_t FaultInjector::FilterReadLength(int64_t stream_offset, size_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!short_read_armed_) return size;
+  const int64_t end = stream_offset + static_cast<int64_t>(size);
+  if (end <= short_read_after_) return size;
+  short_read_armed_ = false;
+  ++faults_fired_;
+  RecomputeEnabledLocked();
+  return static_cast<size_t>(
+      std::max<int64_t>(0, short_read_after_ - stream_offset));
 }
 
 bool FaultInjector::ConsumeNanLoss() {

@@ -26,6 +26,10 @@
 ///  - read bit flip: one byte at an absolute stream offset is XOR-corrupted
 ///    as it is read back (silent media corruption at rest — the file on
 ///    disk is fine, the bytes the reader sees are not);
+///  - short read: the stream appears to end after N bytes even though the
+///    file is longer (failing media, a file still being copied), so readers
+///    must treat an unexpected EOF — including mid-record — as a definite
+///    error, never as a clean end of data;
 ///  - forced-NaN loss: a TrainableModel test wrapper polls
 ///    ConsumeNanLoss() each TrainStep and poisons the loss when it fires;
 ///  - forced-slow operation: instrumented hot paths poll ConsumeSlowOp()
@@ -73,6 +77,12 @@ class FaultInjector {
   /// itself is untouched (silent media/transport corruption).
   void ArmReadBitFlip(int64_t offset, uint8_t mask, int64_t count = 1);
 
+  /// Arms a read-side truncation: instrumented readers observe EOF after
+  /// `after_bytes` bytes of the stream even though the file on disk is
+  /// longer (a short read from failing media, or a file still being
+  /// copied). Fires once, on the read that crosses the boundary.
+  void ArmShortRead(int64_t after_bytes);
+
   /// Arms a forced-NaN training loss on the `after_steps`-th subsequent
   /// call to ConsumeNanLoss() (0 = the very next call).
   void ArmNanLoss(int64_t after_steps);
@@ -98,6 +108,13 @@ class FaultInjector {
   /// place when a read bit flip is armed for a position inside
   /// [stream_offset, stream_offset + size), consuming one armed count.
   void FilterRead(int64_t stream_offset, unsigned char* buf, size_t size);
+
+  /// Length hook used by instrumented readers before consuming a chunk:
+  /// returns how many of the `size` bytes starting at `stream_offset` the
+  /// reader should see. Less than `size` (possibly 0) when a short read is
+  /// armed and the chunk crosses the boundary; the reader then treats the
+  /// stream as ended.
+  size_t FilterReadLength(int64_t stream_offset, size_t size);
 
   /// Poll point for the forced-NaN loss fault; returns true when the
   /// armed step is reached.
@@ -134,6 +151,8 @@ class FaultInjector {
   int64_t read_flip_count_ = 0;
   int64_t read_flip_offset_ = 0;
   uint8_t read_flip_mask_ = 0;
+  bool short_read_armed_ = false;
+  int64_t short_read_after_ = 0;
   int64_t slow_op_count_ = 0;
   double slow_op_millis_ = 0.0;
   int64_t load_failure_count_ = 0;

@@ -27,11 +27,14 @@ enum class StatusCode : int {
   /// The service cannot take the request right now (overload, shed load,
   /// shutdown); safe to retry later.
   kUnavailable = 7,
+  /// An input exceeds a configured resource guard (file size, line length,
+  /// record count); processing it further would risk OOM or unbounded work.
+  kResourceExhausted = 8,
 };
 
 /// One past the largest StatusCode value; lets tests enumerate every code
 /// so a new code cannot ship without ToString coverage.
-inline constexpr int kNumStatusCodes = 8;
+inline constexpr int kNumStatusCodes = 9;
 
 /// A success-or-error result carrying a code and human-readable message.
 class Status {
@@ -63,6 +66,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

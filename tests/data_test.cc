@@ -251,6 +251,43 @@ TEST(LoaderTest, InvalidOptionsRejected) {
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(LoaderTest, SplitDeterministicUnderPermissiveDrops) {
+  // Satellite guarantee: a permissive-mode load that quarantines corrupt
+  // records yields the same dataset — and therefore bit-identical splits
+  // for the same seed — as a clean file containing only the survivors.
+  const std::string clean_ui = ::testing::TempDir() + "/perm_clean_ui.tsv";
+  FILE* f = std::fopen(clean_ui.c_str(), "w");
+  std::fputs("1 10\n1 11\n2 10\n2 12\n3 11\n3 12\n", f);
+  std::fclose(f);
+  const std::string dirty_ui = ::testing::TempDir() + "/perm_dirty_ui.tsv";
+  f = std::fopen(dirty_ui.c_str(), "w");
+  // Same records, interleaved with garbage that permissive mode drops.
+  std::fputs(
+      "1 10\nGARBAGE\n1 11\n2 10\nx -9\n2 12\n1 10\n3 11\n3 12\nq q q\n", f);
+  std::fclose(f);
+  const std::string it = ::testing::TempDir() + "/perm_split_it.tsv";
+  f = std::fopen(it.c_str(), "w");
+  std::fputs("10 100\n11 100\n12 101\n", f);
+  std::fclose(f);
+
+  LoaderOptions options;
+  options.policy = ParsePolicy::kPermissive;
+  StatusOr<Dataset> clean = LoadDatasetFromTsv(clean_ui, it, options);
+  StatusOr<Dataset> dirty = LoadDatasetFromTsv(dirty_ui, it, options);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_TRUE(dirty.ok()) << dirty.status().ToString();
+  EXPECT_EQ(clean.value().interactions, dirty.value().interactions);
+  EXPECT_EQ(clean.value().item_tags, dirty.value().item_tags);
+
+  SplitOptions split_options;
+  split_options.seed = 42;
+  DataSplit a = SplitByUser(clean.value(), split_options);
+  DataSplit b = SplitByUser(dirty.value(), split_options);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.validation, b.validation);
+  EXPECT_EQ(a.test, b.test);
+}
+
 // ---------------------------------------------------------------------------
 // Synthetic generator tests.
 // ---------------------------------------------------------------------------

@@ -136,6 +136,8 @@ TEST(StatusTest, ToStringCoversAllCodes) {
   EXPECT_EQ(Status::DataLoss("m").ToString(), "DataLoss: m");
   EXPECT_EQ(Status::DeadlineExceeded("m").ToString(), "DeadlineExceeded: m");
   EXPECT_EQ(Status::Unavailable("m").ToString(), "Unavailable: m");
+  EXPECT_EQ(Status::ResourceExhausted("m").ToString(),
+            "ResourceExhausted: m");
 }
 
 TEST(StatusTest, EveryCodeStringifies) {
