@@ -1,0 +1,100 @@
+// Evaluator throughput: serial Evaluate versus the ThreadPool-parallel
+// path at 1, 2 and 8 threads. Two claims are checked, matching the
+// threading-model contract (DESIGN.md §8):
+//   1. every parallel run is bit-identical to the serial run (the
+//      deterministic index-ordered reduction), and
+//   2. parallelism actually pays: wall-clock speedup at 8 threads.
+// Honours the standard IMCAT_BENCH_* environment overrides.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/runner.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+double MedianSeconds(const std::function<void()>& fn, int reps) {
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    times.push_back(elapsed.count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+bool BitIdentical(const imcat::EvalResult& a, const imcat::EvalResult& b) {
+  return a.num_users == b.num_users && a.recall == b.recall &&
+         a.ndcg == b.ndcg && a.precision == b.precision &&
+         a.hit_rate == b.hit_rate && a.mrr == b.mrr;
+}
+
+}  // namespace
+
+int main() {
+  using imcat::bench::BenchEnv;
+  BenchEnv env = BenchEnv::FromEnvironment();
+  imcat::bench::PrintBanner(
+      "Evaluator throughput — serial vs parallel Evaluate", env);
+
+  imcat::bench::Workload workload =
+      imcat::bench::MakeWorkload("CiteULike", env, /*seed=*/1);
+
+  // One briefly-trained real model: the scoring cost (and hence the
+  // parallel speedup) does not depend on how converged it is.
+  BenchEnv train_env = env;
+  train_env.max_epochs = 2;
+  imcat::bench::TrainedModel trained =
+      imcat::bench::TrainModel("BPRMF", &workload, train_env, /*seed=*/1);
+  const imcat::Ranker& ranker = *trained.model;
+
+  const int top_n = 20;
+  const int reps = 5;
+  const imcat::EvalResult serial_result =
+      workload.evaluator.Evaluate(ranker, workload.split.test, top_n);
+  const double serial_sec = MedianSeconds(
+      [&] { workload.evaluator.Evaluate(ranker, workload.split.test, top_n); },
+      reps);
+
+  std::printf("\ntest users evaluated: %lld, items scored per user: %lld\n",
+              static_cast<long long>(serial_result.num_users),
+              static_cast<long long>(workload.dataset.num_items));
+
+  imcat::TablePrinter table(
+      {"threads", "median sec", "speedup", "bit-identical"});
+  table.AddRow({"serial", imcat::FormatDouble(serial_sec, 4), "1.00", "ref"});
+  for (int64_t threads : {1, 2, 8}) {
+    imcat::ThreadPoolOptions options;
+    options.num_threads = threads;
+    imcat::ThreadPool pool(options);
+    const imcat::EvalResult parallel_result = workload.evaluator.Evaluate(
+        ranker, workload.split.test, top_n, {}, &pool);
+    const double parallel_sec = MedianSeconds(
+        [&] {
+          workload.evaluator.Evaluate(ranker, workload.split.test, top_n, {},
+                                      &pool);
+        },
+        reps);
+    table.AddRow({std::to_string(threads),
+                  imcat::FormatDouble(parallel_sec, 4),
+                  imcat::FormatDouble(serial_sec / parallel_sec, 2),
+                  BitIdentical(serial_result, parallel_result) ? "yes"
+                                                               : "NO"});
+    if (!BitIdentical(serial_result, parallel_result)) {
+      std::fprintf(stderr,
+                   "FATAL: parallel Evaluate at %lld threads diverged from "
+                   "the serial result\n",
+                   static_cast<long long>(threads));
+      return 1;
+    }
+  }
+  table.Print();
+  return 0;
+}

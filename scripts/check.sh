@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
-# Full verification sweep: build and run the test suite twice —
-#   1. plain Release (the tier-1 configuration), and
-#   2. instrumented with AddressSanitizer + UBSan (IMCAT_SANITIZE).
-# The sanitized pass also re-runs the checkpoint durability suite
-# explicitly (v1 read-compat, truncation and bit-flip sweeps), so storage
-# corruption handling is always exercised under ASan/UBSan even if the
-# main sweep is filtered down.
+# Full verification sweep: build and run the test suite across the
+# sanitizer matrix —
+#   1. plain Release (the tier-1 configuration),
+#   2. AddressSanitizer + UBSan (memory/UB bugs), and
+#   3. ThreadSanitizer (data races, lock-order inversions).
+# The ASan pass also re-runs the checkpoint durability suite explicitly
+# (v1 read-compat, truncation and bit-flip sweeps), so storage corruption
+# handling is always exercised under ASan/UBSan even if the main sweep is
+# filtered down. The TSan pass re-runs the concurrency stress suites
+# (ctest -L race, -L chaos) explicitly: those tests exist to generate racy
+# schedules for TSan to observe, so "zero TSan reports" is what the pass
+# proves.
 # Usage:
-#   scripts/check.sh            # both passes
+#   scripts/check.sh            # full matrix: plain + asan/ubsan + tsan
 #   scripts/check.sh --plain    # tier-1 only
-#   scripts/check.sh --sanitize # sanitized only
+#   scripts/check.sh --sanitize # asan/ubsan leg only
+#   scripts/check.sh --tsan     # tsan leg only (full suite + race/chaos)
 #   scripts/check.sh --chaos    # fault-injection + serving chaos suites
 #   scripts/check.sh --fuzz     # ingestion corruption-fuzz sweep (sanitized)
 set -euo pipefail
@@ -19,15 +25,17 @@ jobs=$(nproc 2>/dev/null || echo 4)
 
 run_plain=1
 run_sanitized=1
+run_tsan=1
 run_chaos=0
 run_fuzz=0
 case "${1:-}" in
-  --plain)    run_sanitized=0 ;;
-  --sanitize) run_plain=0 ;;
-  --chaos)    run_plain=0; run_sanitized=0; run_chaos=1 ;;
-  --fuzz)     run_plain=0; run_sanitized=0; run_fuzz=1 ;;
+  --plain)    run_sanitized=0; run_tsan=0 ;;
+  --sanitize) run_plain=0; run_tsan=0 ;;
+  --tsan)     run_plain=0; run_sanitized=0 ;;
+  --chaos)    run_plain=0; run_sanitized=0; run_tsan=0; run_chaos=1 ;;
+  --fuzz)     run_plain=0; run_sanitized=0; run_tsan=0; run_fuzz=1 ;;
   "") ;;
-  *) echo "usage: $0 [--plain|--sanitize|--chaos|--fuzz]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--plain|--sanitize|--tsan|--chaos|--fuzz]" >&2; exit 2 ;;
 esac
 
 if [[ "$run_plain" == 1 ]]; then
@@ -44,6 +52,21 @@ if [[ "$run_sanitized" == 1 ]]; then
   (cd build-asan && ctest --output-on-failure -j "$jobs")
   echo "=== sanitized checkpoint durability sweep ==="
   (cd build-asan && ctest --output-on-failure -R 'CheckpointTest')
+fi
+
+if [[ "$run_tsan" == 1 ]]; then
+  # ThreadSanitizer slows execution ~5-15x; the per-test TIMEOUT
+  # properties in tests/CMakeLists.txt are sized for this. halt_on_error
+  # makes the first race fail the test immediately instead of letting a
+  # corrupted schedule mask later reports.
+  echo "=== thread-sanitized build (thread) ==="
+  cmake -B build-tsan -S . -DIMCAT_SANITIZE="thread" >/dev/null
+  cmake --build build-tsan -j "$jobs"
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
+      ctest --output-on-failure -j "$jobs")
+  echo "=== concurrency stress suites under TSan (ctest -L 'race|chaos') ==="
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
+      ctest -L 'race|chaos' --output-on-failure)
 fi
 
 if [[ "$run_chaos" == 1 ]]; then

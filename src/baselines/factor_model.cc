@@ -26,7 +26,7 @@ void FactorModelBase::RegisterParameters(
 
 double FactorModelBase::TrainStep(Rng* rng) {
   TripletBatch batch;
-  sampler_.SampleBatch(batch_size_, rng, &batch);
+  sampler_.SampleBatch(batch_size_, rng, &batch, pool_);
   Tensor loss = BuildLoss(batch, rng);
   optimizer_.ZeroGrad();
   Backward(loss);
@@ -40,16 +40,19 @@ int64_t FactorModelBase::StepsPerEpoch() const {
   return (sampler_.num_edges() + batch_size_ - 1) / batch_size_;
 }
 
+void FactorModelBase::PrepareScoring() const {
+  if (cache_valid_) return;
+  ComputeEvalFactors(&user_factors_, &item_factors_);
+  IMCAT_CHECK_EQ(static_cast<int64_t>(user_factors_.size()),
+                 num_users_ * dim_);
+  IMCAT_CHECK_EQ(static_cast<int64_t>(item_factors_.size()),
+                 num_items_ * dim_);
+  cache_valid_ = true;
+}
+
 void FactorModelBase::ScoreItemsForUser(int64_t user,
                                         std::vector<float>* scores) const {
-  if (!cache_valid_) {
-    ComputeEvalFactors(&user_factors_, &item_factors_);
-    IMCAT_CHECK_EQ(static_cast<int64_t>(user_factors_.size()),
-                   num_users_ * dim_);
-    IMCAT_CHECK_EQ(static_cast<int64_t>(item_factors_.size()),
-                   num_items_ * dim_);
-    cache_valid_ = true;
-  }
+  if (!cache_valid_) PrepareScoring();
   scores->assign(num_items_, 0.0f);
   const float* u = user_factors_.data() + user * dim_;
   for (int64_t v = 0; v < num_items_; ++v) {

@@ -29,10 +29,14 @@ class FactorModelBase : public TrainableModel {
 
   double TrainStep(Rng* rng) final;
   int64_t StepsPerEpoch() const override;
+  void set_thread_pool(ThreadPool* pool) final { pool_ = pool; }
   std::string name() const override { return name_; }
   std::vector<Tensor> Parameters() override { return parameters_; }
   void ScoreItemsForUser(int64_t user,
                          std::vector<float>* scores) const final;
+  /// Recomputes the shared factor cache up front; required before
+  /// concurrent ScoreItemsForUser calls.
+  void PrepareScoring() const final;
 
  protected:
   /// Builds the full training loss for one step. `batch` holds the
@@ -65,6 +69,7 @@ class FactorModelBase : public TrainableModel {
   AdamOptimizer optimizer_;
   std::vector<Tensor> parameters_;
   int64_t step_ = 0;
+  ThreadPool* pool_ = nullptr;  ///< Optional parallel-sampling pool.
 
   mutable bool cache_valid_ = false;
   mutable std::vector<float> user_factors_;

@@ -65,14 +65,14 @@ double ImcatModel::TrainStep(Rng* rng) {
 
   // L_UV: the BPR ranking loss on user-item interactions (Eq. 1).
   TripletBatch ui_batch;
-  ui_sampler_.SampleBatch(config_.batch_size, rng, &ui_batch);
+  ui_sampler_.SampleBatch(config_.batch_size, rng, &ui_batch, pool_);
   Tensor loss = BprLossFromBackbone(backbone_.get(), ui_batch);
   last_losses_.uv = loss.item();
 
   // L_VT: BPR over item-tag labels (Eq. 2) — recommend tags to items.
   {
     TripletBatch vt_batch;
-    vt_sampler_.SampleBatch(config_.batch_size, rng, &vt_batch);
+    vt_sampler_.SampleBatch(config_.batch_size, rng, &vt_batch, pool_);
     Tensor items = ops::Gather(backbone_->ItemEmbeddings(), vt_batch.anchors);
     Tensor pos_tags = ops::Gather(tag_table_, vt_batch.positives);
     Tensor neg_tags = ops::Gather(tag_table_, vt_batch.negatives);

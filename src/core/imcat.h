@@ -39,8 +39,10 @@ class ImcatModel : public TrainableModel {
   std::vector<Tensor> Parameters() override;
   std::string name() const override;
   AdamOptimizer* optimizer() override { return &optimizer_; }
+  void set_thread_pool(ThreadPool* pool) override { pool_ = pool; }
   void ScoreItemsForUser(int64_t user,
                          std::vector<float>* scores) const override;
+  void PrepareScoring() const override { backbone_->PrepareScoring(); }
 
   /// Accessors for analysis / examples.
   Backbone* backbone() { return backbone_.get(); }
@@ -78,6 +80,7 @@ class ImcatModel : public TrainableModel {
   TripletSampler ui_sampler_;  ///< (u, v+, v-) for L_UV.
   TripletSampler vt_sampler_;  ///< (v, t+, t-) for L_VT.
   ItemBatchSampler item_sampler_;
+  ThreadPool* pool_ = nullptr;  ///< Optional parallel-sampling pool.
 
   AdamOptimizer optimizer_;
   int64_t step_ = 0;

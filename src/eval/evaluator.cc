@@ -57,7 +57,8 @@ std::vector<int64_t> Evaluator::TopNForUser(const Ranker& ranker, int64_t user,
 
 EvalResult Evaluator::Evaluate(const Ranker& ranker,
                                const EdgeList& eval_edges, int top_n,
-                               const std::vector<int64_t>& user_subset) const {
+                               const std::vector<int64_t>& user_subset,
+                               ThreadPool* pool) const {
   const std::vector<ItemSet> relevant = RelevantSets(eval_edges);
   std::vector<int64_t> users;
   if (user_subset.empty()) {
@@ -66,15 +67,48 @@ EvalResult Evaluator::Evaluate(const Ranker& ranker,
     users = user_subset;
   }
 
-  EvalResult result;
-  for (int64_t u : users) {
-    if (relevant[u].empty()) continue;
+  // Materialise lazy eval caches single-threaded before any fan-out (and
+  // on the serial path too, so both paths see the same ranker state).
+  ranker.PrepareScoring();
+
+  // Per-user metric slots. Each slot is written by exactly one index of
+  // the ParallelFor, then reduced serially in index order below — the
+  // summation order is therefore identical to the serial loop, making the
+  // averaged result bit-identical at any thread count.
+  struct PerUser {
+    double recall = 0.0, ndcg = 0.0, precision = 0.0;
+    double hit_rate = 0.0, mrr = 0.0;
+    bool counted = false;
+  };
+  std::vector<PerUser> slots(users.size());
+  auto eval_one = [&](int64_t idx) {
+    const int64_t u = users[static_cast<size_t>(idx)];
+    if (relevant[u].empty()) return;
     const std::vector<int64_t> top = TopNForUser(ranker, u, top_n);
-    result.recall += RecallAtN(top, relevant[u], top_n);
-    result.ndcg += NdcgAtN(top, relevant[u], top_n);
-    result.precision += PrecisionAtN(top, relevant[u], top_n);
-    result.hit_rate += HitRateAtN(top, relevant[u], top_n);
-    result.mrr += MrrAtN(top, relevant[u], top_n);
+    PerUser& slot = slots[static_cast<size_t>(idx)];
+    slot.recall = RecallAtN(top, relevant[u], top_n);
+    slot.ndcg = NdcgAtN(top, relevant[u], top_n);
+    slot.precision = PrecisionAtN(top, relevant[u], top_n);
+    slot.hit_rate = HitRateAtN(top, relevant[u], top_n);
+    slot.mrr = MrrAtN(top, relevant[u], top_n);
+    slot.counted = true;
+  };
+  const int64_t n = static_cast<int64_t>(users.size());
+  if (pool != nullptr) {
+    Status st = pool->ParallelFor(0, n, eval_one);
+    IMCAT_CHECK(st.ok());  // Metric code does not throw.
+  } else {
+    for (int64_t idx = 0; idx < n; ++idx) eval_one(idx);
+  }
+
+  EvalResult result;
+  for (const PerUser& slot : slots) {
+    if (!slot.counted) continue;
+    result.recall += slot.recall;
+    result.ndcg += slot.ndcg;
+    result.precision += slot.precision;
+    result.hit_rate += slot.hit_rate;
+    result.mrr += slot.mrr;
     ++result.num_users;
   }
   if (result.num_users > 0) {

@@ -6,11 +6,17 @@
 #include "data/dataset.h"
 #include "data/split.h"
 #include "eval/metrics.h"
+#include "util/thread_pool.h"
 
 /// \file evaluator.h
 /// Full-ranking evaluation (Sec. V-B): for every user with held-out items,
 /// score all items, mask the user's training items, take the top N and
-/// average the ranking metrics over users.
+/// average the ranking metrics over users. Evaluation parallelizes per
+/// user over a ThreadPool with a reduction that is deterministic by
+/// construction: per-user metrics are written into slots owned by the
+/// user's position and accumulated serially in index order afterwards, so
+/// the EvalResult — floating-point summation order included — is
+/// bit-identical to the serial path at any thread count.
 
 namespace imcat {
 
@@ -22,8 +28,19 @@ class Ranker {
 
   /// Writes a relevance score for every item (resizing `scores` to the
   /// item count). Higher is better. Must not depend on held-out data.
+  ///
+  /// Thread-safety contract: after PrepareScoring() has returned, and
+  /// until the next parameter update, concurrent calls for distinct users
+  /// must be safe — the parallel evaluator calls this from many threads.
   virtual void ScoreItemsForUser(int64_t user,
                                  std::vector<float>* scores) const = 0;
+
+  /// Builds any lazily derived evaluation state (propagated factor
+  /// caches, ...) up front. Rankers whose ScoreItemsForUser would
+  /// otherwise materialise a shared cache on first call must override
+  /// this so the cache is built once, single-threaded, before the
+  /// parallel fan-out. Default: nothing to prepare.
+  virtual void PrepareScoring() const {}
 };
 
 /// Averaged metrics over the evaluated users.
@@ -46,10 +63,12 @@ class Evaluator {
   /// Evaluates `ranker` at cutoff `top_n` on `eval_edges` (typically
   /// split.validation or split.test). Training items are excluded from the
   /// candidate ranking. Optionally restricts to `user_subset` (empty =>
-  /// all users).
+  /// all users). When `pool` is non-null the per-user scoring fans out
+  /// across it; the result is bit-identical to the serial path (index-
+  /// ordered reduction) for any thread count.
   EvalResult Evaluate(const Ranker& ranker, const EdgeList& eval_edges,
-                      int top_n,
-                      const std::vector<int64_t>& user_subset = {}) const;
+                      int top_n, const std::vector<int64_t>& user_subset = {},
+                      ThreadPool* pool = nullptr) const;
 
   /// Returns the ranked top-N items for one user (training items masked).
   std::vector<int64_t> TopNForUser(const Ranker& ranker, int64_t user,

@@ -17,7 +17,7 @@ BprModel::BprModel(std::unique_ptr<Backbone> backbone, const Dataset& dataset,
 
 double BprModel::TrainStep(Rng* rng) {
   TripletBatch batch;
-  sampler_.SampleBatch(batch_size_, rng, &batch);
+  sampler_.SampleBatch(batch_size_, rng, &batch, pool_);
   backbone_->BeginStep();
   Tensor loss = BprLossFromBackbone(backbone_.get(), batch);
   optimizer_.ZeroGrad();

@@ -83,8 +83,10 @@ class BprModel : public TrainableModel {
   std::vector<Tensor> Parameters() override;
   std::string name() const override;
   AdamOptimizer* optimizer() override { return &optimizer_; }
+  void set_thread_pool(ThreadPool* pool) override { pool_ = pool; }
   void ScoreItemsForUser(int64_t user,
                          std::vector<float>* scores) const override;
+  void PrepareScoring() const override { backbone_->PrepareScoring(); }
 
   Backbone* backbone() { return backbone_.get(); }
 
@@ -93,6 +95,7 @@ class BprModel : public TrainableModel {
   TripletSampler sampler_;
   AdamOptimizer optimizer_;
   int64_t batch_size_;
+  ThreadPool* pool_ = nullptr;  ///< Optional parallel-sampling pool.
 };
 
 /// Builds the BPR ranking loss -log sigma(s+ - s-) for a triplet batch

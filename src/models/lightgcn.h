@@ -39,6 +39,11 @@ class LightGcn : public Backbone {
 
   void ScoreItemsForUser(int64_t user,
                          std::vector<float>* scores) const override;
+  /// Builds the propagated factor cache up front; required before
+  /// concurrent ScoreItemsForUser calls (the cache is shared state).
+  void PrepareScoring() const override {
+    if (!eval_cache_valid_) RefreshEvalCache();
+  }
   void InvalidateEvalCache() override { eval_cache_valid_ = false; }
 
   int num_layers() const { return num_layers_; }

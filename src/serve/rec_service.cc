@@ -1,6 +1,7 @@
 #include "serve/rec_service.h"
 
 #include <chrono>
+#include <thread>
 #include <utility>
 
 #include "util/check.h"
@@ -14,10 +15,13 @@ void DefaultSleepMs(double millis) {
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(millis));
 }
 
-std::future<RecResponse> ReadyResponse(RecResponse response) {
-  std::promise<RecResponse> promise;
-  promise.set_value(std::move(response));
-  return promise.get_future();
+ThreadPoolOptions ServicePoolOptions(const RecServiceOptions& options) {
+  IMCAT_CHECK(options.num_workers >= 1);
+  IMCAT_CHECK(options.queue_capacity >= 1);
+  ThreadPoolOptions popts;
+  popts.num_threads = options.num_workers;
+  popts.queue_capacity = options.queue_capacity;
+  return popts;
 }
 
 }  // namespace
@@ -32,15 +36,10 @@ RecService::RecService(std::shared_ptr<const PopularityRanker> fallback,
         return ropts;
       }()),
       breaker_(options.breaker, options.now_ms),
-      sleep_ms_(options.sleep_ms ? options.sleep_ms : DefaultSleepMs) {
+      sleep_ms_(options.sleep_ms ? options.sleep_ms : DefaultSleepMs),
+      pool_(ServicePoolOptions(options)) {
   IMCAT_CHECK(fallback_ != nullptr);
-  IMCAT_CHECK(options_.num_workers >= 1);
-  IMCAT_CHECK(options_.queue_capacity >= 1);
   IMCAT_CHECK(options_.default_top_k >= 1);
-  workers_.reserve(static_cast<size_t>(options_.num_workers));
-  for (int64_t i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
 }
 
 RecService::~RecService() { Shutdown(); }
@@ -57,7 +56,7 @@ Status RecService::LoadSnapshot(const std::string& path) {
           next_snapshot_version_.fetch_add(1, std::memory_order_relaxed));
       // Atomic publish: readers holding the old snapshot keep it alive
       // until their request completes.
-      snapshot_.store(std::shared_ptr<const EmbeddingSnapshot>(loaded));
+      PublishSnapshot(std::move(loaded));
       breaker_.RecordSuccess();
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
@@ -82,85 +81,61 @@ Status RecService::LoadSnapshot(const std::string& path) {
 }
 
 std::future<RecResponse> RecService::Submit(RecRequest request) {
-  bool was_stopped = false;
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    was_stopped = stopped_;
-    if (!stopped_ &&
-        static_cast<int64_t>(queue_.size()) < options_.queue_capacity) {
-      Task task;
-      task.request = std::move(request);
-      std::future<RecResponse> future = task.promise.get_future();
-      queue_.push_back(std::move(task));
-      queue_cv_.notify_one();
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.accepted;
-      return future;
-    }
+  auto task = std::make_shared<Task>();
+  task->request = std::move(request);
+  std::future<RecResponse> future = task->promise.get_future();
+  // Admission rides on the pool's bounded queue. The cancel callback is
+  // the shutdown contract: a request still queued when Shutdown() runs is
+  // resolved to kUnavailable — its future is always eventually satisfied,
+  // never hung, never dropped.
+  Status admitted = pool_.TrySubmit(
+      [this, task] { task->promise.set_value(Handle(task->request)); },
+      [task] {
+        RecResponse response;
+        response.status = Status::Unavailable("service is shut down");
+        task->promise.set_value(std::move(response));
+      });
+  if (admitted.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.accepted;
+    return future;
   }
   // Load shedding: reject immediately with a definite status instead of
   // queueing unboundedly.
   RecResponse shed;
   shed.status = Status::Unavailable(
-      was_stopped ? "service is shut down"
-                  : "work queue full (" +
-                        std::to_string(options_.queue_capacity) +
-                        " requests); load shed, retry later");
+      pool_.stopped() ? "service is shut down"
+                      : "work queue full (" +
+                            std::to_string(options_.queue_capacity) +
+                            " requests); load shed, retry later");
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.shed;
   }
-  return ReadyResponse(std::move(shed));
+  task->promise.set_value(std::move(shed));
+  return future;
 }
 
 RecResponse RecService::Recommend(RecRequest request) {
   return Submit(std::move(request)).get();
 }
 
-void RecService::Shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (stopped_) return;
-    stopped_ = true;
-  }
-  queue_cv_.notify_all();
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
-  // Fail whatever is still queued with a definite status.
-  std::deque<Task> leftover;
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    leftover.swap(queue_);
-  }
-  for (Task& task : leftover) {
-    RecResponse response;
-    response.status = Status::Unavailable("service is shut down");
-    task.promise.set_value(std::move(response));
-  }
+void RecService::Shutdown() { pool_.Shutdown(); }
+
+void RecService::PublishSnapshot(
+    std::shared_ptr<const EmbeddingSnapshot> snapshot) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(snapshot);
 }
 
 std::shared_ptr<const EmbeddingSnapshot> RecService::snapshot() const {
-  return snapshot_.load();
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
 }
 
 RecServiceStats RecService::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return stats_;
-}
-
-void RecService::WorkerLoop() {
-  while (true) {
-    Task task;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
-      if (stopped_) return;  // Leftovers are failed by Shutdown().
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    task.promise.set_value(Handle(task.request));
-  }
 }
 
 RecResponse RecService::Handle(const RecRequest& request) {
@@ -169,7 +144,7 @@ RecResponse RecService::Handle(const RecRequest& request) {
   const double deadline_ms = request.deadline_ms == 0.0
                                  ? options_.default_deadline_ms
                                  : request.deadline_ms;
-  std::shared_ptr<const EmbeddingSnapshot> snapshot = snapshot_.load();
+  std::shared_ptr<const EmbeddingSnapshot> snapshot = this->snapshot();
 
   // Validation: out-of-range ids are a clean error, never UB. The upper
   // bound is checked against the snapshot when one is published; in

@@ -2,15 +2,12 @@
 #define IMCAT_SERVE_REC_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "serve/circuit_breaker.h"
@@ -20,6 +17,7 @@
 #include "serve/types.h"
 #include "util/backoff.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 /// \file rec_service.h
 /// The fault-tolerant recommendation service front end. Robustness
@@ -29,7 +27,9 @@
 ///    non-positive k) get a clean kInvalidArgument, never UB;
 ///  - bounded work queue with load shedding: when the queue is full a
 ///    request is rejected immediately with kUnavailable instead of
-///    queueing unboundedly and blowing latency for everyone;
+///    queueing unboundedly and blowing latency for everyone (admission
+///    control and workers ride on the shared ThreadPool substrate, so the
+///    enqueue-vs-shutdown contract is the pool's tested contract);
 ///  - deadline budgets: scoring checks the per-request deadline between
 ///    blocks and returns kDeadlineExceeded instead of hanging;
 ///  - snapshot loading retries with exponential backoff + jitter;
@@ -38,8 +38,9 @@
 ///  - graceful degradation: while the breaker is open or no snapshot is
 ///    loadable, requests are answered from the precomputed popularity
 ///    ranking with `degraded=true` — the service keeps answering;
-///  - hot snapshot reload via atomic shared_ptr swap: a mid-flight request
-///    keeps scoring against the snapshot it started with.
+///  - hot snapshot reload via an atomically published shared_ptr: a
+///    mid-flight request keeps scoring against the snapshot it started
+///    with.
 
 namespace imcat {
 
@@ -119,7 +120,6 @@ class RecService {
     std::promise<RecResponse> promise;
   };
 
-  void WorkerLoop();
   RecResponse Handle(const RecRequest& request);
   RecResponse DegradedResponse(int64_t top_k,
                                const std::vector<int64_t>& exclude);
@@ -130,18 +130,27 @@ class RecService {
   CircuitBreaker breaker_;
   std::function<void(double)> sleep_ms_;
 
-  std::atomic<std::shared_ptr<const EmbeddingSnapshot>> snapshot_{nullptr};
+  /// The published snapshot, guarded by its own mutex. Readers copy the
+  /// shared_ptr under the lock and then score lock-free against their
+  /// copy, which stays alive across a concurrent hot swap. (A plain
+  /// mutex instead of std::atomic<shared_ptr>: the libstdc++ lock-bit
+  /// implementation is opaque to ThreadSanitizer, and the uncontended
+  /// lock is negligible next to scoring.)
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const EmbeddingSnapshot> snapshot_;
+  /// Atomically replaces the published snapshot.
+  void PublishSnapshot(std::shared_ptr<const EmbeddingSnapshot> snapshot);
+
   std::mutex load_mu_;  ///< Serialises LoadSnapshot calls.
   std::atomic<int64_t> next_snapshot_version_{1};
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Task> queue_;
-  bool stopped_ = false;
-  std::vector<std::thread> workers_;
-
   mutable std::mutex stats_mu_;
   RecServiceStats stats_;
+
+  /// Workers + bounded queue + shutdown contract. Declared last so the
+  /// pool (and with it every in-flight Handle referencing this service)
+  /// is torn down before any other member.
+  ThreadPool pool_;
 };
 
 }  // namespace imcat

@@ -17,24 +17,44 @@ TripletSampler::TripletSampler(int64_t num_anchors, int64_t num_candidates,
 }
 
 void TripletSampler::SampleBatch(int64_t batch_size, Rng* rng,
-                                 TripletBatch* batch) const {
+                                 TripletBatch* batch,
+                                 ThreadPool* pool) const {
   batch->anchors.resize(batch_size);
   batch->positives.resize(batch_size);
   batch->negatives.resize(batch_size);
   const int64_t num_edges = static_cast<int64_t>(edges_.size());
-  for (int64_t i = 0; i < batch_size; ++i) {
-    const auto& [anchor, positive] = edges_[rng->UniformInt(num_edges)];
+
+  // One triplet from one Rng stream into the slots owned by index i.
+  auto sample_one = [this, batch, num_edges](int64_t i, Rng* stream) {
+    const auto& [anchor, positive] = edges_[stream->UniformInt(num_edges)];
     batch->anchors[i] = anchor;
     batch->positives[i] = positive;
     // Rejection-sample a negative not in the anchor's positive set.
     int64_t negative = positive;
     if (index_.ForwardDegree(anchor) < num_candidates_) {
       do {
-        negative = rng->UniformInt(num_candidates_);
+        negative = stream->UniformInt(num_candidates_);
       } while (index_.Contains(anchor, negative));
     }
     batch->negatives[i] = negative;
+  };
+
+  if (pool == nullptr) {
+    for (int64_t i = 0; i < batch_size; ++i) sample_one(i, rng);
+    return;
   }
+
+  // Parallel path: one base draw from the caller's Rng (a fixed, resumable
+  // advance), then a private stream per index. Seeding by base + i (the
+  // Rng constructor expands the seed through SplitMix64, which decorrelates
+  // adjacent seeds) makes slot i independent of both the executing thread
+  // and the thread count.
+  const uint64_t base = rng->NextUint64();
+  Status st = pool->ParallelFor(0, batch_size, [&](int64_t i) {
+    Rng stream(base + static_cast<uint64_t>(i));
+    sample_one(i, &stream);
+  });
+  IMCAT_CHECK(st.ok());  // Sampling does not throw.
 }
 
 ItemBatchSampler::ItemBatchSampler(int64_t num_items,

@@ -6,11 +6,20 @@
 
 #include "data/dataset.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 /// \file sampler.h
 /// Mini-batch negative-sampling iterators for the ranking losses. As in
 /// the paper, every positive pair is matched with one uniformly sampled
 /// negative (Sec. V-D).
+///
+/// Parallel sampling determinism: when a ThreadPool is supplied, the
+/// triplet sampler draws exactly one 64-bit value from the caller's Rng
+/// per batch and derives an independent per-*index* stream from it for
+/// every triplet slot (seeded from base + index, never from the executing
+/// thread). Slot i is therefore the same at any thread count, the main
+/// RNG advances by a fixed amount per batch, and checkpointed
+/// kill-and-resume stays bit-identical with parallel sampling enabled.
 
 namespace imcat {
 
@@ -33,7 +42,14 @@ class TripletSampler {
 
   /// Fills `batch` with `batch_size` triplets. Anchors with a full positive
   /// set (degenerate) reuse a random positive as the negative.
-  void SampleBatch(int64_t batch_size, Rng* rng, TripletBatch* batch) const;
+  ///
+  /// With a null `pool` the caller's Rng drives every draw sequentially
+  /// (the historical stream, unchanged). With a pool, sampling fans out
+  /// with one deterministic Rng stream per triplet index: the batch is a
+  /// pure function of the Rng state and batch size — identical for 1, 2
+  /// or N threads — and the caller's Rng is advanced by exactly one draw.
+  void SampleBatch(int64_t batch_size, Rng* rng, TripletBatch* batch,
+                   ThreadPool* pool = nullptr) const;
 
   int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
 

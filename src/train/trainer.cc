@@ -90,6 +90,7 @@ TrainHistory Trainer::Fit(TrainableModel* model,
   TrainHistory history;
   AdamOptimizer* optimizer = model->optimizer();
   HealthMonitor health(options.health);
+  model->set_thread_pool(options.pool);
 
   if (options.verbose && !options.data_provenance.empty()) {
     IMCAT_LOG(INFO) << model->name()
@@ -259,8 +260,8 @@ TrainHistory Trainer::Fit(TrainableModel* model,
     const bool should_eval = (epoch + 1) % options.eval_every == 0 ||
                              epoch + 1 == options.max_epochs;
     if (should_eval) {
-      const EvalResult val =
-          evaluator_->Evaluate(*model, split_->validation, options.top_n);
+      const EvalResult val = evaluator_->Evaluate(
+          *model, split_->validation, options.top_n, {}, options.pool);
       ValidationPoint point;
       point.epoch = epoch + 1;
       point.train_loss = loss_sum / static_cast<double>(steps);

@@ -11,6 +11,7 @@
 #include "train/health.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 /// \file trainer.h
 /// Generic training loop with validation-based early stopping (the paper's
@@ -47,6 +48,13 @@ class TrainableModel : public Ranker {
   /// checkpoint, but resume restarts their moments and rollback cannot
   /// reduce their learning rate.
   virtual AdamOptimizer* optimizer() { return nullptr; }
+
+  /// Gives the model a thread pool for its parallelizable training stages
+  /// (negative sampling / batch composition). Models that parallelize must
+  /// stay deterministic for a fixed seed at any thread count — the library
+  /// samplers achieve this with per-index RNG streams (see sampler.h) —
+  /// so kill-and-resume stays bit-identical. Default: ignore the pool.
+  virtual void set_thread_pool(ThreadPool* pool) { (void)pool; }
 
   /// Human-readable model name for logs and reports.
   virtual std::string name() const = 0;
@@ -86,6 +94,13 @@ struct TrainerOptions {
   /// relaunch); a corrupt or mismatched file fails the run with a
   /// descriptive Status in TrainHistory::status.
   std::string resume_path;
+
+  /// Optional thread pool. When set, periodic validation fans out per user
+  /// (bit-identical metrics at any thread count) and the model's sampling
+  /// stage parallelizes via set_thread_pool (deterministic per-index RNG
+  /// streams, so checkpoints and kill-and-resume stay bit-identical). The
+  /// pool must outlive the Fit call; null trains fully serially.
+  ThreadPool* pool = nullptr;
 };
 
 /// Per-validation record.

@@ -7,6 +7,7 @@
 #include "eval/group_eval.h"
 #include "eval/metrics.h"
 #include "eval/significance.h"
+#include "util/thread_pool.h"
 
 namespace imcat {
 namespace {
@@ -123,6 +124,75 @@ TEST(EvaluatorTest, UserSubsetRestrictsEvaluation) {
   EXPECT_DOUBLE_EQ(subset0.recall, 0.0);
   EvalResult subset1 = evaluator.Evaluate(ranker, split.test, 1, {1});
   EXPECT_DOUBLE_EQ(subset1.recall, 1.0);
+}
+
+// A larger split whose per-user metrics are irregular enough that any
+// reordering of the floating-point accumulation would show up.
+void BigEvalSplit(Dataset* ds, DataSplit* split) {
+  ds->num_users = 97;
+  ds->num_items = 211;
+  ds->num_tags = 1;
+  for (int64_t u = 0; u < ds->num_users; ++u) {
+    for (int64_t k = 0; k < (u % 5) + 1; ++k) {
+      split->train.emplace_back(u, (u * 7 + k * 31) % ds->num_items);
+    }
+    for (int64_t k = 0; k < (u % 3) + 1; ++k) {
+      split->test.emplace_back(u, (u * 13 + k * 57 + 3) % ds->num_items);
+    }
+  }
+}
+
+// Tentpole acceptance: parallel Evaluate must be bit-identical (EXPECT_EQ
+// on raw doubles, no tolerance) to the serial path at every thread count.
+// The deterministic reduction commits per-user metrics to index-owned
+// slots and accumulates them serially in index order, so the FP summation
+// order is the serial one regardless of scheduling.
+TEST(EvaluatorTest, ParallelEvaluateBitIdenticalToSerial) {
+  Dataset ds;
+  DataSplit split;
+  BigEvalSplit(&ds, &split);
+  Evaluator evaluator(ds, split);
+  QuadraticRanker ranker(ds.num_items);
+  const int top_n = 10;
+  const EvalResult serial = evaluator.Evaluate(ranker, split.test, top_n);
+  ASSERT_GT(serial.num_users, 0);
+
+  for (int64_t threads : {int64_t{1}, int64_t{2}, int64_t{8}}) {
+    ThreadPoolOptions options;
+    options.num_threads = threads;
+    ThreadPool pool(options);
+    const EvalResult parallel =
+        evaluator.Evaluate(ranker, split.test, top_n, {}, &pool);
+    EXPECT_EQ(parallel.num_users, serial.num_users) << threads << " threads";
+    EXPECT_EQ(parallel.recall, serial.recall) << threads << " threads";
+    EXPECT_EQ(parallel.ndcg, serial.ndcg) << threads << " threads";
+    EXPECT_EQ(parallel.precision, serial.precision) << threads << " threads";
+    EXPECT_EQ(parallel.hit_rate, serial.hit_rate) << threads << " threads";
+    EXPECT_EQ(parallel.mrr, serial.mrr) << threads << " threads";
+  }
+}
+
+TEST(EvaluatorTest, ParallelEvaluateBitIdenticalOnUserSubset) {
+  Dataset ds;
+  DataSplit split;
+  BigEvalSplit(&ds, &split);
+  Evaluator evaluator(ds, split);
+  QuadraticRanker ranker(ds.num_items);
+  std::vector<int64_t> subset;
+  for (int64_t u = 0; u < ds.num_users; u += 3) subset.push_back(u);
+  const EvalResult serial = evaluator.Evaluate(ranker, split.test, 5, subset);
+
+  ThreadPoolOptions options;
+  options.num_threads = 4;
+  ThreadPool pool(options);
+  const EvalResult parallel =
+      evaluator.Evaluate(ranker, split.test, 5, subset, &pool);
+  EXPECT_EQ(parallel.num_users, serial.num_users);
+  EXPECT_EQ(parallel.recall, serial.recall);
+  EXPECT_EQ(parallel.ndcg, serial.ndcg);
+  EXPECT_EQ(parallel.precision, serial.precision);
+  EXPECT_EQ(parallel.hit_rate, serial.hit_rate);
+  EXPECT_EQ(parallel.mrr, serial.mrr);
 }
 
 TEST(GroupEvalTest, PopularityGroupsBalanced) {

@@ -22,6 +22,7 @@
 #include "train/trainer.h"
 #include "util/fault_injector.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace imcat {
 namespace {
@@ -209,6 +210,64 @@ TEST_F(FaultToleranceTest, KillAndResumeMatchesUninterruptedRun) {
       fx.evaluator->Evaluate(*second_leg, fx.split.validation, 20);
   EXPECT_NEAR(after_resume.recall, reference.recall, 1e-6);
   EXPECT_NEAR(after_resume.ndcg, reference.ndcg, 1e-6);
+  std::remove(ckpt.c_str());
+}
+
+TEST_F(FaultToleranceTest, ParallelSamplerKillAndResumeMatchesUninterrupted) {
+  // Tentpole acceptance: with TrainerOptions::pool set, negative sampling
+  // runs on the pool with per-index RNG streams, and kill-and-resume must
+  // stay bit-identical — even when the reference run and the two resumed
+  // legs use pools of different sizes, because the sampled batch depends
+  // only on the main RNG state, never on the thread count.
+  BprFixture fx;
+  ThreadPoolOptions wide_opts;
+  wide_opts.num_threads = 8;
+  ThreadPool wide_pool(wide_opts);
+  ThreadPoolOptions narrow_opts;
+  narrow_opts.num_threads = 2;
+  ThreadPool narrow_pool(narrow_opts);
+
+  // Reference: one uninterrupted 6-epoch run on the 8-thread pool.
+  auto uninterrupted = fx.MakeModel();
+  Trainer trainer(fx.evaluator.get(), &fx.split);
+  TrainerOptions reference_options = BaseOptions();
+  reference_options.pool = &wide_pool;
+  TrainHistory full = trainer.Fit(uninterrupted.get(), reference_options);
+  ASSERT_TRUE(full.status.ok()) << full.status.ToString();
+
+  // Interrupted: 3 epochs on the 2-thread pool, kill, resume on 8 threads.
+  const std::string ckpt = TempPath("parallel_kill_resume.ckpt");
+  std::remove(ckpt.c_str());
+  {
+    auto first_leg = fx.MakeModel();
+    TrainerOptions options = BaseOptions();
+    options.max_epochs = 3;
+    options.checkpoint_path = ckpt;
+    options.checkpoint_every = 1;
+    options.pool = &narrow_pool;
+    TrainHistory h = trainer.Fit(first_leg.get(), options);
+    ASSERT_TRUE(h.status.ok()) << h.status.ToString();
+  }
+  auto second_leg = fx.MakeModel();
+  TrainerOptions options = BaseOptions();
+  options.checkpoint_path = ckpt;
+  options.resume_path = ckpt;
+  options.pool = &wide_pool;
+  TrainHistory resumed = trainer.Fit(second_leg.get(), options);
+  ASSERT_TRUE(resumed.status.ok()) << resumed.status.ToString();
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(resumed.epochs_run, 6);
+
+  std::vector<Tensor> a = uninterrupted->Parameters();
+  std::vector<Tensor> b = second_leg->Parameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (int64_t j = 0; j < a[i].size(); ++j) {
+      ASSERT_EQ(a[i].data()[j], b[i].data()[j])
+          << "parameter " << i << " diverged at element " << j;
+    }
+  }
   std::remove(ckpt.c_str());
 }
 

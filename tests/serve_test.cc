@@ -668,6 +668,51 @@ TEST_F(ServeTest, ServiceBreakerTripsToDegradedAndRecovers) {
   std::remove(path.c_str());
 }
 
+TEST_F(ServeTest, ServiceShutdownResolvesQueuedRequestsToUnavailable) {
+  // The Shutdown contract: requests admitted to the queue but not yet
+  // processed when Shutdown() runs resolve to kUnavailable — their futures
+  // are satisfied, never hung, never dropped.
+  const std::string path = WriteSnapshot("svc_shutdown_queue.ckpt", 4, 24, 4);
+  RecServiceOptions options = FastServiceOptions();
+  options.num_workers = 1;
+  options.queue_capacity = 4;
+  options.recommender.block_items = 1;
+  RecService service(TestFallback(), options);
+  ASSERT_TRUE(service.LoadSnapshot(path).ok());
+
+  // Stall scoring (23 between-block polls at 5 ms each) so the burst is
+  // still queued behind the single worker when Shutdown lands. Submitting
+  // exactly queue_capacity requests guarantees admission even if the
+  // worker has not dequeued the first one yet.
+  FaultInjector::Instance().ArmSlowOps(1000, 5.0);
+  std::vector<std::future<RecResponse>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(service.Submit(Req(0, 0, -1.0)));
+  }
+  EXPECT_EQ(service.stats().accepted, 4);
+  service.Shutdown();
+
+  int64_t served = 0;
+  int64_t cancelled = 0;
+  for (auto& future : futures) {
+    RecResponse response = future.get();  // Must never hang.
+    if (response.status.ok()) {
+      ++served;
+    } else {
+      ASSERT_EQ(response.status.code(), StatusCode::kUnavailable);
+      EXPECT_NE(response.status.message().find("shut down"),
+                std::string::npos);
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(served + cancelled, 4);
+  // The worker holds one request for >100 ms; Shutdown lands long before
+  // it could drain the queue, so queued requests were cancelled.
+  EXPECT_GE(cancelled, 1);
+  FaultInjector::Instance().Reset();
+  std::remove(path.c_str());
+}
+
 TEST_F(ServeTest, ServiceShutdownIsIdempotentAndDefinite) {
   RecService service(TestFallback(), FastServiceOptions());
   service.Shutdown();

@@ -5,6 +5,7 @@
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "train/sampler.h"
+#include "util/thread_pool.h"
 
 namespace imcat {
 namespace {
@@ -57,6 +58,72 @@ TEST(TripletSamplerTest, SaturatedAnchorFallsBackToPositive) {
   for (size_t i = 0; i < batch.anchors.size(); ++i) {
     EXPECT_EQ(batch.negatives[i], batch.positives[i]);
   }
+}
+
+// Tentpole acceptance: the parallel sampling path must produce a batch
+// that is a pure function of (main RNG state, batch size) — identical at
+// every thread count, because each index derives its own stream from one
+// base draw — and must advance the main RNG by exactly that one draw so a
+// checkpoint-resumed run replays the same stream.
+TEST(TripletSamplerTest, ParallelBatchIdenticalAcrossThreadCounts) {
+  Dataset ds = TinyDataset();
+  TripletSampler sampler(ds.num_users, ds.num_items, ds.interactions);
+  constexpr uint64_t kSeed = 17;
+  constexpr int64_t kBatch = 777;  // Not a multiple of any grain size.
+
+  TripletBatch reference;
+  uint64_t rng_state_after = 0;
+  for (int64_t threads : {int64_t{1}, int64_t{2}, int64_t{8}}) {
+    ThreadPoolOptions options;
+    options.num_threads = threads;
+    ThreadPool pool(options);
+    Rng rng(kSeed);
+    TripletBatch batch;
+    sampler.SampleBatch(kBatch, &rng, &batch, &pool);
+    ASSERT_EQ(batch.anchors.size(), static_cast<size_t>(kBatch));
+    if (threads == 1) {
+      reference = batch;
+      rng_state_after = rng.NextUint64();
+    } else {
+      EXPECT_EQ(batch.anchors, reference.anchors) << threads << " threads";
+      EXPECT_EQ(batch.positives, reference.positives) << threads << " threads";
+      EXPECT_EQ(batch.negatives, reference.negatives) << threads << " threads";
+      // Main RNG advanced identically: the next draw matches.
+      EXPECT_EQ(rng.NextUint64(), rng_state_after) << threads << " threads";
+    }
+  }
+}
+
+TEST(TripletSamplerTest, ParallelNegativesAreNeverPositives) {
+  Dataset ds = TinyDataset();
+  TripletSampler sampler(ds.num_users, ds.num_items, ds.interactions);
+  BipartiteIndex index(ds.num_users, ds.num_items, ds.interactions);
+  ThreadPoolOptions options;
+  options.num_threads = 4;
+  ThreadPool pool(options);
+  Rng rng(1);
+  TripletBatch batch;
+  sampler.SampleBatch(512, &rng, &batch, &pool);
+  ASSERT_EQ(batch.anchors.size(), 512u);
+  for (size_t i = 0; i < batch.anchors.size(); ++i) {
+    EXPECT_TRUE(index.Contains(batch.anchors[i], batch.positives[i]));
+    EXPECT_FALSE(index.Contains(batch.anchors[i], batch.negatives[i]));
+  }
+}
+
+TEST(TripletSamplerTest, SerialPathUnchangedByPoolParameter) {
+  // pool == nullptr must keep the historical single-stream draw order so
+  // existing seeds and goldens reproduce exactly.
+  Dataset ds = TinyDataset();
+  TripletSampler sampler(ds.num_users, ds.num_items, ds.interactions);
+  Rng rng_a(9), rng_b(9);
+  TripletBatch a, b;
+  sampler.SampleBatch(64, &rng_a, &a);
+  sampler.SampleBatch(64, &rng_b, &b, /*pool=*/nullptr);
+  EXPECT_EQ(a.anchors, b.anchors);
+  EXPECT_EQ(a.positives, b.positives);
+  EXPECT_EQ(a.negatives, b.negatives);
+  EXPECT_EQ(rng_a.NextUint64(), rng_b.NextUint64());
 }
 
 TEST(ItemBatchSamplerTest, OnlyItemsWithInteractions) {
