@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "baselines/registry.h"
@@ -25,6 +26,8 @@
 #include "data/presets.h"
 #include "data/split.h"
 #include "eval/evaluator.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
 #include "tensor/checkpoint.h"
 #include "train/trainer.h"
 #include "util/logging.h"
@@ -210,6 +213,20 @@ int CmdTrain(const Flags& flags) {
   options.patience = flags.GetInt("patience", 8);
   options.verbose = true;
   options.data_provenance = session.provenance;
+  // Observability (DESIGN.md §9): --metrics-out dumps a final metrics
+  // snapshot (.json => JSON, else Prometheus text); --journal appends
+  // structured run events as JSONL.
+  MetricsRegistry metrics;
+  std::unique_ptr<RunJournal> journal;
+  options.metrics_out = flags.Get("metrics-out", "");
+  if (flags.Has("metrics-out") || flags.Has("journal")) {
+    options.metrics = &metrics;
+    session.evaluator.set_metrics(&metrics);
+  }
+  if (flags.Has("journal")) {
+    journal = std::make_unique<RunJournal>(flags.Get("journal", ""));
+    options.journal = journal.get();
+  }
   SetLogLevel(LogLevel::kInfo);
   TrainHistory history = trainer.Fit(session.model.get(), options);
   std::printf("trained %s for %lld epochs (%.1fs), best epoch %lld\n",
@@ -230,6 +247,13 @@ int CmdTrain(const Flags& flags) {
       return 1;
     }
     std::printf("saved checkpoint to %s\n", out.c_str());
+  }
+  if (!options.metrics_out.empty()) {
+    std::printf("metrics written to %s\n", options.metrics_out.c_str());
+  }
+  if (journal != nullptr) {
+    std::printf("journal: %s (%lld events)\n", journal->path().c_str(),
+                static_cast<long long>(journal->events_appended()));
   }
   return 0;
 }
@@ -282,7 +306,9 @@ void Usage() {
                "       [--policy strict|permissive] [--min-user N] "
                "[--min-item N] [--min-tag N]\n"
                "model: --model NAME --dim D --seed S --intents K\n"
-               "train: --epochs E --out CKPT   eval/rec: --ckpt CKPT\n");
+               "train: --epochs E --out CKPT [--metrics-out FILE] "
+               "[--journal FILE]\n"
+               "eval/rec: --ckpt CKPT\n");
 }
 
 }  // namespace

@@ -18,6 +18,8 @@
 #include "eval/evaluator.h"
 #include "models/backbone.h"
 #include "models/bprmf.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
 #include "train/trainer.h"
 
 int main(int argc, char** argv) {
@@ -97,8 +99,18 @@ int main(int argc, char** argv) {
   // finishes epochs 11..20 exactly as the uninterrupted run did.
   std::printf("=== Relaunch: resuming from %s ===\n", ckpt.c_str());
   auto resumed_model = make_model();
-  TrainHistory resumed =
-      trainer.Fit(resumed_model.get(), make_options(total_epochs));
+  // The relaunch is instrumented: the trainer feeds the metrics registry
+  // and appends structured events (run_start/epoch/checkpoint/run_end) to
+  // the JSONL journal, flushed atomically alongside the checkpoints.
+  MetricsRegistry metrics;
+  evaluator.set_metrics(&metrics);
+  RunJournal journal(ckpt + ".journal.jsonl");
+  TrainHistory resumed = [&] {
+    TrainerOptions options = make_options(total_epochs);
+    options.metrics = &metrics;
+    options.journal = &journal;
+    return trainer.Fit(resumed_model.get(), options);
+  }();
   if (!resumed.status.ok()) {
     std::printf("resume failed: %s\n", resumed.status.ToString().c_str());
     return 1;
@@ -117,6 +129,12 @@ int main(int argc, char** argv) {
                      std::fabs(reference.ndcg - after.ndcg) < 1e-6;
   std::printf("%s\n", match ? "Resume is bit-exact: metrics match."
                             : "MISMATCH: resumed run drifted!");
+
+  std::printf("\n=== Metrics snapshot of the resumed run ===\n%s",
+              DumpPrometheusText(metrics.Snapshot()).c_str());
+  std::printf("journal: %s (%lld events)\n", journal.path().c_str(),
+              (long long)journal.events_appended());
   std::remove(ckpt.c_str());
+  std::remove(journal.path().c_str());
   return match ? 0 : 1;
 }

@@ -19,6 +19,7 @@
 #include "eval/evaluator.h"
 #include "models/backbone.h"
 #include "models/bprmf.h"
+#include "obs/metrics.h"
 #include "serve/rec_service.h"
 #include "train/trainer.h"
 
@@ -79,9 +80,12 @@ int main(int argc, char** argv) {
               exported.ToString().c_str());
 
   // 2. Stand up the service: popularity fallback from train-split degrees,
-  // bounded queue, deadline budgets, breaker + backoff defaults.
+  // bounded queue, deadline budgets, breaker + backoff defaults. The
+  // metrics registry makes every behaviour below visible in the summary
+  // printed on exit.
   auto fallback =
       std::make_shared<PopularityRanker>(dataset.num_items, split.train);
+  MetricsRegistry metrics;
   RecServiceOptions options;
   options.num_workers = 2;
   options.queue_capacity = 16;
@@ -89,6 +93,7 @@ int main(int argc, char** argv) {
   options.default_deadline_ms = 50.0;
   options.breaker.failure_threshold = 2;
   options.breaker.cooldown_ms = 10.0;
+  options.metrics = &metrics;
   RecService service(fallback, options);
 
   std::printf("\n=== Before any snapshot: degraded popularity fallback ===\n");
@@ -143,6 +148,9 @@ int main(int argc, char** argv) {
               (long long)stats.invalid_requests,
               (long long)stats.snapshot_reloads,
               (long long)stats.snapshot_load_failures, (long long)stats.shed);
+
+  std::printf("\n=== Metrics snapshot (Prometheus text format) ===\n%s",
+              DumpPrometheusText(metrics.Snapshot()).c_str());
   std::remove(snapshot_path.c_str());
   return recovered.ok() ? 0 : 1;
 }

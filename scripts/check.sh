@@ -18,6 +18,7 @@
 #   scripts/check.sh --tsan     # tsan leg only (full suite + race/chaos)
 #   scripts/check.sh --chaos    # fault-injection + serving chaos suites
 #   scripts/check.sh --fuzz     # ingestion corruption-fuzz sweep (sanitized)
+#   scripts/check.sh --docs     # docs link check: no dangling repo paths
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,15 +29,63 @@ run_sanitized=1
 run_tsan=1
 run_chaos=0
 run_fuzz=0
+run_docs=0
 case "${1:-}" in
-  --plain)    run_sanitized=0; run_tsan=0 ;;
+  --plain)    run_sanitized=0; run_tsan=0; run_docs=1 ;;
   --sanitize) run_plain=0; run_tsan=0 ;;
   --tsan)     run_plain=0; run_sanitized=0 ;;
   --chaos)    run_plain=0; run_sanitized=0; run_tsan=0; run_chaos=1 ;;
   --fuzz)     run_plain=0; run_sanitized=0; run_tsan=0; run_fuzz=1 ;;
-  "") ;;
-  *) echo "usage: $0 [--plain|--sanitize|--tsan|--chaos|--fuzz]" >&2; exit 2 ;;
+  --docs)     run_plain=0; run_sanitized=0; run_tsan=0; run_docs=1 ;;
+  "") run_docs=1 ;;
+  *) echo "usage: $0 [--plain|--sanitize|--tsan|--chaos|--fuzz|--docs]" >&2
+     exit 2 ;;
 esac
+
+check_docs() {
+  # Every repo path a doc mentions must exist: docs that point at files
+  # which were renamed away are worse than no docs. Extract tokens that
+  # look like repo paths (src/..., tests/..., bench/..., examples/...,
+  # scripts/..., docs/...), expand foo.{h,cc} shorthand, skip anything
+  # under build*/ and glob patterns, and fail on the first dangling path.
+  echo "=== docs check: repo paths referenced by docs must exist ==="
+  local docs=(README.md DESIGN.md ROADMAP.md EXPERIMENTS.md)
+  local extra
+  for extra in docs/*.md; do
+    [[ -f "$extra" ]] && docs+=("$extra")
+  done
+  local status=0 doc path expanded
+  for doc in "${docs[@]}"; do
+    [[ -f "$doc" ]] || { echo "missing doc: $doc" >&2; status=1; continue; }
+    while IFS= read -r path; do
+      [[ "$path" == *'*'* ]] && continue  # glob example, not a real path
+      if [[ "$path" == *'{'* ]]; then
+        # Expand brace shorthand like src/obs/metrics.{h,cc}.
+        for expanded in $(eval echo "$path"); do
+          if [[ ! -e "$expanded" ]]; then
+            echo "DANGLING: $doc references $expanded" >&2
+            status=1
+          fi
+        done
+      elif [[ ! -e "$path" && ! -e "$path.cc" ]]; then
+        # `$path.cc` accepts target shorthand: docs may name a built
+        # binary (`bench/fig5_intents`) whose source is `<path>.cc`.
+        echo "DANGLING: $doc references $path" >&2
+        status=1
+      fi
+    done < <(grep -oE '(^|[^A-Za-z0-9_/.-])(src|tests|bench|examples|scripts|docs)/[A-Za-z0-9_./{,}*-]+' "$doc" \
+             | sed 's/^[^a-z]//; s/[.,;:)]*$//' | sort -u)
+  done
+  if [[ "$status" != 0 ]]; then
+    echo "docs check FAILED: fix the dangling references above." >&2
+    exit 1
+  fi
+  echo "docs check passed."
+}
+
+if [[ "$run_docs" == 1 ]]; then
+  check_docs
+fi
 
 if [[ "$run_plain" == 1 ]]; then
   echo "=== plain build (tier-1) ==="

@@ -1,5 +1,6 @@
 #include "data/loader.h"
 
+#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -28,6 +29,36 @@ class IdMap {
   std::unordered_map<int64_t, int64_t> map_;
   int64_t next_ = 0;
 };
+
+/// Publishes one file's ingest accounting to the metrics registry and the
+/// run journal (DESIGN.md §9). Cold path — one call per input file — so
+/// the by-name registry lookups are fine here.
+void NoteIngestFile(MetricsRegistry* metrics, RunJournal* journal,
+                    const IngestFileReport& file) {
+  if (metrics != nullptr) {
+    metrics->GetCounter("ingest_files_total")->Increment();
+    metrics->GetCounter("ingest_records_total")->Add(file.total_records);
+    metrics->GetCounter("ingest_kept_total")->Add(file.kept);
+    metrics->GetCounter("ingest_quarantined_total")->Add(file.quarantined);
+    metrics->GetCounter("ingest_degree_filtered_total")
+        ->Add(file.filtered_by_degree);
+    for (int e = 0; e < kNumIngestErrors; ++e) {
+      if (file.error_counts[static_cast<size_t>(e)] == 0) continue;
+      metrics
+          ->GetCounter(std::string("ingest_errors_total{class=\"") +
+                       IngestErrorName(static_cast<IngestError>(e)) + "\"}")
+          ->Add(file.error_counts[static_cast<size_t>(e)]);
+    }
+  }
+  if (journal != nullptr) {
+    journal->Append(JournalEvent("ingest")
+                        .Set("path", file.path)
+                        .Set("records", file.total_records)
+                        .Set("kept", file.kept)
+                        .Set("quarantined", file.quarantined)
+                        .Set("degree_filtered", file.filtered_by_degree));
+  }
+}
 
 }  // namespace
 
@@ -58,11 +89,21 @@ StatusOr<Dataset> LoadDatasetFromTsv(const std::string& interactions_path,
 
   // ReadEdgeFile deduplicates within each file, so the degree counts below
   // are over distinct edges — duplicates can no longer inflate them.
+  // Metrics/journal accounting mirrors the IngestReport contract: exact
+  // and populated even when a read fails.
   EdgeList raw_ui, raw_it;
-  IMCAT_RETURN_IF_ERROR(ReadEdgeFile(interactions_path, ingest, &raw_ui,
-                                     &report->interactions));
-  IMCAT_RETURN_IF_ERROR(
-      ReadEdgeFile(item_tags_path, ingest, &raw_it, &report->item_tags));
+  Status read_st =
+      ReadEdgeFile(interactions_path, ingest, &raw_ui, &report->interactions);
+  if (!read_st.ok()) {
+    NoteIngestFile(options.metrics, options.journal, report->interactions);
+    return read_st;
+  }
+  read_st = ReadEdgeFile(item_tags_path, ingest, &raw_it, &report->item_tags);
+  if (!read_st.ok()) {
+    NoteIngestFile(options.metrics, options.journal, report->interactions);
+    NoteIngestFile(options.metrics, options.journal, report->item_tags);
+    return read_st;
+  }
 
   // One filtering pass on raw ids.
   if (options.min_user_interactions > 0 || options.min_item_interactions > 0 ||
@@ -97,6 +138,9 @@ StatusOr<Dataset> LoadDatasetFromTsv(const std::string& interactions_path,
     raw_ui = std::move(ui_kept);
     raw_it = std::move(it_kept);
   }
+
+  NoteIngestFile(options.metrics, options.journal, report->interactions);
+  NoteIngestFile(options.metrics, options.journal, report->item_tags);
 
   Dataset ds;
   ds.name = interactions_path;

@@ -5,6 +5,8 @@
 
 #include "data/dataset.h"
 #include "data/ingest.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 /// \file loader.h
@@ -46,6 +48,15 @@ struct LoaderOptions {
   IngestLimits limits;
   /// How many offending lines the report retains verbatim per file.
   int64_t max_quarantine_samples = 8;
+  /// Optional instrumentation (DESIGN.md §9). When non-null the loader
+  /// maintains the `ingest_*` counters: files/records/kept/quarantined/
+  /// degree-filtered totals plus one labelled counter per error class
+  /// (`ingest_errors_total{class="bad-column-count"}`, names from
+  /// IngestErrorName). Populated even when the load fails, mirroring the
+  /// IngestReport contract.
+  MetricsRegistry* metrics = nullptr;
+  /// Optional run journal: one "ingest" summary event per input file.
+  RunJournal* journal = nullptr;
 };
 
 /// Loads user-item interactions from `interactions_path` and item-tag

@@ -20,6 +20,18 @@ Evaluator::Evaluator(const Dataset& dataset, const DataSplit& split)
   for (auto& items : train_items_) std::sort(items.begin(), items.end());
 }
 
+void Evaluator::set_metrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    runs_total_ = nullptr;
+    users_total_ = nullptr;
+    wall_ms_ = nullptr;
+    return;
+  }
+  runs_total_ = metrics->GetCounter("eval_runs_total");
+  users_total_ = metrics->GetCounter("eval_users_total");
+  wall_ms_ = metrics->GetHistogram("eval_wall_ms");
+}
+
 std::vector<ItemSet> Evaluator::RelevantSets(const EdgeList& eval_edges) const {
   std::vector<ItemSet> relevant(num_users_);
   for (const auto& [u, v] : eval_edges) {
@@ -59,6 +71,7 @@ EvalResult Evaluator::Evaluate(const Ranker& ranker,
                                const EdgeList& eval_edges, int top_n,
                                const std::vector<int64_t>& user_subset,
                                ThreadPool* pool) const {
+  ScopedTimer wall_timer(wall_ms_);
   const std::vector<ItemSet> relevant = RelevantSets(eval_edges);
   std::vector<int64_t> users;
   if (user_subset.empty()) {
@@ -119,6 +132,8 @@ EvalResult Evaluator::Evaluate(const Ranker& ranker,
     result.hit_rate /= n;
     result.mrr /= n;
   }
+  if (runs_total_ != nullptr) runs_total_->Increment();
+  if (users_total_ != nullptr) users_total_->Add(result.num_users);
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include "data/dataset.h"
 #include "data/split.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 /// \file evaluator.h
@@ -87,11 +88,20 @@ class Evaluator {
   /// Per-user relevant sets for an edge list, exposed for group analyses.
   std::vector<ItemSet> RelevantSets(const EdgeList& eval_edges) const;
 
+  /// Enables instrumentation (DESIGN.md §9): each Evaluate call bumps
+  /// `eval_runs_total`, adds the evaluated-user count to
+  /// `eval_users_total` and records its wall time into `eval_wall_ms`.
+  /// Null (the default) disables all of it, clock reads included.
+  void set_metrics(MetricsRegistry* metrics);
+
  private:
   int64_t num_users_ = 0;
   int64_t num_items_ = 0;
   std::vector<std::vector<int64_t>> train_items_;  // Sorted per user.
   std::vector<int64_t> item_degree_;
+  Counter* runs_total_ = nullptr;
+  Counter* users_total_ = nullptr;
+  Histogram* wall_ms_ = nullptr;
 };
 
 }  // namespace imcat

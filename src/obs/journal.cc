@@ -1,0 +1,149 @@
+#include "obs/journal.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/atomic_file.h"
+
+namespace imcat {
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+JournalEvent& JournalEvent::Set(const std::string& key,
+                                const std::string& value) {
+  std::string field;
+  AppendJsonString(key, &field);
+  field += ':';
+  AppendJsonString(value, &field);
+  fields_.push_back(std::move(field));
+  return *this;
+}
+
+JournalEvent& JournalEvent::Set(const std::string& key, const char* value) {
+  return Set(key, std::string(value));
+}
+
+JournalEvent& JournalEvent::Set(const std::string& key, int64_t value) {
+  std::string field;
+  AppendJsonString(key, &field);
+  field += ':' + std::to_string(value);
+  fields_.push_back(std::move(field));
+  return *this;
+}
+
+JournalEvent& JournalEvent::Set(const std::string& key, double value) {
+  std::string field;
+  AppendJsonString(key, &field);
+  char buf[64];
+  // JSON has no NaN/Inf literals; encode them as strings.
+  if (std::isfinite(value)) {
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    field += ':';
+    field += buf;
+  } else {
+    std::snprintf(buf, sizeof(buf), "\"%s\"",
+                  std::isnan(value) ? "nan" : (value > 0 ? "inf" : "-inf"));
+    field += ':';
+    field += buf;
+  }
+  fields_.push_back(std::move(field));
+  return *this;
+}
+
+JournalEvent& JournalEvent::Set(const std::string& key, bool value) {
+  std::string field;
+  AppendJsonString(key, &field);
+  field += ':';
+  field += value ? "true" : "false";
+  fields_.push_back(std::move(field));
+  return *this;
+}
+
+std::string JournalEvent::ToJsonLine(int64_t seq) const {
+  std::string line = "{\"event\":";
+  AppendJsonString(type_, &line);
+  line += ",\"seq\":" + std::to_string(seq);
+  for (const std::string& field : fields_) {
+    line += ',';
+    line += field;
+  }
+  line += '}';
+  return line;
+}
+
+RunJournal::RunJournal(std::string path)
+    : RunJournal(std::move(path), Options{}) {}
+
+RunJournal::RunJournal(std::string path, const Options& options)
+    : path_(std::move(path)), options_(options) {}
+
+RunJournal::~RunJournal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (appends_since_flush_ > 0) (void)FlushLocked();
+}
+
+void RunJournal::Append(const JournalEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.push_back(event.ToJsonLine(next_seq_++));
+  ++appends_since_flush_;
+  if (options_.flush_every > 0 &&
+      appends_since_flush_ >= options_.flush_every) {
+    last_flush_status_ = FlushLocked();
+  }
+}
+
+Status RunJournal::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_flush_status_ = FlushLocked();
+  return last_flush_status_;
+}
+
+Status RunJournal::FlushLocked() {
+  AtomicFileWriter writer(path_);
+  Status st = writer.Open();
+  if (!st.ok()) return st;
+  for (const std::string& line : lines_) {
+    st = writer.Write(line);
+    if (st.ok()) st = writer.Write("\n", 1);
+    if (!st.ok()) return st;
+  }
+  st = writer.Commit();
+  if (st.ok()) appends_since_flush_ = 0;
+  return st;
+}
+
+int64_t RunJournal::events_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+Status RunJournal::last_flush_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_flush_status_;
+}
+
+}  // namespace imcat

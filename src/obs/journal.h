@@ -1,0 +1,108 @@
+#ifndef IMCAT_OBS_JOURNAL_H_
+#define IMCAT_OBS_JOURNAL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file journal.h
+/// A structured run journal: every operationally interesting event (train
+/// epoch stats, health-guard rollbacks, checkpoint writes, snapshot
+/// reloads, circuit-breaker transitions, ingestion quarantine summaries)
+/// is appended as one JSON object per line (JSONL), so a run can be
+/// replayed, diffed and grepped after the fact.
+///
+/// Durability contract: `Flush` rewrites the whole journal through
+/// `AtomicFileWriter` (tmp + fsync + rename), so the file on disk is
+/// always a *complete, valid* JSONL document — a crash or injected I/O
+/// fault mid-flush leaves the previous complete journal intact, never a
+/// torn line (asserted under FaultInjector crash faults in
+/// tests/obs_test.cc). Events are buffered in memory between flushes;
+/// `Options::flush_every` bounds how many appends can be lost to a crash.
+///
+/// Thread-safe: Append/Flush may be called from any thread (the serving
+/// layer journals breaker transitions from worker threads).
+
+namespace imcat {
+
+/// One journal event: a type tag plus ordered key/value fields, serialised
+/// as {"event":"<type>","seq":N,...fields...}.
+class JournalEvent {
+ public:
+  explicit JournalEvent(std::string type) : type_(std::move(type)) {}
+
+  JournalEvent& Set(const std::string& key, const std::string& value);
+  JournalEvent& Set(const std::string& key, const char* value);
+  JournalEvent& Set(const std::string& key, int64_t value);
+  JournalEvent& Set(const std::string& key, int value) {
+    return Set(key, static_cast<int64_t>(value));
+  }
+  JournalEvent& Set(const std::string& key, double value);
+  JournalEvent& Set(const std::string& key, bool value);
+
+  const std::string& type() const { return type_; }
+
+  /// Serialises the event with the given sequence number (assigned by the
+  /// journal at append time).
+  std::string ToJsonLine(int64_t seq) const;
+
+ private:
+  std::string type_;
+  /// Pre-serialised `"key":value` fragments in insertion order.
+  std::vector<std::string> fields_;
+};
+
+/// Append-oriented JSONL journal with atomic whole-file flushes.
+class RunJournal {
+ public:
+  struct Options {
+    /// Auto-flush after this many appends (<= 0 disables auto-flush; the
+    /// owner then controls durability with explicit Flush calls).
+    int64_t flush_every = 16;
+  };
+
+  explicit RunJournal(std::string path);
+  RunJournal(std::string path, const Options& options);
+
+  /// Best-effort final flush (failures already surfaced via
+  /// last_flush_status are not re-reported).
+  ~RunJournal();
+
+  RunJournal(const RunJournal&) = delete;
+  RunJournal& operator=(const RunJournal&) = delete;
+
+  /// Buffers one event (assigning it the next sequence number) and
+  /// auto-flushes when `flush_every` appends have accumulated. Never
+  /// fails: flush errors are recorded in last_flush_status so journalling
+  /// can never take down the instrumented subsystem.
+  void Append(const JournalEvent& event);
+
+  /// Writes the full journal atomically. On failure the previous on-disk
+  /// journal is untouched and the buffered events are retained for the
+  /// next attempt.
+  Status Flush();
+
+  const std::string& path() const { return path_; }
+  int64_t events_appended() const;
+  /// Status of the most recent flush attempt (OK before the first one).
+  Status last_flush_status() const;
+
+ private:
+  Status FlushLocked();
+
+  const std::string path_;
+  const Options options_;
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;  ///< Every serialised event, in order.
+  int64_t next_seq_ = 0;
+  int64_t appends_since_flush_ = 0;
+  Status last_flush_status_;
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_OBS_JOURNAL_H_

@@ -1,0 +1,343 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/atomic_file.h"
+#include "util/check.h"
+
+namespace imcat {
+
+namespace obs_internal {
+
+int ThreadShardIndex() {
+  // Threads take slots round-robin, so the first kShards concurrent
+  // threads are fully uncontended; later ones share slots (still atomic,
+  // still exact). The slot is computed once per thread.
+  static std::atomic<unsigned> next_slot{0};
+  thread_local const int slot = static_cast<int>(
+      next_slot.fetch_add(1, std::memory_order_relaxed) % kShards);
+  return slot;
+}
+
+}  // namespace obs_internal
+
+namespace {
+
+/// Relaxed CAS-add for atomic doubles (no fetch_add for floating point).
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+/// Relaxed CAS min/max update.
+template <typename Cmp>
+void AtomicExtreme(std::atomic<double>* target, double value, Cmp better) {
+  double current = target->load(std::memory_order_relaxed);
+  while (better(value, current) &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+std::string FormatMetricDouble(double v) {
+  char buf[64];
+  // %.17g round-trips doubles; trim to %g readability for typical values.
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+int64_t Counter::value() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::Add(double delta) { AtomicAddDouble(&value_, delta); }
+
+int Histogram::BucketIndex(double value) {
+  if (!(value > 0.0)) return 0;  // Underflow bucket (also NaN).
+  // floor(kSubBuckets * log2(value)), computed in double precision; the
+  // sub-bucket index within the octave comes from the mantissa.
+  const double idx = std::floor(std::log2(value) *
+                                static_cast<double>(kSubBuckets));
+  const double lo = static_cast<double>(kMinOctave * kSubBuckets);
+  const double hi = static_cast<double>(kMaxOctave * kSubBuckets);
+  if (idx < lo) return 0;
+  if (idx >= hi) return kNumBuckets - 1;
+  return static_cast<int>(idx - lo) + 1;
+}
+
+double Histogram::BucketValue(int bucket) {
+  if (bucket <= 0) return std::exp2(static_cast<double>(kMinOctave));
+  if (bucket >= kNumBuckets - 1) {
+    return std::exp2(static_cast<double>(kMaxOctave));
+  }
+  // Geometric midpoint of [2^(k/S), 2^((k+1)/S)).
+  const double k = static_cast<double>(bucket - 1 + kMinOctave * kSubBuckets);
+  return std::exp2((k + 0.5) / static_cast<double>(kSubBuckets));
+}
+
+void Histogram::Record(double value) {
+  Shard& shard = shards_[obs_internal::ThreadShardIndex()];
+  shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  const int64_t prior = shard.count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&shard.sum, value);
+  if (prior == 0) {
+    // First value on this shard seeds both extremes; races with a
+    // concurrent second value resolve through the CAS loops below.
+    double expected = 0.0;
+    shard.min.compare_exchange_strong(expected, value,
+                                      std::memory_order_relaxed);
+    expected = 0.0;
+    shard.max.compare_exchange_strong(expected, value,
+                                      std::memory_order_relaxed);
+  }
+  AtomicExtreme(&shard.min, value, [](double a, double b) { return a < b; });
+  AtomicExtreme(&shard.max, value, [](double a, double b) { return a > b; });
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count <= 0 || buckets.empty()) return 0.0;
+  // Rank of the q-th order statistic (nearest-rank definition, 1-based).
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(count))));
+  int64_t seen = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      // Clamp the bucket estimate by the exact extremes so tiny histograms
+      // report sane values.
+      const double est = Histogram::BucketValue(static_cast<int>(b));
+      return std::min(std::max(est, min), max);
+    }
+  }
+  return max;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  out.buckets.assign(kNumBuckets, 0);
+  bool any = false;
+  for (const Shard& shard : shards_) {
+    const int64_t shard_count = shard.count.load(std::memory_order_relaxed);
+    if (shard_count == 0) continue;
+    out.count += shard_count;
+    out.sum += shard.sum.load(std::memory_order_relaxed);
+    const double shard_min = shard.min.load(std::memory_order_relaxed);
+    const double shard_max = shard.max.load(std::memory_order_relaxed);
+    if (!any) {
+      out.min = shard_min;
+      out.max = shard_max;
+      any = true;
+    } else {
+      out.min = std::min(out.min, shard_min);
+      out.max = std::max(out.max, shard_max);
+    }
+    for (int b = 0; b < kNumBuckets; ++b) {
+      out.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  out.p50 = out.Quantile(0.50);
+  out.p90 = out.Quantile(0.90);
+  out.p99 = out.Quantile(0.99);
+  return out;
+}
+
+int64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry registry;
+  return &registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = Kind::kCounter;
+    entry.counter.reset(new Counter());
+    it = entries_.emplace(name, std::move(entry)).first;
+  }
+  IMCAT_CHECK(it->second.kind == Kind::kCounter);
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = Kind::kGauge;
+    entry.gauge.reset(new Gauge());
+    it = entries_.emplace(name, std::move(entry)).first;
+  }
+  IMCAT_CHECK(it->second.kind == Kind::kGauge);
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = Kind::kHistogram;
+    entry.histogram.reset(new Histogram());
+    it = entries_.emplace(name, std::move(entry)).first;
+  }
+  IMCAT_CHECK(it->second.kind == Kind::kHistogram);
+  return it->second.histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  // std::map iteration is already name-sorted, so exports are stable.
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out.counters.emplace_back(name, entry.counter->value());
+        break;
+      case Kind::kGauge:
+        out.gauges.emplace_back(name, entry.gauge->value());
+        break;
+      case Kind::kHistogram:
+        out.histograms.emplace_back(name, entry.histogram->Snapshot());
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric names cannot contain braces; split a name like
+/// `ingest_errors_total{class="x"}` into its base name and label block.
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+  } else {
+    *base = name.substr(0, brace);
+    *labels = name.substr(brace);
+  }
+}
+
+}  // namespace
+
+std::string DumpPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string base, labels;
+  for (const auto& [name, value] : snapshot.counters) {
+    SplitLabels(name, &base, &labels);
+    out += "# TYPE " + base + " counter\n";
+    out += base + labels + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    SplitLabels(name, &base, &labels);
+    out += "# TYPE " + base + " gauge\n";
+    out += base + labels + " " + FormatMetricDouble(value) + "\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    SplitLabels(name, &base, &labels);
+    out += "# TYPE " + base + " summary\n";
+    out += base + "{quantile=\"0.5\"} " + FormatMetricDouble(hist.p50) + "\n";
+    out += base + "{quantile=\"0.9\"} " + FormatMetricDouble(hist.p90) + "\n";
+    out += base + "{quantile=\"0.99\"} " + FormatMetricDouble(hist.p99) + "\n";
+    out += base + "_count " + std::to_string(hist.count) + "\n";
+    out += base + "_sum " + FormatMetricDouble(hist.sum) + "\n";
+    out += base + "_min " + FormatMetricDouble(hist.min) + "\n";
+    out += base + "_max " + FormatMetricDouble(hist.max) + "\n";
+  }
+  return out;
+}
+
+std::string DumpJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(name, &out);
+    out += "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(name, &out);
+    out += "\":" + FormatMetricDouble(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(name, &out);
+    out += "\":{\"count\":" + std::to_string(hist.count) +
+           ",\"sum\":" + FormatMetricDouble(hist.sum) +
+           ",\"min\":" + FormatMetricDouble(hist.min) +
+           ",\"max\":" + FormatMetricDouble(hist.max) +
+           ",\"p50\":" + FormatMetricDouble(hist.p50) +
+           ",\"p90\":" + FormatMetricDouble(hist.p90) +
+           ",\"p99\":" + FormatMetricDouble(hist.p99) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+Status WriteMetricsFile(const MetricsRegistry& registry,
+                        const std::string& path) {
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  std::string body = json ? DumpJson(snapshot) : DumpPrometheusText(snapshot);
+  if (json) body += "\n";
+  AtomicFileWriter writer(path);
+  Status st = writer.Open();
+  if (!st.ok()) return st;
+  st = writer.Write(body);
+  if (!st.ok()) return st;
+  return writer.Commit();
+}
+
+}  // namespace imcat

@@ -1,0 +1,246 @@
+#ifndef IMCAT_OBS_METRICS_H_
+#define IMCAT_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file metrics.h
+/// Lock-cheap metrics for every subsystem: named counters, gauges and
+/// log-bucketed latency histograms collected in a `MetricsRegistry` and
+/// read out as one consistent `MetricsSnapshot` (Prometheus text or JSON).
+///
+/// Design contracts (see DESIGN.md §9):
+///
+///  - **Uncontended hot path.** Counter increments and histogram records
+///    are relaxed atomic adds on a *per-thread shard*: each thread is
+///    assigned a cache-line-padded slot (round-robin over `kShards`), so
+///    concurrent writers on different threads never touch the same cache
+///    line and never take a lock. Shards are merged only on snapshot.
+///  - **Exact counts.** Shard merging is integer addition, so counter
+///    values and histogram bucket counts are exact regardless of thread
+///    count or interleaving — the serving chaos suite asserts exact
+///    request accounting identities on live counters.
+///  - **Log-bucketed histograms.** Values land in geometric buckets
+///    (`kSubBuckets` per octave, ~9% relative width), so p50/p90/p99 read
+///    from the merged bucket counts are within one bucket of the true
+///    order statistic at any scale from nanoseconds to hours. Min, max
+///    and count are tracked exactly; sum is a double reduction over
+///    shards (deterministic given per-shard contents).
+///  - **Stable handles.** `GetCounter`/`GetGauge`/`GetHistogram` return
+///    pointers owned by the registry that stay valid for its lifetime;
+///    subsystems resolve their handles once at construction and the hot
+///    path never touches the registry map or its mutex.
+///
+/// Naming scheme: `<subsystem>_<what>[_<unit>][_total]`, e.g.
+/// `serve_requests_shed_total`, `train_epoch_ms`, `pool_queue_wait_ms`.
+/// `_total` marks monotonic counters; `_ms` marks millisecond histograms.
+/// Per-class counts encode the class as a Prometheus label in the name,
+/// e.g. `ingest_errors_total{class="bad-column-count"}`.
+
+namespace imcat {
+
+/// Steady-clock reading in milliseconds; the time base for every
+/// ScopedTimer and queue-wait measurement.
+inline double MetricsNowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace obs_internal {
+
+/// Number of per-thread shards per metric. Threads are assigned slots
+/// round-robin, so up to kShards concurrent writers are fully uncontended;
+/// beyond that, writers share slots but still only pay a relaxed atomic add.
+inline constexpr int kShards = 16;
+
+/// Index of the calling thread's shard (stable for the thread's lifetime).
+int ThreadShardIndex();
+
+}  // namespace obs_internal
+
+/// A monotonically increasing counter. Thread-safe; increments are relaxed
+/// atomic adds on the caller's shard.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(int64_t n) {
+    shards_[obs_internal::ThreadShardIndex()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards. Exact once concurrent writers have synchronised
+  /// with the reader (e.g. via a joined thread or a satisfied future).
+  int64_t value() const;
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  std::array<Shard, obs_internal::kShards> shards_;
+};
+
+/// A last-value-wins instantaneous measurement (queue depth, current loss).
+/// Thread-safe; Set is a relaxed store, Add a CAS loop. Gauges are low-rate
+/// by design and are not sharded.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// Read-out of one histogram at snapshot time.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< Exact smallest recorded value (0 when empty).
+  double max = 0.0;  ///< Exact largest recorded value (0 when empty).
+  double p50 = 0.0;  ///< Estimated percentiles (geometric bucket midpoint).
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  /// Estimates an arbitrary quantile q in [0, 1] from the merged buckets.
+  double Quantile(double q) const;
+
+  /// Merged per-bucket counts (exporters may emit cumulative buckets).
+  std::vector<int64_t> buckets;
+};
+
+/// A log-bucketed histogram of positive values (latencies in ms, sizes,
+/// ...). Thread-safe; Record is two relaxed atomic adds plus a bounded CAS
+/// for the min/max extremes on the caller's shard.
+class Histogram {
+ public:
+  /// Geometric bucket resolution: kSubBuckets buckets per power of two
+  /// (relative bucket width 2^(1/8) ≈ 9%).
+  static constexpr int kSubBuckets = 8;
+  /// Bucketed range: [2^kMinOctave, 2^kMaxOctave); values outside land in
+  /// the underflow/overflow buckets (and still count exactly).
+  static constexpr int kMinOctave = -20;  ///< ~1e-6 (1 ns as ms).
+  static constexpr int kMaxOctave = 30;   ///< ~1e9 ms (~12 days).
+  static constexpr int kNumBuckets =
+      (kMaxOctave - kMinOctave) * kSubBuckets + 2;  ///< + under/overflow.
+
+  void Record(double value);
+
+  /// Maps a value to its bucket index (0 = underflow incl. v <= 0,
+  /// kNumBuckets-1 = overflow). Pure function, exposed for tests.
+  static int BucketIndex(double value);
+  /// Representative value of a bucket (geometric midpoint of its bounds).
+  static double BucketValue(int bucket);
+
+  /// Merges all shards into one snapshot with estimated percentiles.
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram() = default;
+  struct alignas(64) Shard {
+    std::array<std::atomic<int64_t>, kNumBuckets> buckets{};
+    std::atomic<int64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};  ///< Valid when count > 0.
+    std::atomic<double> max{0.0};
+  };
+  std::array<Shard, obs_internal::kShards> shards_;
+};
+
+/// RAII helper: records the elapsed wall time in milliseconds into a
+/// histogram on destruction. A null histogram disables the timer (no clock
+/// read), so call sites stay branch-cheap when metrics are off.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram),
+        start_ms_(histogram ? MetricsNowMs() : 0.0) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->Record(MetricsNowMs() - start_ms_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  double start_ms_;
+};
+
+/// One consistent read of every metric in a registry, sorted by name so
+/// exports are deterministic.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Value of a counter by exact name; 0 when absent (convenience for
+  /// tests and identity checks).
+  int64_t CounterValue(const std::string& name) const;
+};
+
+/// Owner of named metrics. Registration (`Get*`) takes a mutex and is
+/// expected once per handle at subsystem construction; the returned
+/// pointers are valid for the registry's lifetime and their hot-path
+/// operations never lock. Asking for an existing name with a different
+/// type is a programming error (CHECK).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// A process-wide registry for callers without a natural owner
+  /// (examples, benchmarks). Tests should own their own registry.
+  static MetricsRegistry* Default();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Merges every metric's shards into one sorted snapshot.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Renders a snapshot in Prometheus text exposition format: `# TYPE`
+/// comments, `name value` lines, histogram quantiles as
+/// `name{quantile="0.5"}` plus `_count`/`_sum`/`_min`/`_max`.
+std::string DumpPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Renders a snapshot as one JSON object:
+/// {"counters":{...},"gauges":{...},"histograms":{name:{count,...}}}.
+std::string DumpJson(const MetricsSnapshot& snapshot);
+
+/// Snapshots `registry` and writes it atomically (tmp + fsync + rename) to
+/// `path`: JSON when the path ends in `.json`, Prometheus text otherwise.
+Status WriteMetricsFile(const MetricsRegistry& registry,
+                        const std::string& path);
+
+}  // namespace imcat
+
+#endif  // IMCAT_OBS_METRICS_H_

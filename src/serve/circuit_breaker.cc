@@ -12,15 +12,33 @@ CircuitBreaker::CircuitBreaker(const Options& options,
   IMCAT_CHECK(options_.cooldown_ms >= 0.0);
 }
 
-bool CircuitBreaker::AllowRequest() {
+void CircuitBreaker::set_on_transition(
+    std::function<void(State, State)> listener) {
   std::lock_guard<std::mutex> lock(mu_);
+  on_transition_ = std::move(listener);
+}
+
+void CircuitBreaker::TransitionLocked(std::unique_lock<std::mutex>& lock,
+                                      State to) {
+  const State from = state_;
+  state_ = to;
+  if (from == to || !on_transition_) return;
+  // Fire outside the lock so the listener may query the breaker (or take
+  // its own locks, e.g. the journal's) without deadlocking.
+  auto listener = on_transition_;
+  lock.unlock();
+  listener(from, to);
+}
+
+bool CircuitBreaker::AllowRequest() {
+  std::unique_lock<std::mutex> lock(mu_);
   switch (state_) {
     case State::kClosed:
       return true;
     case State::kOpen:
       if (now_ms_() - opened_at_ms_ >= options_.cooldown_ms) {
-        state_ = State::kHalfOpen;
         probe_in_flight_ = true;
+        TransitionLocked(lock, State::kHalfOpen);
         return true;  // This caller is the probe.
       }
       return false;
@@ -35,20 +53,20 @@ bool CircuitBreaker::AllowRequest() {
 }
 
 void CircuitBreaker::RecordSuccess() {
-  std::lock_guard<std::mutex> lock(mu_);
-  state_ = State::kClosed;
+  std::unique_lock<std::mutex> lock(mu_);
   consecutive_failures_ = 0;
   probe_in_flight_ = false;
+  TransitionLocked(lock, State::kClosed);
 }
 
 void CircuitBreaker::RecordFailure() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   ++consecutive_failures_;
   if (state_ == State::kHalfOpen ||
       consecutive_failures_ >= options_.failure_threshold) {
-    state_ = State::kOpen;
     opened_at_ms_ = now_ms_();
     probe_in_flight_ = false;
+    TransitionLocked(lock, State::kOpen);
   }
 }
 

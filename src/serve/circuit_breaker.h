@@ -54,12 +54,25 @@ class CircuitBreaker {
   State state() const;
   int64_t consecutive_failures() const;
 
+  /// Registers an observer invoked on every state change with (from, to).
+  /// The callback runs *outside* the breaker's lock (so it may query the
+  /// breaker or journal the transition) but on the thread that caused the
+  /// change — keep it cheap. The serving layer uses this to journal
+  /// transitions and keep the `serve_breaker_state` gauge current
+  /// (DESIGN.md §9). Set before the breaker sees concurrent traffic.
+  void set_on_transition(std::function<void(State, State)> listener);
+
   /// Human-readable state name ("closed" / "open" / "half-open").
   static const char* StateName(State state);
 
  private:
+  /// Mutates state under the lock and reports the change to the listener
+  /// after unlocking (never fires for from == to).
+  void TransitionLocked(std::unique_lock<std::mutex>& lock, State to);
+
   Options options_;
   std::function<double()> now_ms_;
+  std::function<void(State, State)> on_transition_;
   mutable std::mutex mu_;
   State state_ = State::kClosed;
   int64_t consecutive_failures_ = 0;

@@ -21,6 +21,8 @@ ThreadPoolOptions ServicePoolOptions(const RecServiceOptions& options) {
   ThreadPoolOptions popts;
   popts.num_threads = options.num_workers;
   popts.queue_capacity = options.queue_capacity;
+  popts.metrics = options.metrics;
+  popts.metrics_prefix = "serve_pool";
   return popts;
 }
 
@@ -37,9 +39,47 @@ RecService::RecService(std::shared_ptr<const PopularityRanker> fallback,
       }()),
       breaker_(options.breaker, options.now_ms),
       sleep_ms_(options.sleep_ms ? options.sleep_ms : DefaultSleepMs),
+      journal_(options.journal),
       pool_(ServicePoolOptions(options)) {
   IMCAT_CHECK(fallback_ != nullptr);
   IMCAT_CHECK(options_.default_top_k >= 1);
+  if (options.metrics != nullptr) {
+    MetricsRegistry* m = options.metrics;
+    requests_total_ = m->GetCounter("serve_requests_total");
+    requests_ok_ = m->GetCounter("serve_requests_ok_total");
+    requests_degraded_ = m->GetCounter("serve_requests_degraded_total");
+    requests_shed_ = m->GetCounter("serve_requests_shed_total");
+    requests_deadline_ =
+        m->GetCounter("serve_requests_deadline_exceeded_total");
+    requests_invalid_ = m->GetCounter("serve_requests_invalid_total");
+    requests_error_ = m->GetCounter("serve_requests_error_total");
+    requests_cancelled_ = m->GetCounter("serve_requests_cancelled_total");
+    snapshot_reloads_total_ = m->GetCounter("serve_snapshot_reloads_total");
+    snapshot_load_failures_total_ =
+        m->GetCounter("serve_snapshot_load_failures_total");
+    breaker_transitions_total_ =
+        m->GetCounter("serve_breaker_transitions_total");
+    breaker_state_gauge_ = m->GetGauge("serve_breaker_state");
+    request_latency_ms_ = m->GetHistogram("serve_request_latency_ms");
+  }
+  if (options.metrics != nullptr || journal_ != nullptr) {
+    // Observe breaker transitions for the gauge / counter / journal. The
+    // listener runs outside the breaker lock, on the transitioning thread.
+    breaker_.set_on_transition(
+        [this](CircuitBreaker::State from, CircuitBreaker::State to) {
+          if (breaker_transitions_total_ != nullptr) {
+            breaker_transitions_total_->Increment();
+          }
+          if (breaker_state_gauge_ != nullptr) {
+            breaker_state_gauge_->Set(static_cast<double>(to));
+          }
+          if (journal_ != nullptr) {
+            journal_->Append(JournalEvent("breaker")
+                                 .Set("from", CircuitBreaker::StateName(from))
+                                 .Set("to", CircuitBreaker::StateName(to)));
+          }
+        });
+  }
 }
 
 RecService::~RecService() { Shutdown(); }
@@ -54,6 +94,7 @@ Status RecService::LoadSnapshot(const std::string& path) {
       std::shared_ptr<EmbeddingSnapshot> loaded = std::move(result).value();
       loaded->set_version(
           next_snapshot_version_.fetch_add(1, std::memory_order_relaxed));
+      const int64_t version = loaded->version();
       // Atomic publish: readers holding the old snapshot keep it alive
       // until their request completes.
       PublishSnapshot(std::move(loaded));
@@ -61,6 +102,15 @@ Status RecService::LoadSnapshot(const std::string& path) {
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.snapshot_reloads;
+      }
+      if (snapshot_reloads_total_ != nullptr) {
+        snapshot_reloads_total_->Increment();
+      }
+      if (journal_ != nullptr) {
+        journal_->Append(JournalEvent("snapshot_reload")
+                             .Set("ok", true)
+                             .Set("path", path)
+                             .Set("version", version));
       }
       return Status::OK();
     }
@@ -74,6 +124,15 @@ Status RecService::LoadSnapshot(const std::string& path) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.snapshot_load_failures;
   }
+  if (snapshot_load_failures_total_ != nullptr) {
+    snapshot_load_failures_total_->Increment();
+  }
+  if (journal_ != nullptr) {
+    journal_->Append(JournalEvent("snapshot_reload")
+                         .Set("ok", false)
+                         .Set("path", path)
+                         .Set("error", last.message()));
+  }
   return Status(last.code(),
                 "snapshot load failed after " +
                     std::to_string(options_.load_backoff.max_attempts) +
@@ -84,13 +143,15 @@ std::future<RecResponse> RecService::Submit(RecRequest request) {
   auto task = std::make_shared<Task>();
   task->request = std::move(request);
   std::future<RecResponse> future = task->promise.get_future();
+  if (requests_total_ != nullptr) requests_total_->Increment();
   // Admission rides on the pool's bounded queue. The cancel callback is
   // the shutdown contract: a request still queued when Shutdown() runs is
   // resolved to kUnavailable — its future is always eventually satisfied,
   // never hung, never dropped.
   Status admitted = pool_.TrySubmit(
       [this, task] { task->promise.set_value(Handle(task->request)); },
-      [task] {
+      [this, task] {
+        if (requests_cancelled_ != nullptr) requests_cancelled_->Increment();
         RecResponse response;
         response.status = Status::Unavailable("service is shut down");
         task->promise.set_value(std::move(response));
@@ -112,6 +173,7 @@ std::future<RecResponse> RecService::Submit(RecRequest request) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.shed;
   }
+  if (requests_shed_ != nullptr) requests_shed_->Increment();
   task->promise.set_value(std::move(shed));
   return future;
 }
@@ -139,6 +201,7 @@ RecServiceStats RecService::stats() const {
 }
 
 RecResponse RecService::Handle(const RecRequest& request) {
+  ScopedTimer latency_timer(request_latency_ms_);
   const int64_t top_k =
       request.top_k > 0 ? request.top_k : options_.default_top_k;
   const double deadline_ms = request.deadline_ms == 0.0
@@ -164,6 +227,7 @@ RecResponse RecService::Handle(const RecRequest& request) {
                                       std::to_string(request.top_k));
   }
   if (!invalid.ok()) {
+    if (requests_invalid_ != nullptr) requests_invalid_->Increment();
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.invalid_requests;
     RecResponse response;
@@ -184,12 +248,18 @@ RecResponse RecService::Handle(const RecRequest& request) {
   if (response.status.ok()) {
     response.snapshot_version = snapshot->version();
     breaker_.RecordSuccess();
+    if (requests_ok_ != nullptr) requests_ok_->Increment();
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.served_real;
     return response;
   }
   // Scoring failure: feed the breaker and surface the definite status.
   breaker_.RecordFailure();
+  if (response.status.code() == StatusCode::kDeadlineExceeded) {
+    if (requests_deadline_ != nullptr) requests_deadline_->Increment();
+  } else if (requests_error_ != nullptr) {
+    requests_error_->Increment();
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     if (response.status.code() == StatusCode::kDeadlineExceeded) {
@@ -205,6 +275,7 @@ RecResponse RecService::DegradedResponse(
   RecResponse response;
   response.degraded = true;
   fallback_->TopK(top_k, exclude, &response.items);
+  if (requests_degraded_ != nullptr) requests_degraded_->Increment();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.served_degraded;

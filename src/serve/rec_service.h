@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/journal.h"
+#include "obs/metrics.h"
 #include "serve/circuit_breaker.h"
 #include "serve/popularity.h"
 #include "serve/recommender.h"
@@ -74,6 +76,17 @@ struct RecServiceOptions {
   /// Sleeper for backoff delays; empty uses this_thread::sleep_for. Tests
   /// inject a no-op to keep retry loops instant.
   std::function<void(double)> sleep_ms;
+  /// Optional instrumentation (DESIGN.md §9). When non-null the service
+  /// maintains the `serve_*` request-accounting counters (which satisfy
+  /// `serve_requests_total` == sum of the per-outcome counters once every
+  /// submitted future has resolved), the `serve_request_latency_ms`
+  /// histogram (Handle wall time; queue wait is `serve_pool_queue_wait_ms`
+  /// on the embedded pool), the `serve_breaker_state` gauge, and the
+  /// snapshot reload counters. Null keeps the service uninstrumented.
+  MetricsRegistry* metrics = nullptr;
+  /// Optional run journal: snapshot (re)loads and circuit-breaker state
+  /// transitions are appended as "snapshot_reload" / "breaker" events.
+  RunJournal* journal = nullptr;
 };
 
 /// The serving front end. Thread-safe; owns its worker pool.
@@ -146,6 +159,26 @@ class RecService {
 
   mutable std::mutex stats_mu_;
   RecServiceStats stats_;
+
+  /// Request-accounting metric handles (all null when options.metrics is
+  /// null). The exact-accounting identity, asserted by the chaos suite:
+  ///   requests_total == ok + degraded + shed + deadline_exceeded
+  ///                     + invalid + error + cancelled
+  /// once every submitted future has resolved.
+  Counter* requests_total_ = nullptr;
+  Counter* requests_ok_ = nullptr;
+  Counter* requests_degraded_ = nullptr;
+  Counter* requests_shed_ = nullptr;
+  Counter* requests_deadline_ = nullptr;
+  Counter* requests_invalid_ = nullptr;
+  Counter* requests_error_ = nullptr;
+  Counter* requests_cancelled_ = nullptr;
+  Counter* snapshot_reloads_total_ = nullptr;
+  Counter* snapshot_load_failures_total_ = nullptr;
+  Counter* breaker_transitions_total_ = nullptr;
+  Gauge* breaker_state_gauge_ = nullptr;
+  Histogram* request_latency_ms_ = nullptr;
+  RunJournal* journal_ = nullptr;
 
   /// Workers + bounded queue + shutdown contract. Declared last so the
   /// pool (and with it every in-flight Handle referencing this service)

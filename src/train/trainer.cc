@@ -92,6 +92,65 @@ TrainHistory Trainer::Fit(TrainableModel* model,
   HealthMonitor health(options.health);
   model->set_thread_pool(options.pool);
 
+  // Observability handles (DESIGN.md §9); all null when uninstrumented so
+  // the loop below pays nothing but a pointer test per site.
+  Counter* epochs_total = nullptr;
+  Counter* steps_total = nullptr;
+  Counter* rollbacks_total = nullptr;
+  Counter* ckpt_writes_total = nullptr;
+  Counter* ckpt_failures_total = nullptr;
+  Gauge* loss_gauge = nullptr;
+  Gauge* grad_norm_gauge = nullptr;
+  Gauge* lr_scale_gauge = nullptr;
+  Gauge* steps_per_sec_gauge = nullptr;
+  Histogram* epoch_ms_hist = nullptr;
+  Histogram* step_ms_hist = nullptr;
+  Histogram* eval_ms_hist = nullptr;
+  if (options.metrics != nullptr) {
+    MetricsRegistry* m = options.metrics;
+    epochs_total = m->GetCounter("train_epochs_total");
+    steps_total = m->GetCounter("train_steps_total");
+    rollbacks_total = m->GetCounter("train_rollbacks_total");
+    ckpt_writes_total = m->GetCounter("train_checkpoint_writes_total");
+    ckpt_failures_total = m->GetCounter("train_checkpoint_failures_total");
+    loss_gauge = m->GetGauge("train_loss");
+    grad_norm_gauge = m->GetGauge("train_grad_norm");
+    lr_scale_gauge = m->GetGauge("train_lr_scale");
+    steps_per_sec_gauge = m->GetGauge("train_steps_per_sec");
+    epoch_ms_hist = m->GetHistogram("train_epoch_ms");
+    step_ms_hist = m->GetHistogram("train_step_ms");
+    eval_ms_hist = m->GetHistogram("train_eval_ms");
+  }
+  RunJournal* journal = options.journal;
+  // Appends "run_end", flushes the journal and dumps the metrics snapshot;
+  // runs on every exit path of Fit, including resume failures.
+  auto finish_run = [&]() {
+    if (journal != nullptr) {
+      JournalEvent event("run_end");
+      event.Set("model", model->name())
+          .Set("epochs_run", history.epochs_run)
+          .Set("best_epoch", history.best_epoch)
+          .Set("best_recall", history.best_validation.recall)
+          .Set("rollbacks", history.rollbacks)
+          .Set("train_seconds", history.train_seconds)
+          .Set("ok", history.status.ok());
+      if (!history.status.ok()) event.Set("error", history.status.ToString());
+      journal->Append(event);
+      Status flushed = journal->Flush();
+      if (!flushed.ok()) {
+        IMCAT_LOG(WARNING) << model->name()
+                           << " journal flush failed: " << flushed.ToString();
+      }
+    }
+    if (options.metrics != nullptr && !options.metrics_out.empty()) {
+      Status written = WriteMetricsFile(*options.metrics, options.metrics_out);
+      if (!written.ok()) {
+        IMCAT_LOG(WARNING) << model->name() << " metrics dump failed: "
+                           << written.ToString();
+      }
+    }
+  };
+
   if (options.verbose && !options.data_provenance.empty()) {
     IMCAT_LOG(INFO) << model->name()
                     << " ingest: " << options.data_provenance;
@@ -112,6 +171,7 @@ TrainHistory Trainer::Fit(TrainableModel* model,
                                        &has_state);
     if (!st.ok()) {
       history.status = st;
+      finish_run();
       return history;
     }
     if (has_state) {
@@ -135,6 +195,7 @@ TrainHistory Trainer::Fit(TrainableModel* model,
           st = optimizer->ImportState(state.optimizer);
           if (!st.ok()) {
             history.status = st;
+            finish_run();
             return history;
           }
         }
@@ -151,6 +212,15 @@ TrainHistory Trainer::Fit(TrainableModel* model,
       IMCAT_LOG(INFO) << model->name() << " resumed from "
                       << options.resume_path << " at epoch " << start_epoch;
     }
+  }
+
+  if (journal != nullptr) {
+    journal->Append(JournalEvent("run_start")
+                        .Set("model", model->name())
+                        .Set("max_epochs", options.max_epochs)
+                        .Set("seed", static_cast<int64_t>(options.seed))
+                        .Set("resumed", history.resumed)
+                        .Set("start_epoch", start_epoch));
   }
 
   auto write_checkpoint = [&](int64_t next_epoch) {
@@ -182,6 +252,17 @@ TrainHistory Trainer::Fit(TrainableModel* model,
       // write, any previous checkpoint survived and resume still works.
       IMCAT_LOG(WARNING) << model->name()
                          << " checkpoint failed: " << st.ToString();
+      if (ckpt_failures_total != nullptr) ckpt_failures_total->Increment();
+    } else if (ckpt_writes_total != nullptr) {
+      ckpt_writes_total->Increment();
+    }
+    if (journal != nullptr) {
+      JournalEvent event("checkpoint");
+      event.Set("epoch", next_epoch)
+          .Set("path", options.checkpoint_path)
+          .Set("ok", st.ok());
+      if (!st.ok()) event.Set("error", st.ToString());
+      journal->Append(event);
     }
   };
 
@@ -199,7 +280,12 @@ TrainHistory Trainer::Fit(TrainableModel* model,
     bool diverged = false;
     std::string divergence_reason;
     for (int64_t s = 0; s < steps; ++s) {
+      const double step_start =
+          step_ms_hist != nullptr ? MetricsNowMs() : 0.0;
       const double loss = model->TrainStep(&rng);
+      if (step_ms_hist != nullptr) {
+        step_ms_hist->Record(MetricsNowMs() - step_start);
+      }
       if (options.health.enabled) {
         HealthVerdict verdict = health.CheckLoss(loss);
         if (!verdict.healthy) {
@@ -218,7 +304,8 @@ TrainHistory Trainer::Fit(TrainableModel* model,
         divergence_reason = verdict.reason;
       }
     }
-    train_seconds += epoch_watch.ElapsedSeconds();
+    const double epoch_seconds = epoch_watch.ElapsedSeconds();
+    train_seconds += epoch_seconds;
 
     if (diverged) {
       if (!health.CanRollback()) {
@@ -227,11 +314,18 @@ TrainHistory Trainer::Fit(TrainableModel* model,
             " (" + divergence_reason + ") after exhausting " +
             std::to_string(options.health.max_rollbacks) + " rollbacks");
         RestoreSnapshot(healthy, model, optimizer, &rng);
+        if (journal != nullptr) {
+          journal->Append(JournalEvent("rollback")
+                              .Set("epoch", epoch + 1)
+                              .Set("reason", divergence_reason)
+                              .Set("budget_exhausted", true));
+        }
         break;
       }
       health.RecordRollback();
       ++history.rollbacks;
       history.rollback_epochs.push_back(epoch + 1);
+      if (rollbacks_total != nullptr) rollbacks_total->Increment();
       RestoreSnapshot(healthy, model, optimizer, &rng);
       lr_scale *= options.health.lr_backoff;
       if (optimizer != nullptr) {
@@ -244,11 +338,31 @@ TrainHistory Trainer::Fit(TrainableModel* model,
                            << "); rolled back to epoch " << healthy.next_epoch
                            << ", lr scale now " << lr_scale;
       }
+      if (lr_scale_gauge != nullptr) lr_scale_gauge->Set(lr_scale);
+      if (journal != nullptr) {
+        journal->Append(JournalEvent("rollback")
+                            .Set("epoch", epoch + 1)
+                            .Set("reason", divergence_reason)
+                            .Set("restored_epoch", healthy.next_epoch)
+                            .Set("lr_scale", lr_scale));
+      }
       epoch = healthy.next_epoch - 1;  // Loop increment re-runs next_epoch.
       continue;
     }
 
     history.epochs_run = epoch + 1;
+    const double mean_loss = loss_sum / static_cast<double>(steps);
+    const double last_grad_norm =
+        optimizer != nullptr ? optimizer->last_grad_norm() : -1.0;
+    if (epochs_total != nullptr) epochs_total->Increment();
+    if (steps_total != nullptr) steps_total->Add(steps);
+    if (epoch_ms_hist != nullptr) epoch_ms_hist->Record(epoch_seconds * 1e3);
+    if (loss_gauge != nullptr) loss_gauge->Set(mean_loss);
+    if (grad_norm_gauge != nullptr) grad_norm_gauge->Set(last_grad_norm);
+    if (lr_scale_gauge != nullptr) lr_scale_gauge->Set(lr_scale);
+    if (steps_per_sec_gauge != nullptr && epoch_seconds > 0.0) {
+      steps_per_sec_gauge->Set(static_cast<double>(steps) / epoch_seconds);
+    }
     if (options.health.enabled) {
       if (optimizer != nullptr) {
         health.RecordGradNorm(optimizer->last_grad_norm());
@@ -257,14 +371,30 @@ TrainHistory Trainer::Fit(TrainableModel* model,
     }
 
     bool stop = false;
+    JournalEvent epoch_event("epoch");
+    epoch_event.Set("epoch", epoch + 1)
+        .Set("loss", mean_loss)
+        .Set("grad_norm", last_grad_norm)
+        .Set("lr_scale", lr_scale)
+        .Set("steps", steps)
+        .Set("epoch_ms", epoch_seconds * 1e3);
     const bool should_eval = (epoch + 1) % options.eval_every == 0 ||
                              epoch + 1 == options.max_epochs;
     if (should_eval) {
+      const double eval_start =
+          eval_ms_hist != nullptr || journal != nullptr ? MetricsNowMs() : 0.0;
       const EvalResult val = evaluator_->Evaluate(
           *model, split_->validation, options.top_n, {}, options.pool);
+      if (eval_ms_hist != nullptr || journal != nullptr) {
+        const double eval_ms = MetricsNowMs() - eval_start;
+        if (eval_ms_hist != nullptr) eval_ms_hist->Record(eval_ms);
+        epoch_event.Set("eval_ms", eval_ms)
+            .Set("val_recall", val.recall)
+            .Set("val_ndcg", val.ndcg);
+      }
       ValidationPoint point;
       point.epoch = epoch + 1;
-      point.train_loss = loss_sum / static_cast<double>(steps);
+      point.train_loss = mean_loss;
       point.validation = val;
       point.elapsed_seconds = train_seconds;
       if (optimizer != nullptr) point.grad_norm = optimizer->last_grad_norm();
@@ -294,6 +424,8 @@ TrainHistory Trainer::Fit(TrainableModel* model,
       }
     }
 
+    if (journal != nullptr) journal->Append(epoch_event);
+
     if (!options.checkpoint_path.empty() && options.checkpoint_every > 0 &&
         ((epoch + 1) % options.checkpoint_every == 0 || stop ||
          epoch + 1 == options.max_epochs)) {
@@ -307,6 +439,7 @@ TrainHistory Trainer::Fit(TrainableModel* model,
   }
   history.train_seconds = train_seconds;
   history.lr_scale = lr_scale;
+  finish_run();
   return history;
 }
 

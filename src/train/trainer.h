@@ -6,6 +6,8 @@
 
 #include "data/split.h"
 #include "eval/evaluator.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
 #include "tensor/optimizer.h"
 #include "tensor/tensor.h"
 #include "train/health.h"
@@ -101,6 +103,25 @@ struct TrainerOptions {
   /// streams, so checkpoints and kill-and-resume stay bit-identical). The
   /// pool must outlive the Fit call; null trains fully serially.
   ThreadPool* pool = nullptr;
+
+  /// Optional instrumentation (DESIGN.md §9). When non-null, Fit maintains
+  /// the `train_*` family: per-epoch gauges (train_loss, train_grad_norm,
+  /// train_lr_scale, train_steps_per_sec), timing histograms
+  /// (train_epoch_ms, train_step_ms, train_eval_ms) and lifetime counters
+  /// (train_epochs_total, train_steps_total, train_rollbacks_total,
+  /// train_checkpoint_writes_total, train_checkpoint_failures_total).
+  /// Null keeps the loop uninstrumented — not even clock reads are added.
+  MetricsRegistry* metrics = nullptr;
+  /// Optional run journal. Fit appends structured events: "run_start",
+  /// one "epoch" per healthy epoch (loss, grad norm, lr scale, timing,
+  /// validation metrics on eval epochs), "rollback" on every health-guard
+  /// trip, "checkpoint" per checkpoint attempt and a final "run_end".
+  /// The journal is flushed before Fit returns.
+  RunJournal* journal = nullptr;
+  /// When non-empty, a metrics snapshot is written here at the end of Fit
+  /// via WriteMetricsFile (.json extension selects JSON, anything else
+  /// Prometheus text). Requires `metrics` to be set.
+  std::string metrics_out;
 };
 
 /// Per-validation record.

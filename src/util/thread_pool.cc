@@ -35,6 +35,14 @@ ThreadPool::ThreadPool(const ThreadPoolOptions& options) {
   }
   IMCAT_CHECK_GT(options.queue_capacity, 0);
   queue_capacity_ = options.queue_capacity;
+  if (options.metrics != nullptr) {
+    const std::string& p = options.metrics_prefix;
+    tasks_run_total_ = options.metrics->GetCounter(p + "_tasks_run_total");
+    tasks_cancelled_total_ =
+        options.metrics->GetCounter(p + "_tasks_cancelled_total");
+    queue_wait_ms_ = options.metrics->GetHistogram(p + "_queue_wait_ms");
+    queue_depth_gauge_ = options.metrics->GetGauge(p + "_queue_depth");
+  }
   workers_.reserve(static_cast<size_t>(num_threads_));
   for (int64_t i = 0; i < num_threads_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -83,7 +91,12 @@ Status ThreadPool::SubmitLocked(std::function<void()> run,
     return Status::Unavailable("thread pool queue full (" +
                                std::to_string(queue_capacity_) + " tasks)");
   }
-  queue_.push_back(QueuedTask{std::move(run), std::move(cancel)});
+  QueuedTask task{std::move(run), std::move(cancel)};
+  if (queue_wait_ms_ != nullptr) task.enqueued_ms = MetricsNowMs();
+  queue_.push_back(std::move(task));
+  if (queue_depth_gauge_ != nullptr) {
+    queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+  }
   work_cv_.notify_one();
   return Status::OK();
 }
@@ -109,14 +122,28 @@ void ThreadPool::RunCaptured(const std::function<void()>& run) {
   }
 }
 
+void ThreadPool::NoteTaskDequeued(const QueuedTask& task,
+                                  int64_t depth_after) {
+  if (tasks_run_total_ != nullptr) tasks_run_total_->Increment();
+  if (queue_wait_ms_ != nullptr) {
+    queue_wait_ms_->Record(MetricsNowMs() - task.enqueued_ms);
+  }
+  if (queue_depth_gauge_ != nullptr) {
+    queue_depth_gauge_->Set(static_cast<double>(depth_after));
+  }
+}
+
 bool ThreadPool::RunOneQueuedTask() {
   QueuedTask task;
+  int64_t depth_after = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
+    depth_after = static_cast<int64_t>(queue_.size());
   }
+  NoteTaskDequeued(task, depth_after);
   space_cv_.notify_one();
   RunCaptured(task.run);
   return true;
@@ -125,6 +152,7 @@ bool ThreadPool::RunOneQueuedTask() {
 void ThreadPool::WorkerLoop() {
   while (true) {
     QueuedTask task;
+    int64_t depth_after = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
@@ -133,7 +161,9 @@ void ThreadPool::WorkerLoop() {
       if (stopped_) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      depth_after = static_cast<int64_t>(queue_.size());
     }
+    NoteTaskDequeued(task, depth_after);
     space_cv_.notify_one();
     RunCaptured(task.run);
   }
@@ -157,7 +187,9 @@ void ThreadPool::Shutdown() {
     std::lock_guard<std::mutex> lock(mu_);
     leftover.swap(queue_);
   }
+  if (queue_depth_gauge_ != nullptr) queue_depth_gauge_->Set(0.0);
   for (QueuedTask& task : leftover) {
+    if (tasks_cancelled_total_ != nullptr) tasks_cancelled_total_->Increment();
     if (task.cancel) RunCaptured(task.cancel);
   }
 }

@@ -6,9 +6,11 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/status.h"
 
 /// \file thread_pool.h
@@ -57,6 +59,14 @@ struct ThreadPoolOptions {
   int64_t num_threads = 0;
   /// Upper bound on queued (not yet running) tasks.
   int64_t queue_capacity = 1024;
+  /// Optional instrumentation (DESIGN.md §9). When non-null the pool
+  /// maintains `<metrics_prefix>_tasks_run_total`,
+  /// `<metrics_prefix>_tasks_cancelled_total`, a
+  /// `<metrics_prefix>_queue_wait_ms` histogram (admission to execution)
+  /// and a `<metrics_prefix>_queue_depth` gauge. Null (the default) keeps
+  /// the pool entirely uninstrumented — not even a clock read per task.
+  MetricsRegistry* metrics = nullptr;
+  std::string metrics_prefix = "pool";
 };
 
 class ThreadPool {
@@ -130,12 +140,16 @@ class ThreadPool {
   struct QueuedTask {
     std::function<void()> run;
     std::function<void()> cancel;
+    /// Admission time (MetricsNowMs) when metrics are enabled; 0 otherwise.
+    double enqueued_ms = 0.0;
   };
 
   void WorkerLoop();
   Status SubmitLocked(std::function<void()> run, std::function<void()> cancel,
                       bool blocking);
   void RunCaptured(const std::function<void()>& run);
+  /// Records queue wait + run count for a task about to execute.
+  void NoteTaskDequeued(const QueuedTask& task, int64_t depth_after);
   /// Pops and runs one queued task on the calling thread; false when the
   /// queue is empty. Lets ParallelFor waiters make progress instead of
   /// blocking on helpers that are themselves parked in the queue.
@@ -153,6 +167,13 @@ class ThreadPool {
 
   Status first_task_error_;
   int64_t task_exceptions_ = 0;
+
+  /// Instrumentation handles (null when ThreadPoolOptions::metrics is
+  /// null); resolved once at construction, hot paths only null-check.
+  Counter* tasks_run_total_ = nullptr;
+  Counter* tasks_cancelled_total_ = nullptr;
+  Histogram* queue_wait_ms_ = nullptr;
+  Gauge* queue_depth_gauge_ = nullptr;
 };
 
 }  // namespace imcat

@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include "data/dataset.h"
+#include "obs/metrics.h"
 #include "serve/rec_service.h"
 #include "tensor/checkpoint.h"
 #include "tensor/tensor.h"
@@ -200,6 +201,77 @@ TEST_F(RaceTest, SnapshotReloadRacingScoringRacingShutdownChurn) {
     EXPECT_EQ(indefinite.load(), 0) << "generation " << gen;
     service.reset();  // Destructor races nothing: all threads joined.
   }
+}
+
+// Observability under churn: a fully instrumented service hammered by
+// scorer threads while one thread reloads snapshots and another reads
+// metrics snapshots continuously. TSan must stay clean (relaxed shard
+// writes racing the merge are by design), every snapshot must be
+// internally monotone versus the previous one, and once every thread has
+// joined the full request-accounting identity must hold exactly.
+TEST_F(RaceTest, MetricsChurnStaysConsistentUnderConcurrentSnapshots) {
+  const std::string path = TempPath("race_metrics_snapshot.ckpt");
+  WriteSnapshot(path, 0.25f);
+
+  MetricsRegistry metrics;
+  RecServiceOptions options = RaceOptions();
+  options.metrics = &metrics;
+  auto service = std::make_shared<RecService>(RaceFallback(), options);
+  ASSERT_TRUE(service->LoadSnapshot(path).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> monotonicity_violations{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([service, t] {
+      int64_t user = t;
+      while (user < 400) {
+        RecRequest request;
+        // Mix valid and invalid ids so several outcome counters move.
+        request.user = (user % 9 == 8) ? -user : user % kNumUsers;
+        (void)service->Recommend(std::move(request));
+        user += 3;
+      }
+    });
+  }
+  threads.emplace_back([service, &stop, &path] {
+    while (!stop.load()) {
+      (void)service->LoadSnapshot(path);
+      std::this_thread::yield();
+    }
+  });
+  // Reader: counters are monotone, so each snapshot's totals must
+  // dominate the previous one's even while writers race the merge.
+  threads.emplace_back([&metrics, &stop, &monotonicity_violations] {
+    int64_t last_total = 0;
+    while (!stop.load()) {
+      MetricsSnapshot snapshot = metrics.Snapshot();
+      const int64_t total = snapshot.CounterValue("serve_requests_total");
+      if (total < last_total) ++monotonicity_violations;
+      last_total = total;
+      std::this_thread::yield();
+    }
+  });
+
+  for (int t = 0; t < 3; ++t) threads[static_cast<size_t>(t)].join();
+  stop = true;
+  for (size_t t = 3; t < threads.size(); ++t) threads[t].join();
+  EXPECT_EQ(monotonicity_violations.load(), 0);
+
+  service->Shutdown();
+  MetricsSnapshot snapshot = metrics.Snapshot();
+  const int64_t accounted =
+      snapshot.CounterValue("serve_requests_ok_total") +
+      snapshot.CounterValue("serve_requests_degraded_total") +
+      snapshot.CounterValue("serve_requests_shed_total") +
+      snapshot.CounterValue("serve_requests_deadline_exceeded_total") +
+      snapshot.CounterValue("serve_requests_invalid_total") +
+      snapshot.CounterValue("serve_requests_error_total") +
+      snapshot.CounterValue("serve_requests_cancelled_total");
+  EXPECT_EQ(snapshot.CounterValue("serve_requests_total"), accounted);
+  EXPECT_GT(snapshot.CounterValue("serve_requests_invalid_total"), 0);
+  service.reset();
+  std::remove(path.c_str());
 }
 
 // Satellite 3: concurrent FaultInjector arm/fire. Armer threads keep

@@ -23,6 +23,7 @@
 #include <gtest/gtest.h>
 
 #include "data/dataset.h"
+#include "obs/metrics.h"
 #include "serve/rec_service.h"
 #include "tensor/checkpoint.h"
 #include "tensor/tensor.h"
@@ -246,6 +247,102 @@ TEST_F(ServeChaosTest, SnapshotlessChaosAlwaysAnswersFromFallback) {
   EXPECT_EQ(violations.load(), 0);
   EXPECT_GT(degraded.load(), 0);
   EXPECT_EQ(service.snapshot(), nullptr);
+}
+
+TEST_F(ServeChaosTest, MetricsAccountingIdentityHoldsExactlyUnderChaos) {
+  // Drives the four fault-visible outcomes — ok, shed, deadline-exceeded
+  // and degraded — with controlled injected faults, then asserts the
+  // exact-accounting identity on the live counters:
+  //   serve_requests_total == ok + shed + deadline_exceeded + degraded
+  // (no invalid/error/cancelled traffic is generated, so those three
+  // stay zero and the four-term identity must hold with equality).
+  const std::string path = TempPath("chaos_metrics_snapshot.ckpt");
+  WriteGoodSnapshot(path);
+
+  MetricsRegistry metrics;
+  RecServiceOptions options;
+  options.num_workers = 1;  // Single worker: a stalled task backs up the
+  options.queue_capacity = 2;  // tiny queue deterministically.
+  options.default_top_k = kTopK;
+  options.default_deadline_ms = 1.0;
+  options.recommender.block_items = 16;
+  options.breaker.failure_threshold = 2;
+  options.breaker.cooldown_ms = 1e9;  // Once open, stays open.
+  options.load_backoff.max_attempts = 1;
+  options.metrics = &metrics;
+  RecService service(ChaosFallback(), options);
+  ASSERT_TRUE(service.LoadSnapshot(path).ok());
+  FaultInjector& injector = FaultInjector::Instance();
+
+  // Phase 1 — ok: fault-free real-path requests with no deadline.
+  for (int64_t u = 0; u < 10; ++u) {
+    RecResponse response = service.Recommend(Req(u, -1.0));
+    ASSERT_TRUE(response.status.ok());
+    ASSERT_FALSE(response.degraded);
+  }
+
+  // Phase 2 — shed: forced-slow scoring stalls the worker, the queue
+  // (capacity 2) fills, and every further Submit is shed immediately.
+  injector.ArmSlowOps(1000, 2.0);
+  std::vector<std::future<RecResponse>> futures;
+  for (int i = 0; i < 13; ++i) {
+    futures.push_back(service.Submit(Req(i % kNumUsers, -1.0)));
+  }
+  int64_t shed_seen = 0;
+  for (auto& future : futures) {
+    RecResponse response = future.get();
+    if (response.status.code() == StatusCode::kUnavailable) ++shed_seen;
+  }
+  EXPECT_GE(shed_seen, 10);  // 13 submitted, 1 running + 2 queued at most.
+  injector.Reset();
+
+  // Phase 3 — deadline: slow scoring against a 1 ms budget. The two
+  // consecutive failures also trip the breaker (threshold 2).
+  injector.ArmSlowOps(50, 5.0);
+  for (int i = 0; i < 2; ++i) {
+    RecResponse response = service.Recommend(Req(3, 1.0));
+    EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  }
+  injector.Reset();
+  EXPECT_EQ(service.breaker_state(), CircuitBreaker::State::kOpen);
+
+  // Phase 4 — degraded: the open breaker routes everything to fallback.
+  for (int i = 0; i < 5; ++i) {
+    RecResponse response = service.Recommend(Req(5, -1.0));
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_TRUE(response.degraded);
+  }
+
+  // Every submitted future has resolved, so the relaxed counters are
+  // exact. The issue's acceptance identity, with equality:
+  MetricsSnapshot snapshot = metrics.Snapshot();
+  const int64_t total = snapshot.CounterValue("serve_requests_total");
+  const int64_t ok = snapshot.CounterValue("serve_requests_ok_total");
+  const int64_t shed = snapshot.CounterValue("serve_requests_shed_total");
+  const int64_t deadline =
+      snapshot.CounterValue("serve_requests_deadline_exceeded_total");
+  const int64_t degraded =
+      snapshot.CounterValue("serve_requests_degraded_total");
+  EXPECT_EQ(total, ok + shed + deadline + degraded);
+  EXPECT_EQ(total, 10 + 13 + 2 + 5);
+  EXPECT_GE(ok, 10);
+  EXPECT_EQ(shed, shed_seen);
+  EXPECT_EQ(deadline, 2);
+  EXPECT_EQ(degraded, 5);
+  // The outcomes not driven here stayed exactly zero.
+  EXPECT_EQ(snapshot.CounterValue("serve_requests_invalid_total"), 0);
+  EXPECT_EQ(snapshot.CounterValue("serve_requests_error_total"), 0);
+  EXPECT_EQ(snapshot.CounterValue("serve_requests_cancelled_total"), 0);
+  // Breaker observability: at least closed->open was recorded, and the
+  // state gauge reads open (1).
+  EXPECT_GE(snapshot.CounterValue("serve_breaker_transitions_total"), 1);
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name == "serve_breaker_state") {
+      EXPECT_DOUBLE_EQ(
+          value, static_cast<double>(CircuitBreaker::State::kOpen));
+    }
+  }
+  std::remove(path.c_str());
 }
 
 TEST_F(ServeChaosTest, ShutdownDuringChaosResolvesEveryQueuedRequest) {
