@@ -101,6 +101,11 @@ if [[ "$run_sanitized" == 1 ]]; then
   (cd build-asan && ctest --output-on-failure -j "$jobs")
   echo "=== sanitized checkpoint durability sweep ==="
   (cd build-asan && ctest --output-on-failure -R 'CheckpointTest')
+  echo "=== sanitized per-shard corruption sweep (ctest -L shard_fault) ==="
+  # The sharded-snapshot fault suite (per-shard bit flips, truncation,
+  # injected read faults, quarantined serving) must stay ASan/UBSan-clean:
+  # corrupt shards exercise exactly the buffer-boundary paths ASan guards.
+  (cd build-asan && ctest -L shard_fault --output-on-failure --timeout 300)
 fi
 
 if [[ "$run_tsan" == 1 ]]; then
@@ -122,11 +127,11 @@ if [[ "$run_chaos" == 1 ]]; then
   # Chaos suites drive the FaultInjector under concurrency; run them
   # label-selected with a hard per-test timeout so a hang (a lost wakeup,
   # a stuck future) fails loudly instead of wedging CI.
-  echo "=== chaos suites (ctest -L chaos) ==="
+  echo "=== chaos suites (ctest -L 'chaos|shard_fault') ==="
   cmake -B build -S . >/dev/null
   cmake --build build -j "$jobs"
-  (cd build && ctest -L chaos --output-on-failure --repeat until-pass:1 \
-      --timeout 120)
+  (cd build && ctest -L 'chaos|shard_fault' --output-on-failure \
+      --repeat until-pass:1 --timeout 120)
 fi
 
 if [[ "$run_fuzz" == 1 ]]; then

@@ -29,11 +29,19 @@ PopularityRanker::PopularityRanker(int64_t num_items,
 
 void PopularityRanker::TopK(int64_t k, const std::vector<int64_t>& exclude,
                             std::vector<ScoredItem>* out) const {
+  TopKFiltered(k, exclude, nullptr, out);
+}
+
+void PopularityRanker::TopKFiltered(int64_t k,
+                                    const std::vector<int64_t>& exclude,
+                                    const std::function<bool(int64_t)>& keep,
+                                    std::vector<ScoredItem>* out) const {
   out->clear();
   if (k <= 0) return;
   const std::unordered_set<int64_t> excluded(exclude.begin(), exclude.end());
   for (const ScoredItem& entry : ranking_) {
     if (excluded.count(entry.item) != 0) continue;
+    if (keep && !keep(entry.item)) continue;
     out->push_back(entry);
     if (static_cast<int64_t>(out->size()) == k) break;
   }

@@ -2,6 +2,7 @@
 #define IMCAT_SERVE_POPULARITY_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "data/dataset.h"
@@ -31,6 +32,13 @@ class PopularityRanker {
   /// `exclude` (unsorted; out-of-range ids are ignored).
   void TopK(int64_t k, const std::vector<int64_t>& exclude,
             std::vector<ScoredItem>* out) const;
+
+  /// Filtered variant: only items for which `keep(item)` returns true are
+  /// eligible. Used for range-restricted degraded responses and for
+  /// backfilling quarantined item ranges in partial-degraded serving.
+  void TopKFiltered(int64_t k, const std::vector<int64_t>& exclude,
+                    const std::function<bool(int64_t)>& keep,
+                    std::vector<ScoredItem>* out) const;
 
  private:
   std::vector<ScoredItem> ranking_;  // Sorted once at construction.

@@ -38,6 +38,7 @@ RecService::RecService(std::shared_ptr<const PopularityRanker> fallback,
         return ropts;
       }()),
       breaker_(options.breaker, options.now_ms),
+      now_ms_(options.now_ms ? options.now_ms : SteadyNowMs),
       sleep_ms_(options.sleep_ms ? options.sleep_ms : DefaultSleepMs),
       journal_(options.journal),
       pool_(ServicePoolOptions(options)) {
@@ -48,6 +49,8 @@ RecService::RecService(std::shared_ptr<const PopularityRanker> fallback,
     requests_total_ = m->GetCounter("serve_requests_total");
     requests_ok_ = m->GetCounter("serve_requests_ok_total");
     requests_degraded_ = m->GetCounter("serve_requests_degraded_total");
+    requests_partial_degraded_ =
+        m->GetCounter("serve_requests_partial_degraded_total");
     requests_shed_ = m->GetCounter("serve_requests_shed_total");
     requests_deadline_ =
         m->GetCounter("serve_requests_deadline_exceeded_total");
@@ -57,9 +60,17 @@ RecService::RecService(std::shared_ptr<const PopularityRanker> fallback,
     snapshot_reloads_total_ = m->GetCounter("serve_snapshot_reloads_total");
     snapshot_load_failures_total_ =
         m->GetCounter("serve_snapshot_load_failures_total");
+    snapshot_rejected_publishes_total_ =
+        m->GetCounter("serve_snapshot_rejected_publishes_total");
+    snapshot_shards_quarantined_total_ =
+        m->GetCounter("serve_snapshot_shards_quarantined_total");
+    staleness_trips_total_ = m->GetCounter("serve_staleness_trips_total");
     breaker_transitions_total_ =
         m->GetCounter("serve_breaker_transitions_total");
     breaker_state_gauge_ = m->GetGauge("serve_breaker_state");
+    quarantined_shards_gauge_ =
+        m->GetGauge("serve_snapshot_quarantined_shards");
+    staleness_ms_gauge_ = m->GetGauge("serve_snapshot_staleness_ms");
     request_latency_ms_ = m->GetHistogram("serve_request_latency_ms");
   }
   if (options.metrics != nullptr || journal_ != nullptr) {
@@ -89,12 +100,51 @@ Status RecService::LoadSnapshot(const std::string& path) {
   Backoff backoff(options_.load_backoff);
   Status last;
   while (true) {
-    auto result = EmbeddingSnapshot::Load(path);
+    auto result = EmbeddingSnapshot::Load(path, options_.snapshot_load);
     if (result.ok()) {
       std::shared_ptr<EmbeddingSnapshot> loaded = std::move(result).value();
-      loaded->set_version(
-          next_snapshot_version_.fetch_add(1, std::memory_order_relaxed));
-      const int64_t version = loaded->version();
+      // Version: the exporter's manifest version when assigned, else the
+      // service's own monotonic counter (v2 files and unversioned
+      // exports).
+      const std::shared_ptr<const EmbeddingSnapshot> live = snapshot();
+      const int64_t version =
+          loaded->parent_version() > 0
+              ? loaded->parent_version()
+              : next_snapshot_version_.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      if (live != nullptr && version <= live->version()) {
+        // Monotonicity refusal: publishing this snapshot would roll the
+        // service backwards (a stale export re-pushed, a duplicate
+        // publish). The file itself is intact, so the breaker is not fed
+        // and no retry can help.
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.rejected_publishes;
+        }
+        if (snapshot_rejected_publishes_total_ != nullptr) {
+          snapshot_rejected_publishes_total_->Increment();
+        }
+        if (journal_ != nullptr) {
+          journal_->Append(JournalEvent("snapshot_rejected")
+                               .Set("path", path)
+                               .Set("live_version", live->version())
+                               .Set("candidate_version", version));
+        }
+        return Status::FailedPrecondition(
+            path + ": snapshot version " + std::to_string(version) +
+            " is not greater than live version " +
+            std::to_string(live->version()) + "; publish refused");
+      }
+      loaded->set_version(version);
+      const int64_t quarantined = loaded->quarantined_count();
+      const int64_t shards = loaded->num_shards();
+      // Keep counter-assigned versions ahead of manifest-assigned ones so
+      // the two sources interleave monotonically.
+      int64_t next = next_snapshot_version_.load(std::memory_order_relaxed);
+      while (next <= version &&
+             !next_snapshot_version_.compare_exchange_weak(
+                 next, version + 1, std::memory_order_relaxed)) {
+      }
       // Atomic publish: readers holding the old snapshot keep it alive
       // until their request completes.
       PublishSnapshot(std::move(loaded));
@@ -106,11 +156,20 @@ Status RecService::LoadSnapshot(const std::string& path) {
       if (snapshot_reloads_total_ != nullptr) {
         snapshot_reloads_total_->Increment();
       }
+      if (snapshot_shards_quarantined_total_ != nullptr &&
+          quarantined > 0) {
+        snapshot_shards_quarantined_total_->Add(quarantined);
+      }
+      if (quarantined_shards_gauge_ != nullptr) {
+        quarantined_shards_gauge_->Set(static_cast<double>(quarantined));
+      }
       if (journal_ != nullptr) {
         journal_->Append(JournalEvent("snapshot_reload")
                              .Set("ok", true)
                              .Set("path", path)
-                             .Set("version", version));
+                             .Set("version", version)
+                             .Set("shards", shards)
+                             .Set("quarantined_shards", quarantined));
       }
       return Status::OK();
     }
@@ -186,8 +245,15 @@ void RecService::Shutdown() { pool_.Shutdown(); }
 
 void RecService::PublishSnapshot(
     std::shared_ptr<const EmbeddingSnapshot> snapshot) {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
-  snapshot_ = std::move(snapshot);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(snapshot);
+  }
+  // A fresh publish restarts the staleness budget and re-arms the
+  // edge-triggered watchdog journal event.
+  last_publish_ms_.store(now_ms_(), std::memory_order_relaxed);
+  stale_tripped_.store(false, std::memory_order_relaxed);
+  if (staleness_ms_gauge_ != nullptr) staleness_ms_gauge_->Set(0.0);
 }
 
 std::shared_ptr<const EmbeddingSnapshot> RecService::snapshot() const {
@@ -226,6 +292,20 @@ RecResponse RecService::Handle(const RecRequest& request) {
     invalid = Status::InvalidArgument("negative top_k " +
                                       std::to_string(request.top_k));
   }
+  if (invalid.ok() &&
+      (request.item_begin != 0 || request.item_end != 0)) {
+    // Range restriction: validated against the snapshot catalogue when one
+    // is live, else against the fallback ranking it will be served from.
+    const int64_t catalogue = snapshot != nullptr ? snapshot->num_items()
+                                                  : fallback_->num_items();
+    if (request.item_begin < 0 || request.item_end <= request.item_begin ||
+        request.item_end > catalogue) {
+      invalid = Status::InvalidArgument(
+          "item range [" + std::to_string(request.item_begin) + ", " +
+          std::to_string(request.item_end) + ") invalid for catalogue of " +
+          std::to_string(catalogue) + " items");
+    }
+  }
   if (!invalid.ok()) {
     if (requests_invalid_ != nullptr) requests_invalid_->Increment();
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -235,19 +315,90 @@ RecResponse RecService::Handle(const RecRequest& request) {
     return response;
   }
 
+  // Staleness watchdog: repeated reload failures leave the live snapshot
+  // older than the bounded-staleness budget; past it the model scores are
+  // no longer trustworthy and the popularity fallback takes over until a
+  // fresh snapshot publishes.
+  if (snapshot != nullptr && options_.max_snapshot_staleness_ms > 0.0) {
+    const double published = last_publish_ms_.load(std::memory_order_relaxed);
+    const double staleness_ms = published >= 0.0 ? now_ms_() - published : 0.0;
+    if (staleness_ms_gauge_ != nullptr) {
+      staleness_ms_gauge_->Set(staleness_ms);
+    }
+    if (staleness_ms > options_.max_snapshot_staleness_ms) {
+      if (!stale_tripped_.exchange(true, std::memory_order_relaxed)) {
+        // Edge-triggered: one journal event + trip count per episode, not
+        // one per request in the storm.
+        if (staleness_trips_total_ != nullptr) {
+          staleness_trips_total_->Increment();
+        }
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.staleness_trips;
+        }
+        if (journal_ != nullptr) {
+          journal_->Append(
+              JournalEvent("staleness")
+                  .Set("staleness_ms", staleness_ms)
+                  .Set("budget_ms", options_.max_snapshot_staleness_ms)
+                  .Set("snapshot_version", snapshot->version()));
+        }
+      }
+      return DegradedResponse(top_k, request.exclude, request.item_begin,
+                              request.item_end);
+    }
+  }
+
   // Degraded path: no loadable snapshot, or the breaker refuses the real
   // path. Either way the caller gets an answer.
   if (snapshot == nullptr || !breaker_.AllowRequest()) {
-    return DegradedResponse(top_k, request.exclude);
+    return DegradedResponse(top_k, request.exclude, request.item_begin,
+                            request.item_end);
   }
 
   RecResponse response;
+  int64_t quarantined_skipped = 0;
   response.status = recommender_.TopK(*snapshot, request.user, top_k,
                                       deadline_ms, request.exclude,
-                                      &response.items);
+                                      request.item_begin, request.item_end,
+                                      &response.items, &quarantined_skipped);
   if (response.status.ok()) {
     response.snapshot_version = snapshot->version();
+    response.quarantined_shards = snapshot->quarantined_count();
     breaker_.RecordSuccess();
+    if (quarantined_skipped > 0) {
+      // kPartialDegraded: healthy shards scored normally; items the
+      // quarantine excluded are backfilled from the popularity ranking,
+      // restricted to the quarantined slice of the requested range so a
+      // healthy item can never be displaced by a fallback one.
+      response.partial_degraded = true;
+      if (static_cast<int64_t>(response.items.size()) < top_k) {
+        std::vector<int64_t> already = request.exclude;
+        already.reserve(already.size() + response.items.size());
+        for (const ScoredItem& chosen : response.items) {
+          already.push_back(chosen.item);
+        }
+        const int64_t begin = request.item_begin;
+        const int64_t end = request.item_end > 0 ? request.item_end
+                                                 : snapshot->num_items();
+        std::vector<ScoredItem> backfill;
+        fallback_->TopKFiltered(
+            top_k - static_cast<int64_t>(response.items.size()), already,
+            [&snapshot, begin, end](int64_t item) {
+              return item >= begin && item < end &&
+                     !snapshot->item_available(item);
+            },
+            &backfill);
+        response.items.insert(response.items.end(), backfill.begin(),
+                              backfill.end());
+      }
+      if (requests_partial_degraded_ != nullptr) {
+        requests_partial_degraded_->Increment();
+      }
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.served_partial_degraded;
+      return response;
+    }
     if (requests_ok_ != nullptr) requests_ok_->Increment();
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.served_real;
@@ -271,10 +422,20 @@ RecResponse RecService::Handle(const RecRequest& request) {
 }
 
 RecResponse RecService::DegradedResponse(
-    int64_t top_k, const std::vector<int64_t>& exclude) {
+    int64_t top_k, const std::vector<int64_t>& exclude, int64_t item_begin,
+    int64_t item_end) {
   RecResponse response;
   response.degraded = true;
-  fallback_->TopK(top_k, exclude, &response.items);
+  if (item_end > 0) {
+    fallback_->TopKFiltered(
+        top_k, exclude,
+        [item_begin, item_end](int64_t item) {
+          return item >= item_begin && item < item_end;
+        },
+        &response.items);
+  } else {
+    fallback_->TopK(top_k, exclude, &response.items);
+  }
   if (requests_degraded_ != nullptr) requests_degraded_->Increment();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);

@@ -40,6 +40,19 @@
 ///  - graceful degradation: while the breaker is open or no snapshot is
 ///    loadable, requests are answered from the precomputed popularity
 ///    ranking with `degraded=true` — the service keeps answering;
+///  - partial degradation: when the live snapshot is sharded (v3) and some
+///    item shards are quarantined, requests touching those item ranges
+///    still get real model scores for healthy shards, backfilled from the
+///    popularity ranking for the quarantined ranges, and are surfaced with
+///    `partial_degraded=true`; requests confined to healthy ranges are
+///    served normally;
+///  - snapshot version monotonicity: a snapshot whose version is not
+///    strictly greater than the live one is refused (kFailedPrecondition,
+///    "snapshot_rejected" journal event), so a stale file republished by a
+///    confused deployer can never roll the service backwards;
+///  - bounded staleness: an optional watchdog compares the age of the live
+///    snapshot against a budget and trips the degraded path when repeated
+///    reload failures leave the snapshot too stale to trust;
 ///  - hot snapshot reload via an atomically published shared_ptr: a
 ///    mid-flight request keeps scoring against the snapshot it started
 ///    with.
@@ -52,10 +65,19 @@ struct RecServiceStats {
   int64_t shed = 0;              ///< Rejected kUnavailable: queue full.
   int64_t served_real = 0;       ///< Answered with real model scores.
   int64_t served_degraded = 0;   ///< Answered from the popularity fallback.
+  /// Answered with real scores for healthy shards plus popularity backfill
+  /// for quarantined item ranges (kPartialDegraded outcome).
+  int64_t served_partial_degraded = 0;
   int64_t deadline_exceeded = 0; ///< Scoring passes cut off by deadline.
   int64_t invalid_requests = 0;  ///< Validation rejections.
   int64_t snapshot_reloads = 0;  ///< Successful snapshot (re)loads.
   int64_t snapshot_load_failures = 0;  ///< LoadSnapshot calls that gave up.
+  /// Loads refused because the candidate's version was not strictly
+  /// greater than the live snapshot's.
+  int64_t rejected_publishes = 0;
+  /// Times the staleness watchdog tripped (edge-triggered; resets on a
+  /// successful publish).
+  int64_t staleness_trips = 0;
 };
 
 /// Service configuration.
@@ -70,6 +92,13 @@ struct RecServiceOptions {
   /// Retry policy for LoadSnapshot (attempts, exponential envelope,
   /// jitter).
   BackoffOptions load_backoff;
+  /// Loader policy for snapshot files (partial loads, per-shard re-reads).
+  SnapshotLoadOptions snapshot_load;
+  /// Bounded-staleness budget: when > 0 and the live snapshot was
+  /// published more than this many milliseconds ago (repeated reload
+  /// failures), requests are answered from the popularity fallback until a
+  /// fresh snapshot publishes. 0 disables the watchdog.
+  double max_snapshot_staleness_ms = 0.0;
   /// Monotonic millisecond clock shared by the breaker and deadline
   /// checks; empty uses steady_clock. Tests inject a fake clock.
   std::function<double()> now_ms;
@@ -106,6 +135,17 @@ class RecService {
   /// swapped in atomically (mid-flight requests keep the old one) and the
   /// breaker records a success; after the final failed attempt the breaker
   /// records a failure and the previous snapshot, if any, stays live.
+  ///
+  /// Version monotonicity: the candidate's version is the manifest's
+  /// parent_version when assigned (> 0), otherwise the service's own
+  /// monotonic counter. A candidate whose version is not strictly greater
+  /// than the live snapshot's is refused with kFailedPrecondition (journal
+  /// event "snapshot_rejected"; no breaker feedback — the file is intact,
+  /// the publish is just stale).
+  ///
+  /// Self-healing: a sharded snapshot with quarantined shards publishes
+  /// partially (healthy ranges serve normally); the next LoadSnapshot of a
+  /// clean file replaces it wholesale, un-quarantining everything.
   Status LoadSnapshot(const std::string& path);
 
   /// Enqueues a request. Returns a future that is always eventually
@@ -134,13 +174,17 @@ class RecService {
   };
 
   RecResponse Handle(const RecRequest& request);
+  /// Full-fallback response; when `item_end` > 0 the popularity ranking is
+  /// restricted to [item_begin, item_end).
   RecResponse DegradedResponse(int64_t top_k,
-                               const std::vector<int64_t>& exclude);
+                               const std::vector<int64_t>& exclude,
+                               int64_t item_begin, int64_t item_end);
 
   RecServiceOptions options_;
   std::shared_ptr<const PopularityRanker> fallback_;
   Recommender recommender_;
   CircuitBreaker breaker_;
+  std::function<double()> now_ms_;
   std::function<void(double)> sleep_ms_;
 
   /// The published snapshot, guarded by its own mutex. Readers copy the
@@ -157,17 +201,25 @@ class RecService {
   std::mutex load_mu_;  ///< Serialises LoadSnapshot calls.
   std::atomic<int64_t> next_snapshot_version_{1};
 
+  /// Staleness watchdog state: when the live snapshot was published
+  /// (now_ms_ clock; negative = nothing published yet) and whether the
+  /// watchdog already journalled the current trip (edge-triggering keeps a
+  /// request storm from flooding the journal).
+  std::atomic<double> last_publish_ms_{-1.0};
+  std::atomic<bool> stale_tripped_{false};
+
   mutable std::mutex stats_mu_;
   RecServiceStats stats_;
 
   /// Request-accounting metric handles (all null when options.metrics is
   /// null). The exact-accounting identity, asserted by the chaos suite:
-  ///   requests_total == ok + degraded + shed + deadline_exceeded
-  ///                     + invalid + error + cancelled
+  ///   requests_total == ok + degraded + partial_degraded + shed
+  ///                     + deadline_exceeded + invalid + error + cancelled
   /// once every submitted future has resolved.
   Counter* requests_total_ = nullptr;
   Counter* requests_ok_ = nullptr;
   Counter* requests_degraded_ = nullptr;
+  Counter* requests_partial_degraded_ = nullptr;
   Counter* requests_shed_ = nullptr;
   Counter* requests_deadline_ = nullptr;
   Counter* requests_invalid_ = nullptr;
@@ -175,8 +227,13 @@ class RecService {
   Counter* requests_cancelled_ = nullptr;
   Counter* snapshot_reloads_total_ = nullptr;
   Counter* snapshot_load_failures_total_ = nullptr;
+  Counter* snapshot_rejected_publishes_total_ = nullptr;
+  Counter* snapshot_shards_quarantined_total_ = nullptr;
+  Counter* staleness_trips_total_ = nullptr;
   Counter* breaker_transitions_total_ = nullptr;
   Gauge* breaker_state_gauge_ = nullptr;
+  Gauge* quarantined_shards_gauge_ = nullptr;
+  Gauge* staleness_ms_gauge_ = nullptr;
   Histogram* request_latency_ms_ = nullptr;
   RunJournal* journal_ = nullptr;
 

@@ -26,32 +26,59 @@ Status Recommender::TopK(const EmbeddingSnapshot& snapshot, int64_t user,
                          int64_t k, double deadline_ms,
                          const std::vector<int64_t>& exclude,
                          std::vector<ScoredItem>* out) const {
+  return TopK(snapshot, user, k, deadline_ms, exclude, /*item_begin=*/0,
+              /*item_end=*/0, out, /*quarantined_skipped=*/nullptr);
+}
+
+Status Recommender::TopK(const EmbeddingSnapshot& snapshot, int64_t user,
+                         int64_t k, double deadline_ms,
+                         const std::vector<int64_t>& exclude,
+                         int64_t item_begin, int64_t item_end,
+                         std::vector<ScoredItem>* out,
+                         int64_t* quarantined_skipped) const {
   out->clear();
-  if (user < 0 || user >= snapshot.num_users()) {
-    return Status::InvalidArgument("user id " + std::to_string(user) +
-                                   " out of range [0, " +
-                                   std::to_string(snapshot.num_users()) + ")");
-  }
+  if (quarantined_skipped != nullptr) *quarantined_skipped = 0;
+  IMCAT_RETURN_IF_ERROR(snapshot.ValidateUser(user));
   if (k <= 0) {
     return Status::InvalidArgument("top_k must be positive, got " +
                                    std::to_string(k));
   }
+  if (item_end == 0 && item_begin == 0) item_end = snapshot.num_items();
+  if (item_begin < 0 || item_end <= item_begin ||
+      item_end > snapshot.num_items()) {
+    return Status::InvalidArgument(
+        "item range [" + std::to_string(item_begin) + ", " +
+        std::to_string(item_end) + ") invalid for catalogue of " +
+        std::to_string(snapshot.num_items()) + " items");
+  }
   const double start_ms = now_ms_();
   const std::unordered_set<int64_t> excluded(exclude.begin(), exclude.end());
-  const int64_t num_items = snapshot.num_items();
+  const int64_t num_items = item_end;
+
+  // Per-item availability checks only cost anything when the snapshot
+  // actually has quarantined shards overlapping the requested range.
+  bool check_quarantine = false;
+  if (snapshot.quarantined_count() > 0) {
+    const int64_t first = snapshot.shard_of_item(item_begin);
+    const int64_t last = snapshot.shard_of_item(item_end - 1);
+    for (int64_t s = first; s <= last && !check_quarantine; ++s) {
+      check_quarantine = snapshot.shard_quarantined(s);
+    }
+  }
+  int64_t skipped = 0;
 
   // Partial top-k: a min-heap of the best k seen so far (heap top = the
   // current cutoff). `better` is the ranking order (score desc, id asc);
   // used as the heap's "less-than" it keeps the worst kept item on top.
   std::vector<ScoredItem> heap;
-  heap.reserve(static_cast<size_t>(std::min(k, num_items)));
+  heap.reserve(static_cast<size_t>(std::min(k, num_items - item_begin)));
   const auto better = [](const ScoredItem& a, const ScoredItem& b) {
     if (a.score != b.score) return a.score > b.score;
     return a.item < b.item;
   };
 
-  for (int64_t begin = 0; begin < num_items; begin += block_items_) {
-    if (begin > 0) {
+  for (int64_t begin = item_begin; begin < num_items; begin += block_items_) {
+    if (begin > item_begin) {
       // Deadline checkpoint between scoring blocks. The injected
       // forced-slow fault burns budget here, exactly where a production
       // stall (page fault storm, NUMA misplacement) would.
@@ -66,13 +93,17 @@ Status Recommender::TopK(const EmbeddingSnapshot& snapshot, int64_t user,
       if (deadline_ms > 0.0 && now_ms_() - start_ms > deadline_ms) {
         return Status::DeadlineExceeded(
             "top-k scoring exceeded " + std::to_string(deadline_ms) +
-            " ms after " + std::to_string(begin) + "/" +
-            std::to_string(num_items) + " items");
+            " ms after " + std::to_string(begin - item_begin) + "/" +
+            std::to_string(num_items - item_begin) + " items");
       }
     }
     const int64_t end = std::min(begin + block_items_, num_items);
     for (int64_t item = begin; item < end; ++item) {
       if (excluded.count(item) != 0) continue;
+      if (check_quarantine && !snapshot.item_available(item)) {
+        ++skipped;
+        continue;
+      }
       const ScoredItem candidate{item, snapshot.Score(user, item)};
       if (static_cast<int64_t>(heap.size()) < k) {
         heap.push_back(candidate);
@@ -87,6 +118,7 @@ Status Recommender::TopK(const EmbeddingSnapshot& snapshot, int64_t user,
   // Ascending under `better` = best first.
   std::sort_heap(heap.begin(), heap.end(), better);
   *out = std::move(heap);
+  if (quarantined_skipped != nullptr) *quarantined_skipped = skipped;
   return Status::OK();
 }
 

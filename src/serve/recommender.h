@@ -47,6 +47,20 @@ class Recommender {
               double deadline_ms, const std::vector<int64_t>& exclude,
               std::vector<ScoredItem>* out) const;
 
+  /// Range- and quarantine-aware variant: ranks only items in
+  /// [item_begin, item_end) (item_end == 0 means the full catalogue) and
+  /// skips items whose snapshot shard is quarantined — their rows are
+  /// zero-filled placeholders, not scores. The number of in-range items
+  /// skipped that way is reported through `quarantined_skipped` (may be
+  /// null); when it is non-zero the caller should backfill from the
+  /// popularity ranking and mark the response partially degraded. A
+  /// malformed range is kInvalidArgument.
+  Status TopK(const EmbeddingSnapshot& snapshot, int64_t user, int64_t k,
+              double deadline_ms, const std::vector<int64_t>& exclude,
+              int64_t item_begin, int64_t item_end,
+              std::vector<ScoredItem>* out,
+              int64_t* quarantined_skipped) const;
+
  private:
   int64_t block_items_;
   std::function<double()> now_ms_;

@@ -1,0 +1,400 @@
+#include "serve/shard_format.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "util/atomic_file.h"
+#include "util/check.h"
+#include "util/checksum.h"
+#include "util/fault_injector.h"
+
+namespace imcat {
+
+namespace {
+
+constexpr char kShardMagic[4] = {'I', 'M', 'S', '3'};
+constexpr uint32_t kShardVersion = 3;
+
+/// Fixed manifest sizes (see the layout in shard_format.h).
+constexpr int64_t kHeaderBytes = 4 + 4 + 6 * 8;   // magic..num_item_shards.
+constexpr int64_t kUserEntryBytes = 3 * 8;        // offset, size, checksum.
+constexpr int64_t kShardEntryBytes = 5 * 8;       // begin..checksum.
+constexpr int64_t kChecksumBytes = 8;
+
+/// Upper bound on any single dimension read from an untrusted manifest;
+/// generous for real catalogues, small enough that products of two bounded
+/// values cannot overflow int64 (2^40 * 2^40 >> int64, so products are
+/// checked by division below).
+constexpr int64_t kMaxDimension = int64_t{1} << 40;
+
+int64_t ManifestBytes(int64_t num_item_shards) {
+  return kHeaderBytes + kUserEntryBytes + num_item_shards * kShardEntryBytes +
+         kChecksumBytes;
+}
+
+template <typename T>
+void HashValue(Fnv1a* hash, T value) {
+  hash->Update(&value, sizeof(value));
+}
+
+template <typename T>
+Status WriteValue(AtomicFileWriter* out, Fnv1a* hash, T value) {
+  hash->Update(&value, sizeof(value));
+  return out->Write(&value, sizeof(value));
+}
+
+/// Positioned reads with the FaultInjector read hooks applied (read-side
+/// bit flips, short reads), mirroring the checkpoint Reader but seekable so
+/// shards can be re-read on checksum mismatch.
+class ShardFileReader {
+ public:
+  Status Open(const std::string& path) {
+    path_ = path;
+    in_.open(path, std::ios::binary | std::ios::ate);
+    if (!in_.is_open()) return Status::IoError("cannot open " + path);
+    file_size_ = static_cast<int64_t>(in_.tellg());
+    return Status::OK();
+  }
+
+  const std::string& path() const { return path_; }
+  int64_t file_size() const { return file_size_; }
+
+  /// Reads exactly `size` bytes at absolute offset `offset`. Truncation —
+  /// real (past EOF) or injected (short read) — is kDataLoss.
+  Status ReadAt(int64_t offset, void* out, size_t size) {
+    if (offset < 0 || offset + static_cast<int64_t>(size) > file_size_) {
+      return Status::DataLoss(path_ + ": truncated sharded snapshot");
+    }
+    FaultInjector& injector = FaultInjector::Instance();
+    if (injector.enabled() &&
+        injector.FilterReadLength(offset, size) < size) {
+      return Status::DataLoss(path_ + ": short read in sharded snapshot");
+    }
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(offset), std::ios::beg);
+    in_.read(static_cast<char*>(out), static_cast<std::streamsize>(size));
+    if (!in_.good()) {
+      return Status::DataLoss(path_ + ": truncated sharded snapshot");
+    }
+    // Injected read-side corruption: the on-disk file stays intact; the
+    // caller checksums what the reader actually saw.
+    if (injector.enabled()) {
+      injector.FilterRead(offset, static_cast<unsigned char*>(out), size);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+  int64_t file_size_ = 0;
+};
+
+/// Sequential manifest cursor over a ShardFileReader: tracks the position
+/// and the running FNV-1a over every byte read.
+class ManifestCursor {
+ public:
+  explicit ManifestCursor(ShardFileReader* reader) : reader_(reader) {}
+
+  Status ReadBytes(void* out, size_t size) {
+    IMCAT_RETURN_IF_ERROR(reader_->ReadAt(pos_, out, size));
+    hash_.Update(out, size);
+    pos_ += static_cast<int64_t>(size);
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status Read(T* value) {
+    return ReadBytes(value, sizeof(*value));
+  }
+
+  int64_t position() const { return pos_; }
+  uint64_t checksum() const { return hash_.value(); }
+
+ private:
+  ShardFileReader* reader_;
+  Fnv1a hash_;
+  int64_t pos_ = 0;
+};
+
+Status ReadEntry(ManifestCursor* cursor, bool with_range, ShardEntry* entry) {
+  if (with_range) {
+    IMCAT_RETURN_IF_ERROR(cursor->Read(&entry->begin));
+    IMCAT_RETURN_IF_ERROR(cursor->Read(&entry->end));
+  }
+  IMCAT_RETURN_IF_ERROR(cursor->Read(&entry->byte_offset));
+  IMCAT_RETURN_IF_ERROR(cursor->Read(&entry->byte_size));
+  return cursor->Read(&entry->checksum);
+}
+
+/// Reads and validates the manifest: magic, version, geometry, entry
+/// layout and the manifest checksum. Nothing of the payload is trusted
+/// (or touched) here.
+Status ReadManifest(ShardFileReader* reader, ShardManifest* manifest) {
+  ManifestCursor cursor(reader);
+  char magic[4];
+  Status magic_status = cursor.ReadBytes(magic, sizeof(magic));
+  if (!magic_status.ok() ||
+      std::memcmp(magic, kShardMagic, sizeof(kShardMagic)) != 0) {
+    return Status::InvalidArgument(reader->path() +
+                                   ": not a sharded IMCAT snapshot");
+  }
+  uint32_t version = 0;
+  IMCAT_RETURN_IF_ERROR(cursor.Read(&version));
+  if (version != kShardVersion) {
+    return Status::InvalidArgument(
+        reader->path() + ": unsupported sharded snapshot version " +
+        std::to_string(version));
+  }
+  int64_t num_item_shards = 0;
+  IMCAT_RETURN_IF_ERROR(cursor.Read(&manifest->num_users));
+  IMCAT_RETURN_IF_ERROR(cursor.Read(&manifest->num_items));
+  IMCAT_RETURN_IF_ERROR(cursor.Read(&manifest->dim));
+  IMCAT_RETURN_IF_ERROR(cursor.Read(&manifest->parent_version));
+  IMCAT_RETURN_IF_ERROR(cursor.Read(&manifest->items_per_shard));
+  IMCAT_RETURN_IF_ERROR(cursor.Read(&num_item_shards));
+
+  // Geometry sanity before any allocation: a bit-flipped count must fail
+  // cleanly here (or at the checksum), never as bad_alloc.
+  const auto bounded = [](int64_t v) { return v > 0 && v < kMaxDimension; };
+  if (!bounded(manifest->num_users) || !bounded(manifest->num_items) ||
+      !bounded(manifest->dim) || !bounded(manifest->items_per_shard) ||
+      manifest->parent_version < 0 || num_item_shards <= 0) {
+    return Status::DataLoss(reader->path() +
+                            ": sharded snapshot manifest geometry corrupt");
+  }
+  const int64_t expected_shards =
+      (manifest->num_items + manifest->items_per_shard - 1) /
+      manifest->items_per_shard;
+  if (num_item_shards != expected_shards ||
+      ManifestBytes(num_item_shards) > reader->file_size()) {
+    return Status::DataLoss(reader->path() +
+                            ": sharded snapshot manifest geometry corrupt");
+  }
+  const int64_t row_bytes = manifest->dim * static_cast<int64_t>(sizeof(float));
+  const int64_t payload_start = ManifestBytes(num_item_shards);
+
+  IMCAT_RETURN_IF_ERROR(ReadEntry(&cursor, /*with_range=*/false,
+                                  &manifest->user_table));
+  manifest->user_table.begin = 0;
+  manifest->user_table.end = manifest->num_users;
+  if (manifest->user_table.byte_offset != payload_start ||
+      manifest->user_table.byte_size != manifest->num_users * row_bytes) {
+    return Status::DataLoss(reader->path() +
+                            ": sharded snapshot user-table entry corrupt");
+  }
+
+  manifest->item_shards.resize(static_cast<size_t>(num_item_shards));
+  int64_t expected_offset =
+      manifest->user_table.byte_offset + manifest->user_table.byte_size;
+  for (int64_t i = 0; i < num_item_shards; ++i) {
+    ShardEntry& entry = manifest->item_shards[static_cast<size_t>(i)];
+    IMCAT_RETURN_IF_ERROR(ReadEntry(&cursor, /*with_range=*/true, &entry));
+    const int64_t begin = i * manifest->items_per_shard;
+    const int64_t end =
+        std::min(begin + manifest->items_per_shard, manifest->num_items);
+    if (entry.begin != begin || entry.end != end ||
+        entry.byte_offset != expected_offset ||
+        entry.byte_size != (end - begin) * row_bytes) {
+      return Status::DataLoss(reader->path() + ": sharded snapshot shard " +
+                              std::to_string(i) + " entry corrupt");
+    }
+    expected_offset += entry.byte_size;
+  }
+
+  const uint64_t computed = cursor.checksum();
+  uint64_t stored = 0;
+  // The stored checksum is read outside the running hash by construction
+  // (it is the last manifest field; the cursor hash already covers
+  // everything before it).
+  IMCAT_RETURN_IF_ERROR(reader->ReadAt(cursor.position(), &stored,
+                                       sizeof(stored)));
+  if (stored != computed) {
+    return Status::DataLoss(reader->path() +
+                            ": sharded snapshot manifest checksum mismatch");
+  }
+  return Status::OK();
+}
+
+/// Reads one integrity unit into `out` (already sized), re-reading up to
+/// `attempts` times on corruption. OK means the checksum matched.
+Status ReadValidated(ShardFileReader* reader, const ShardEntry& entry,
+                     int64_t attempts, float* out) {
+  Status last = Status::DataLoss(reader->path() + ": shard unreadable");
+  for (int64_t attempt = 0; attempt < std::max<int64_t>(attempts, 1);
+       ++attempt) {
+    Status read = reader->ReadAt(entry.byte_offset, out,
+                                 static_cast<size_t>(entry.byte_size));
+    if (!read.ok()) {
+      last = std::move(read);
+      continue;
+    }
+    if (Fnv1aHash(out, static_cast<size_t>(entry.byte_size)) ==
+        entry.checksum) {
+      return Status::OK();
+    }
+    last = Status::DataLoss(reader->path() + ": shard checksum mismatch");
+  }
+  return last;
+}
+
+}  // namespace
+
+bool IsShardedSnapshotFile(const std::string& path) {
+  // A raw peek, deliberately outside the FaultInjector hooks: the real
+  // loader re-reads from offset 0 with the hooks applied, and the peek
+  // must not consume armed read faults.
+  std::ifstream in(path, std::ios::binary);
+  char magic[4] = {0, 0, 0, 0};
+  in.read(magic, sizeof(magic));
+  return in.good() && std::memcmp(magic, kShardMagic, sizeof(kShardMagic)) == 0;
+}
+
+Status WriteShardedSnapshot(const std::string& path, const Tensor& users,
+                            const Tensor& items,
+                            const ShardedSnapshotOptions& options) {
+  IMCAT_CHECK(users.defined() && items.defined());
+  if (users.rows() <= 0 || items.rows() <= 0 || users.cols() <= 0 ||
+      users.cols() != items.cols()) {
+    return Status::InvalidArgument(
+        path + ": sharded snapshot needs factor matrices over one embedding "
+               "dimension, got user table " +
+        std::to_string(users.rows()) + "x" + std::to_string(users.cols()) +
+        " and item table " + std::to_string(items.rows()) + "x" +
+        std::to_string(items.cols()));
+  }
+  if (options.items_per_shard <= 0) {
+    return Status::InvalidArgument(path + ": items_per_shard must be > 0");
+  }
+  if (options.version < 0) {
+    return Status::InvalidArgument(path + ": snapshot version must be >= 0");
+  }
+  const int64_t num_users = users.rows();
+  const int64_t num_items = items.rows();
+  const int64_t dim = users.cols();
+  const int64_t items_per_shard = options.items_per_shard;
+  const int64_t num_shards =
+      (num_items + items_per_shard - 1) / items_per_shard;
+  const int64_t row_bytes = dim * static_cast<int64_t>(sizeof(float));
+  const int64_t payload_start = ManifestBytes(num_shards);
+
+  AtomicFileWriter out(path);
+  IMCAT_RETURN_IF_ERROR(out.Open());
+  Fnv1a hash;
+  hash.Update(kShardMagic, sizeof(kShardMagic));
+  IMCAT_RETURN_IF_ERROR(out.Write(kShardMagic, sizeof(kShardMagic)));
+  IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, kShardVersion));
+  IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, num_users));
+  IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, num_items));
+  IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, dim));
+  IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, options.version));
+  IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, items_per_shard));
+  IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, num_shards));
+
+  // User-table entry.
+  const int64_t user_bytes = num_users * row_bytes;
+  IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, payload_start));
+  IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, user_bytes));
+  IMCAT_RETURN_IF_ERROR(WriteValue(
+      &out, &hash, Fnv1aHash(users.data(), static_cast<size_t>(user_bytes))));
+
+  // Item-shard entries, payload laid out contiguously after the user table.
+  int64_t offset = payload_start + user_bytes;
+  for (int64_t s = 0; s < num_shards; ++s) {
+    const int64_t begin = s * items_per_shard;
+    const int64_t end = std::min(begin + items_per_shard, num_items);
+    const int64_t bytes = (end - begin) * row_bytes;
+    IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, begin));
+    IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, end));
+    IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, offset));
+    IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, bytes));
+    IMCAT_RETURN_IF_ERROR(WriteValue(
+        &out, &hash,
+        Fnv1aHash(items.data() + begin * dim, static_cast<size_t>(bytes))));
+    offset += bytes;
+  }
+  const uint64_t manifest_checksum = hash.value();
+  IMCAT_RETURN_IF_ERROR(
+      out.Write(&manifest_checksum, sizeof(manifest_checksum)));
+
+  // Payload: user table, then each shard in order.
+  IMCAT_RETURN_IF_ERROR(
+      out.Write(users.data(), static_cast<size_t>(user_bytes)));
+  for (int64_t s = 0; s < num_shards; ++s) {
+    const int64_t begin = s * items_per_shard;
+    const int64_t end = std::min(begin + items_per_shard, num_items);
+    IMCAT_RETURN_IF_ERROR(
+        out.Write(items.data() + begin * dim,
+                  static_cast<size_t>((end - begin) * row_bytes)));
+  }
+  return out.Commit();
+}
+
+StatusOr<ShardManifest> ReadShardedSnapshotManifest(const std::string& path) {
+  ShardFileReader reader;
+  IMCAT_RETURN_IF_ERROR(reader.Open(path));
+  ShardManifest manifest;
+  IMCAT_RETURN_IF_ERROR(ReadManifest(&reader, &manifest));
+  return manifest;
+}
+
+StatusOr<ShardedLoadResult> LoadShardedSnapshot(
+    const std::string& path, const SnapshotLoadOptions& options) {
+  ShardFileReader reader;
+  IMCAT_RETURN_IF_ERROR(reader.Open(path));
+  ShardedLoadResult result;
+  IMCAT_RETURN_IF_ERROR(ReadManifest(&reader, &result.manifest));
+  const ShardManifest& manifest = result.manifest;
+
+  // The user table must validate: every request scores against a user row,
+  // so there is no partial-degraded mode without it.
+  result.users.resize(
+      static_cast<size_t>(manifest.num_users * manifest.dim));
+  Status user_status =
+      ReadValidated(&reader, manifest.user_table,
+                    options.shard_read_attempts, result.users.data());
+  if (!user_status.ok()) {
+    return Status(user_status.code(),
+                  "user table failed validation: " + user_status.message());
+  }
+
+  // Item shards stream through one shard of staging memory: each shard is
+  // read and checksummed in the scratch buffer, and only validated bytes
+  // are copied into the table — so peak transient memory is one shard, and
+  // a corrupt shard leaves zeroed rows, never half-read garbage.
+  result.items.assign(
+      static_cast<size_t>(manifest.num_items * manifest.dim), 0.0f);
+  result.quarantined.assign(manifest.item_shards.size(), 0);
+  std::vector<float> scratch(
+      static_cast<size_t>(manifest.items_per_shard * manifest.dim));
+  for (size_t s = 0; s < manifest.item_shards.size(); ++s) {
+    const ShardEntry& entry = manifest.item_shards[s];
+    Status shard_status = ReadValidated(&reader, entry,
+                                        options.shard_read_attempts,
+                                        scratch.data());
+    if (shard_status.ok()) {
+      std::memcpy(result.items.data() + entry.begin * manifest.dim,
+                  scratch.data(), static_cast<size_t>(entry.byte_size));
+      continue;
+    }
+    if (!options.allow_partial) {
+      return Status(shard_status.code(),
+                    "shard " + std::to_string(s) + " [" +
+                        std::to_string(entry.begin) + ", " +
+                        std::to_string(entry.end) + ") failed validation: " +
+                        shard_status.message());
+    }
+    result.quarantined[s] = 1;
+    ++result.quarantined_count;
+  }
+  if (result.quarantined_count == manifest.num_item_shards()) {
+    return Status::DataLoss(path +
+                            ": every item shard failed validation; nothing "
+                            "left to serve");
+  }
+  return result;
+}
+
+}  // namespace imcat

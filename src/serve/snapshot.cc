@@ -3,18 +3,23 @@
 #include <cstring>
 #include <utility>
 
+#include "serve/shard_format.h"
 #include "tensor/checkpoint.h"
 #include "tensor/tensor.h"
 #include "util/fault_injector.h"
 
 namespace imcat {
 
-StatusOr<std::shared_ptr<EmbeddingSnapshot>> EmbeddingSnapshot::Load(
-    const std::string& path) {
-  FaultInjector& injector = FaultInjector::Instance();
-  if (injector.enabled() && injector.ConsumeLoadFailure()) {
-    return Status::IoError(path + ": injected snapshot load failure");
-  }
+namespace {
+
+/// Loads the monolithic v2 checkpoint layout: exactly two tensors (user
+/// table, item table) over one embedding dimension, validated in full by
+/// the checkpoint trailer checksum before any byte is published. The
+/// result is modelled as one never-quarantined shard spanning the whole
+/// catalogue, so the shard-topology accessors stay meaningful.
+Status LoadMonolithic(const std::string& path, int64_t* num_users,
+                      int64_t* num_items, int64_t* dim,
+                      std::vector<float>* users, std::vector<float>* items) {
   auto shapes = ReadCheckpointShapes(path);
   IMCAT_RETURN_IF_ERROR(shapes.status());
   if (shapes.value().size() != 2) {
@@ -23,32 +28,105 @@ StatusOr<std::shared_ptr<EmbeddingSnapshot>> EmbeddingSnapshot::Load(
                "item table), found " +
         std::to_string(shapes.value().size()));
   }
-  const auto [num_users, user_dim] = shapes.value()[0];
-  const auto [num_items, item_dim] = shapes.value()[1];
-  if (num_users <= 0 || num_items <= 0 || user_dim <= 0 ||
+  const auto [users_rows, user_dim] = shapes.value()[0];
+  const auto [items_rows, item_dim] = shapes.value()[1];
+  if (users_rows <= 0 || items_rows <= 0 || user_dim <= 0 ||
       user_dim != item_dim) {
     return Status::InvalidArgument(
-        path + ": user table " + std::to_string(num_users) + "x" +
+        path + ": user table " + std::to_string(users_rows) + "x" +
         std::to_string(user_dim) + " and item table " +
-        std::to_string(num_items) + "x" + std::to_string(item_dim) +
+        std::to_string(items_rows) + "x" + std::to_string(item_dim) +
         " are not factor matrices over one embedding dimension");
   }
   // Stage through tensors so the full checksum validation in LoadCheckpoint
   // runs before any data is published.
   std::vector<Tensor> tensors;
-  tensors.emplace_back(num_users, user_dim);
-  tensors.emplace_back(num_items, item_dim);
+  tensors.emplace_back(users_rows, user_dim);
+  tensors.emplace_back(items_rows, item_dim);
   IMCAT_RETURN_IF_ERROR(LoadCheckpoint(path, &tensors));
 
+  *num_users = users_rows;
+  *num_items = items_rows;
+  *dim = user_dim;
+  users->assign(tensors[0].data(), tensors[0].data() + tensors[0].size());
+  items->assign(tensors[1].data(), tensors[1].data() + tensors[1].size());
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<EmbeddingSnapshot>> EmbeddingSnapshot::Load(
+    const std::string& path, const SnapshotLoadOptions& options) {
+  FaultInjector& injector = FaultInjector::Instance();
+  if (injector.enabled() && injector.ConsumeLoadFailure()) {
+    return Status::IoError(path + ": injected snapshot load failure");
+  }
   std::shared_ptr<EmbeddingSnapshot> snapshot(new EmbeddingSnapshot());
-  snapshot->num_users_ = num_users;
-  snapshot->num_items_ = num_items;
-  snapshot->dim_ = user_dim;
-  snapshot->users_.assign(tensors[0].data(),
-                          tensors[0].data() + tensors[0].size());
-  snapshot->items_.assign(tensors[1].data(),
-                          tensors[1].data() + tensors[1].size());
+  if (IsShardedSnapshotFile(path)) {
+    auto loaded = LoadShardedSnapshot(path, options);
+    IMCAT_RETURN_IF_ERROR(loaded.status());
+    ShardedLoadResult result = std::move(loaded).value();
+    snapshot->num_users_ = result.manifest.num_users;
+    snapshot->num_items_ = result.manifest.num_items;
+    snapshot->dim_ = result.manifest.dim;
+    snapshot->parent_version_ = result.manifest.parent_version;
+    snapshot->items_per_shard_ = result.manifest.items_per_shard;
+    snapshot->quarantined_ = std::move(result.quarantined);
+    snapshot->quarantined_count_ = result.quarantined_count;
+    snapshot->users_ = std::move(result.users);
+    snapshot->items_ = std::move(result.items);
+    return snapshot;
+  }
+  IMCAT_RETURN_IF_ERROR(LoadMonolithic(
+      path, &snapshot->num_users_, &snapshot->num_items_, &snapshot->dim_,
+      &snapshot->users_, &snapshot->items_));
+  snapshot->items_per_shard_ = snapshot->num_items_;
+  snapshot->quarantined_.assign(1, 0);
   return snapshot;
+}
+
+Status EmbeddingSnapshot::ValidateUser(int64_t u) const {
+  if (u < 0 || u >= num_users_) {
+    return Status::InvalidArgument(
+        "user id " + std::to_string(u) + " outside [0, " +
+        std::to_string(num_users_) + ")");
+  }
+  return Status::OK();
+}
+
+Status EmbeddingSnapshot::ValidateItem(int64_t i) const {
+  if (i < 0 || i >= num_items_) {
+    return Status::InvalidArgument(
+        "item id " + std::to_string(i) + " outside [0, " +
+        std::to_string(num_items_) + ")");
+  }
+  return Status::OK();
+}
+
+StatusOr<float> EmbeddingSnapshot::ScoreChecked(int64_t u, int64_t i) const {
+  IMCAT_RETURN_IF_ERROR(ValidateUser(u));
+  IMCAT_RETURN_IF_ERROR(ValidateItem(i));
+  if (!item_available(i)) {
+    return Status::Unavailable(
+        "item " + std::to_string(i) + " is in quarantined shard " +
+        std::to_string(shard_of_item(i)));
+  }
+  return Score(u, i);
+}
+
+std::vector<std::pair<int64_t, int64_t>> EmbeddingSnapshot::QuarantinedRanges()
+    const {
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  for (int64_t s = 0; s < num_shards(); ++s) {
+    if (!shard_quarantined(s)) continue;
+    const auto [begin, end] = shard_range(s);
+    if (!ranges.empty() && ranges.back().second == begin) {
+      ranges.back().second = end;  // Coalesce adjacent quarantined shards.
+    } else {
+      ranges.emplace_back(begin, end);
+    }
+  }
+  return ranges;
 }
 
 }  // namespace imcat

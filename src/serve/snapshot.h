@@ -1,47 +1,67 @@
 #ifndef IMCAT_SERVE_SNAPSHOT_H_
 #define IMCAT_SERVE_SNAPSHOT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "serve/shard_format.h"
 #include "util/status.h"
 
 /// \file snapshot.h
-/// Immutable factor-matrix snapshots for serving. A snapshot is exported
-/// from training as an ordinary IMCAT checkpoint (v2 format, trailing
-/// FNV-1a checksum) holding the user table then the item table; the loader
-/// validates the whole file — magic, shapes, length fields and checksum —
-/// before a single byte becomes visible to scoring, so a corrupt file can
-/// never be served. Snapshots are shared immutably (shared_ptr<const>):
-/// the service hot-swaps them atomically and mid-flight requests keep
-/// scoring against the snapshot they started with.
+/// Immutable factor-matrix snapshots for serving. Two on-disk formats load
+/// into the same in-memory snapshot:
+///
+///  - the sharded v3 format (shard_format.h): the item table is split into
+///    fixed item-range shards, each with its own checksum, so the loader
+///    streams shard-by-shard (peak staging memory = one shard) and a
+///    corrupt shard is quarantined — its item range drops out of scoring
+///    while the rest of the catalogue serves normally;
+///  - the monolithic v2 checkpoint (trailing FNV-1a over the whole file):
+///    all-or-nothing validation, loaded as a single never-quarantined
+///    shard spanning the entire catalogue.
+///
+/// Snapshots are shared immutably (shared_ptr<const>): the service
+/// hot-swaps them atomically and mid-flight requests keep scoring against
+/// the snapshot they started with, including its quarantine map.
 
 namespace imcat {
 
 /// Immutable user/item embedding matrices loaded from a checkpoint.
 class EmbeddingSnapshot {
  public:
-  /// Loads a snapshot from an IMCAT checkpoint (v1 or v2; training state,
-  /// if present, is validated and discarded). The checkpoint must hold
-  /// exactly two tensors with one embedding dimension: the user table
-  /// (num_users x d) then the item table (num_items x d) — the layout
-  /// `ExportServingCheckpoint` writes for factor models. Fails with
-  /// kDataLoss on corruption, kIoError on missing/unreadable files and
-  /// kInvalidArgument on a layout the serving path cannot score.
+  /// Loads a snapshot from a sharded v3 snapshot file or a monolithic
+  /// IMCAT checkpoint (v1/v2), auto-detected by magic. The file must hold
+  /// a user table (num_users x d) and an item table (num_items x d) — the
+  /// layout `ExportServingCheckpoint` writes for factor models. Fails with
+  /// kDataLoss on corruption the format cannot contain, kIoError on
+  /// missing/unreadable files and kInvalidArgument on a layout the serving
+  /// path cannot score. With `options.allow_partial` (the default), a
+  /// corrupt item shard of a v3 file quarantines that shard instead of
+  /// failing the load.
   static StatusOr<std::shared_ptr<EmbeddingSnapshot>> Load(
-      const std::string& path);
+      const std::string& path, const SnapshotLoadOptions& options);
+
+  /// Load with default options (partial loads allowed, one re-read).
+  static StatusOr<std::shared_ptr<EmbeddingSnapshot>> Load(
+      const std::string& path) {
+    return Load(path, SnapshotLoadOptions{});
+  }
 
   int64_t num_users() const { return num_users_; }
   int64_t num_items() const { return num_items_; }
   int64_t dim() const { return dim_; }
 
   /// Row pointers into the factor matrices (row-major, `dim()` floats).
+  /// Unchecked: callers must validate ids first (see ValidateUser /
+  /// ValidateItem); rows of quarantined shards are zero-filled.
   const float* user(int64_t u) const { return users_.data() + u * dim_; }
   const float* item(int64_t i) const { return items_.data() + i * dim_; }
 
-  /// Inner-product relevance score for one (user, item) pair.
+  /// Inner-product relevance score for one (user, item) pair. Unchecked.
   float Score(int64_t u, int64_t i) const {
     const float* a = user(u);
     const float* b = item(i);
@@ -49,6 +69,51 @@ class EmbeddingSnapshot {
     for (int64_t d = 0; d < dim_; ++d) s += a[d] * b[d];
     return s;
   }
+
+  /// Bounds-checked id validation: kInvalidArgument for ids outside
+  /// [0, num_users) / [0, num_items). The serving entry points call these
+  /// so an out-of-range id from a request can never become an out-of-bounds
+  /// read of the factor matrices.
+  Status ValidateUser(int64_t u) const;
+  Status ValidateItem(int64_t i) const;
+
+  /// Checked scoring: kInvalidArgument for out-of-range ids, kUnavailable
+  /// when the item's shard is quarantined (its row is zeroed — a silent 0.0
+  /// score would be wrong, not missing).
+  StatusOr<float> ScoreChecked(int64_t u, int64_t i) const;
+
+  /// --- Shard topology (v2 files load as one shard spanning the whole
+  /// catalogue; all of these stay meaningful). ---
+
+  int64_t num_shards() const {
+    return static_cast<int64_t>(quarantined_.size());
+  }
+  int64_t items_per_shard() const { return items_per_shard_; }
+  int64_t shard_of_item(int64_t i) const { return i / items_per_shard_; }
+
+  /// Item-id range [begin, end) covered by shard `s`.
+  std::pair<int64_t, int64_t> shard_range(int64_t s) const {
+    const int64_t begin = s * items_per_shard_;
+    return {begin, std::min(begin + items_per_shard_, num_items_)};
+  }
+
+  bool shard_quarantined(int64_t s) const { return quarantined_[s] != 0; }
+
+  /// True when item `i`'s embedding is trustworthy (its shard validated).
+  /// Hot path: one branch when nothing is quarantined.
+  bool item_available(int64_t i) const {
+    return quarantined_count_ == 0 || quarantined_[i / items_per_shard_] == 0;
+  }
+
+  int64_t quarantined_count() const { return quarantined_count_; }
+
+  /// Item-id ranges currently quarantined (adjacent quarantined shards are
+  /// coalesced). Empty when the snapshot is fully healthy.
+  std::vector<std::pair<int64_t, int64_t>> QuarantinedRanges() const;
+
+  /// Version recorded in the file's manifest by the exporter (0 for v2
+  /// files and unversioned exports).
+  int64_t parent_version() const { return parent_version_; }
 
   /// Monotonically increasing id assigned by the service on publish
   /// (0 = never published).
@@ -62,6 +127,10 @@ class EmbeddingSnapshot {
   int64_t num_items_ = 0;
   int64_t dim_ = 0;
   int64_t version_ = 0;
+  int64_t parent_version_ = 0;
+  int64_t items_per_shard_ = 0;
+  int64_t quarantined_count_ = 0;
+  std::vector<uint8_t> quarantined_;  ///< Per-shard flags (1 = quarantined).
   std::vector<float> users_;
   std::vector<float> items_;
 };

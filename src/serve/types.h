@@ -30,6 +30,12 @@ struct RecRequest {
   /// Item ids to exclude from the ranking (e.g. the user's seen items).
   /// Out-of-range ids are ignored.
   std::vector<int64_t> exclude;
+  /// Restricts ranking to the item-id range [item_begin, item_end) — e.g. a
+  /// category encoded as a contiguous id block. Both zero (the default)
+  /// means the full catalogue. A malformed range (begin < 0, end > the
+  /// catalogue size, or end <= begin) is kInvalidArgument.
+  int64_t item_begin = 0;
+  int64_t item_end = 0;
 };
 
 /// A recommendation response. `status` is always definite: OK (possibly
@@ -41,6 +47,15 @@ struct RecResponse {
   /// True when the items come from the popularity fallback rather than
   /// model scores (circuit breaker open or no loadable snapshot).
   bool degraded = false;
+  /// True when the request's item range overlaps one or more quarantined
+  /// snapshot shards: items in healthy shards carry real model scores, and
+  /// the quarantined ranges are backfilled from the popularity ranking.
+  /// Mutually exclusive with `degraded` (which means no model scores at
+  /// all).
+  bool partial_degraded = false;
+  /// Number of quarantined shards in the serving snapshot at response time
+  /// (0 when fully healthy or degraded-without-snapshot).
+  int64_t quarantined_shards = 0;
   /// Version of the snapshot that scored this response (0 for degraded
   /// fallback responses, which use no snapshot).
   int64_t snapshot_version = 0;

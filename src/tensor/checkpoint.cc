@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "util/atomic_file.h"
+#include "util/checksum.h"
 #include "util/fault_injector.h"
 
 namespace imcat {
@@ -15,22 +16,6 @@ namespace {
 constexpr char kMagic[4] = {'I', 'M', 'C', 'T'};
 constexpr uint32_t kVersionLegacy = 1;  ///< Tensors only, no state byte.
 constexpr uint32_t kVersion = 2;        ///< Tensors + optional train state.
-
-/// Incremental FNV-1a over byte ranges.
-class Fnv1a {
- public:
-  void Update(const void* data, size_t size) {
-    const auto* bytes = static_cast<const unsigned char*>(data);
-    for (size_t i = 0; i < size; ++i) {
-      hash_ ^= bytes[i];
-      hash_ *= 0x100000001B3ULL;
-    }
-  }
-  uint64_t value() const { return hash_; }
-
- private:
-  uint64_t hash_ = 0xCBF29CE484222325ULL;
-};
 
 template <typename T>
 Status WriteValue(AtomicFileWriter* out, Fnv1a* hash, T value) {

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "serve/shard_format.h"
 #include "tensor/checkpoint.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -443,9 +444,25 @@ TrainHistory Trainer::Fit(TrainableModel* model,
   return history;
 }
 
+Status ExportServingCheckpoint(TrainableModel* model, const std::string& path,
+                               const ServingExportOptions& options) {
+  std::vector<Tensor> params = model->Parameters();
+  // Factor models export as a sharded snapshot; anything else (extra
+  // towers, projection heads) keeps the monolithic v2 layout, which the
+  // snapshot loader also accepts.
+  if (params.size() == 2 && params[0].rows() > 0 && params[1].rows() > 0 &&
+      params[0].cols() > 0 && params[0].cols() == params[1].cols()) {
+    ShardedSnapshotOptions sharded;
+    sharded.items_per_shard = options.items_per_shard;
+    sharded.version = options.version;
+    return WriteShardedSnapshot(path, params[0], params[1], sharded);
+  }
+  return SaveCheckpoint(path, params);
+}
+
 Status ExportServingCheckpoint(TrainableModel* model,
                                const std::string& path) {
-  return SaveCheckpoint(path, model->Parameters());
+  return ExportServingCheckpoint(model, path, ServingExportOptions{});
 }
 
 }  // namespace imcat

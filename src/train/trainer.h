@@ -158,10 +158,29 @@ struct TrainHistory {
   int64_t start_epoch = 0;
 };
 
-/// Exports the model's current parameters as a stateless v2 checkpoint
-/// (atomic write, trailing checksum) for the serving layer. For factor
-/// models such as BPR-MF the tensor order is the user table then the item
-/// table — the layout `EmbeddingSnapshot::Load` expects.
+/// Export configuration for `ExportServingCheckpoint`.
+struct ServingExportOptions {
+  /// Item-range shard size of the sharded (v3) snapshot format; forwarded
+  /// to WriteShardedSnapshot.
+  int64_t items_per_shard = 4096;
+  /// Snapshot version recorded in the manifest (0 = unassigned; the
+  /// serving layer then falls back to its own monotonic counter). Assign
+  /// strictly increasing versions in a publish pipeline so RecService can
+  /// refuse stale re-publishes.
+  int64_t version = 0;
+};
+
+/// Exports the model's current parameters for the serving layer (atomic
+/// write, checksummed). Factor models — exactly two parameter tensors over
+/// one embedding dimension, the user table then the item table — are
+/// written in the sharded v3 snapshot format (per-shard checksums, so the
+/// serving layer can quarantine corruption instead of rejecting the whole
+/// catalogue); any other parameter layout falls back to a monolithic v2
+/// checkpoint. Both layouts are what `EmbeddingSnapshot::Load` expects.
+Status ExportServingCheckpoint(TrainableModel* model, const std::string& path,
+                               const ServingExportOptions& options);
+
+/// Export with default options (4096-item shards, unversioned).
 Status ExportServingCheckpoint(TrainableModel* model, const std::string& path);
 
 /// Orchestrates epochs, periodic validation, early stopping, divergence

@@ -1,0 +1,74 @@
+// Unit tests for the shared FNV-1a routine (src/util/checksum.h) that
+// guards every durable format: the checkpoint v2 trailer, and the sharded
+// serving snapshot's manifest + per-shard checksums. The reference vectors
+// are the published FNV-1a 64-bit test values, so the constants cannot
+// drift from the spec without failing here.
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/checksum.h"
+
+namespace imcat {
+namespace {
+
+TEST(ChecksumTest, MatchesPublishedFnv1aVectors) {
+  // Canonical 64-bit FNV-1a test vectors (Noll's reference tables).
+  EXPECT_EQ(Fnv1aHash("", 0), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(Fnv1aHash("a", 1), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(Fnv1aHash("foobar", 6), 0x85944171F73967E8ULL);
+}
+
+TEST(ChecksumTest, IncrementalUpdatesMatchOneShot) {
+  const std::string payload = "sharded snapshots, per-shard checksums";
+  const uint64_t one_shot = Fnv1aHash(payload.data(), payload.size());
+  // Any split of the byte stream must produce the same value.
+  for (size_t split = 0; split <= payload.size(); ++split) {
+    Fnv1a hash;
+    hash.Update(payload.data(), split);
+    hash.Update(payload.data() + split, payload.size() - split);
+    EXPECT_EQ(hash.value(), one_shot) << "split at " << split;
+  }
+}
+
+TEST(ChecksumTest, EverySingleBitFlipChangesTheHash) {
+  // The corruption model the serving layer defends against is a flipped
+  // bit in a shard payload; every such flip must move the checksum.
+  std::vector<unsigned char> payload(64);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<unsigned char>(i * 37 + 11);
+  }
+  const uint64_t clean = Fnv1aHash(payload.data(), payload.size());
+  for (size_t byte = 0; byte < payload.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      payload[byte] ^= static_cast<unsigned char>(1u << bit);
+      EXPECT_NE(Fnv1aHash(payload.data(), payload.size()), clean)
+          << "byte " << byte << " bit " << bit;
+      payload[byte] ^= static_cast<unsigned char>(1u << bit);
+    }
+  }
+  EXPECT_EQ(Fnv1aHash(payload.data(), payload.size()), clean);
+}
+
+TEST(ChecksumTest, ResetRestartsTheStream) {
+  Fnv1a hash;
+  hash.Update("garbage", 7);
+  hash.Reset();
+  EXPECT_EQ(hash.value(), Fnv1a::kOffsetBasis);
+  hash.Update("a", 1);
+  EXPECT_EQ(hash.value(), Fnv1aHash("a", 1));
+}
+
+TEST(ChecksumTest, TruncationAndExtensionChangeTheHash) {
+  const std::string payload = "0123456789abcdef";
+  const uint64_t full = Fnv1aHash(payload.data(), payload.size());
+  EXPECT_NE(Fnv1aHash(payload.data(), payload.size() - 1), full);
+  const std::string extended = payload + '\0';
+  EXPECT_NE(Fnv1aHash(extended.data(), extended.size()), full);
+}
+
+}  // namespace
+}  // namespace imcat

@@ -254,8 +254,9 @@ TEST_F(ServeChaosTest, MetricsAccountingIdentityHoldsExactlyUnderChaos) {
   // and degraded — with controlled injected faults, then asserts the
   // exact-accounting identity on the live counters:
   //   serve_requests_total == ok + shed + deadline_exceeded + degraded
-  // (no invalid/error/cancelled traffic is generated, so those three
-  // stay zero and the four-term identity must hold with equality).
+  // (no invalid/error/cancelled/partial-degraded traffic is generated, so
+  // those stay zero and the four-term identity must hold with equality;
+  // the partial-degraded term is exercised in shard_fault_test.cc).
   const std::string path = TempPath("chaos_metrics_snapshot.ckpt");
   WriteGoodSnapshot(path);
 
@@ -323,13 +324,18 @@ TEST_F(ServeChaosTest, MetricsAccountingIdentityHoldsExactlyUnderChaos) {
       snapshot.CounterValue("serve_requests_deadline_exceeded_total");
   const int64_t degraded =
       snapshot.CounterValue("serve_requests_degraded_total");
-  EXPECT_EQ(total, ok + shed + deadline + degraded);
+  const int64_t partial =
+      snapshot.CounterValue("serve_requests_partial_degraded_total");
+  EXPECT_EQ(total, ok + shed + deadline + degraded + partial);
   EXPECT_EQ(total, 10 + 13 + 2 + 5);
   EXPECT_GE(ok, 10);
   EXPECT_EQ(shed, shed_seen);
   EXPECT_EQ(deadline, 2);
   EXPECT_EQ(degraded, 5);
-  // The outcomes not driven here stayed exactly zero.
+  // The outcomes not driven here stayed exactly zero (the monolithic v2
+  // snapshot has no shards to quarantine, so partial-degraded cannot
+  // occur).
+  EXPECT_EQ(partial, 0);
   EXPECT_EQ(snapshot.CounterValue("serve_requests_invalid_total"), 0);
   EXPECT_EQ(snapshot.CounterValue("serve_requests_error_total"), 0);
   EXPECT_EQ(snapshot.CounterValue("serve_requests_cancelled_total"), 0);

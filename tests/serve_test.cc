@@ -162,6 +162,33 @@ TEST_F(ServeTest, SnapshotInjectedLoadFailureSurfacesAsIoError) {
   std::remove(path.c_str());
 }
 
+// Regression for the bounds-validated accessors: an out-of-range id from a
+// request must become kInvalidArgument, never an out-of-bounds read of the
+// factor matrices.
+TEST_F(ServeTest, SnapshotValidatesIdsBeforeScoring) {
+  const std::string path = WriteSnapshot("snap_bounds.ckpt", 4, 6, 3);
+  auto loaded = EmbeddingSnapshot::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const EmbeddingSnapshot& snapshot = *loaded.value();
+
+  EXPECT_TRUE(snapshot.ValidateUser(0).ok());
+  EXPECT_TRUE(snapshot.ValidateUser(3).ok());
+  EXPECT_EQ(snapshot.ValidateUser(-1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(snapshot.ValidateUser(4).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(snapshot.ValidateItem(5).ok());
+  EXPECT_EQ(snapshot.ValidateItem(-1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(snapshot.ValidateItem(6).code(), StatusCode::kInvalidArgument);
+
+  auto checked = snapshot.ScoreChecked(2, 5);
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+  EXPECT_EQ(checked.value(), snapshot.Score(2, 5));
+  EXPECT_EQ(snapshot.ScoreChecked(-1, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(snapshot.ScoreChecked(0, 99).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------------------
 // PopularityRanker
 
@@ -497,6 +524,46 @@ TEST_F(ServeTest, ServiceRejectsMalformedRequestsCleanly) {
   EXPECT_TRUE(negative.items.empty());
   EXPECT_TRUE(unknown.items.empty());
   EXPECT_TRUE(bad_k.items.empty());
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeTest, ServiceRejectsMalformedItemRanges) {
+  const std::string path = WriteSnapshot("svc_range.ckpt", 6, 12, 4);
+  RecService service(TestFallback(), FastServiceOptions());
+  ASSERT_TRUE(service.LoadSnapshot(path).ok());
+
+  RecRequest negative_begin = Req(0, 3, -1.0);
+  negative_begin.item_begin = -1;
+  negative_begin.item_end = 4;
+  EXPECT_EQ(service.Recommend(negative_begin).status.code(),
+            StatusCode::kInvalidArgument);
+
+  RecRequest empty_range = Req(0, 3, -1.0);
+  empty_range.item_begin = 4;
+  empty_range.item_end = 4;
+  EXPECT_EQ(service.Recommend(empty_range).status.code(),
+            StatusCode::kInvalidArgument);
+
+  RecRequest past_catalogue = Req(0, 3, -1.0);
+  past_catalogue.item_end = 13;
+  RecResponse rejected = service.Recommend(past_catalogue);
+  EXPECT_EQ(rejected.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status.message().find("item range"), std::string::npos);
+  EXPECT_EQ(service.stats().invalid_requests, 3);
+
+  // A well-formed sub-range serves normally and stays inside the range.
+  RecRequest ranged = Req(1, 3, -1.0);
+  ranged.item_begin = 4;
+  ranged.item_end = 8;
+  RecResponse response = service.Recommend(ranged);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_FALSE(response.degraded);
+  EXPECT_FALSE(response.partial_degraded);
+  ASSERT_EQ(response.items.size(), 3u);
+  for (const ScoredItem& item : response.items) {
+    EXPECT_GE(item.item, 4);
+    EXPECT_LT(item.item, 8);
+  }
   std::remove(path.c_str());
 }
 
