@@ -1,0 +1,181 @@
+// Delta-publish microbenchmark: the cost of shipping an online fold-in
+// update as a chained delta snapshot versus republishing the full sharded
+// snapshot (DESIGN.md §10). One OnlineUpdater is seeded from a base
+// snapshot, a micro-batch touching a small fraction of the item shards is
+// applied, and both publish paths are measured:
+//
+//   - file size — the delta carries the user table plus only dirty
+//     shards, so its size tracks the touched fraction;
+//   - publish wall time (median of several rounds);
+//   - consume wall time — EmbeddingSnapshot::ApplyDelta on the live base
+//     versus a full LoadShardedSnapshot of the republished file.
+//
+// Usage:
+//   delta_publish [num_users num_items dim items_per_shard batch_edges]
+//
+// Representative numbers live in EXPERIMENTS.md.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "serve/shard_format.h"
+#include "serve/snapshot.h"
+#include "tensor/tensor.h"
+#include "train/online_updater.h"
+#include "util/status.h"
+
+namespace imcat {
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Tensor MakeTable(int64_t rows, int64_t cols, float scale) {
+  std::vector<float> values(static_cast<size_t>(rows * cols));
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = scale * static_cast<float>(i % 97 - 48);
+  }
+  return Tensor(rows, cols, std::move(values));
+}
+
+int64_t FileSizeBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in.is_open() ? static_cast<int64_t>(in.tellg()) : -1;
+}
+
+double Median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+void Die(const char* what, const Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+int Run(int argc, char** argv) {
+  int64_t num_users = 20000;
+  int64_t num_items = 200000;
+  int64_t dim = 64;
+  int64_t items_per_shard = 4096;
+  int64_t batch_edges = 512;
+  if (argc >= 6) {
+    num_users = std::strtoll(argv[1], nullptr, 10);
+    num_items = std::strtoll(argv[2], nullptr, 10);
+    dim = std::strtoll(argv[3], nullptr, 10);
+    items_per_shard = std::strtoll(argv[4], nullptr, 10);
+    batch_edges = std::strtoll(argv[5], nullptr, 10);
+  }
+  constexpr int kRounds = 5;
+
+  std::printf("delta_publish: %lld users x %lld items x %lld dim, "
+              "%lld items/shard, %lld edges/batch\n",
+              static_cast<long long>(num_users),
+              static_cast<long long>(num_items), static_cast<long long>(dim),
+              static_cast<long long>(items_per_shard),
+              static_cast<long long>(batch_edges));
+
+  const std::string base_path = "/tmp/imcat_bench_delta_base.snap";
+  const std::string delta_path = "/tmp/imcat_bench_delta.delta";
+  const std::string full_path = "/tmp/imcat_bench_delta_full.snap";
+  {
+    Tensor users = MakeTable(num_users, dim, 0.02f);
+    Tensor items = MakeTable(num_items, dim, -0.01f);
+    ShardedSnapshotOptions sharded;
+    sharded.items_per_shard = items_per_shard;
+    sharded.version = 1;
+    Status write = WriteShardedSnapshot(base_path, users, items, sharded);
+    if (!write.ok()) Die("base write", write);
+  }
+  auto base = EmbeddingSnapshot::Load(base_path);
+  if (!base.ok()) Die("base load", base.status());
+  base.value()->set_version(1);
+  std::shared_ptr<const EmbeddingSnapshot> live = base.value();
+
+  OnlineUpdaterOptions options;
+  auto seeded = OnlineUpdater::FromSnapshot(base_path, {}, options);
+  if (!seeded.ok()) Die("seed", seeded.status());
+  std::unique_ptr<OnlineUpdater> updater = std::move(seeded.value());
+
+  // A micro-batch clustered on a few item shards — the regime deltas are
+  // for. Edges walk a small item window so dirty shards stay a small
+  // fraction of the catalogue.
+  const int64_t item_window =
+      std::min<int64_t>(num_items, 4 * items_per_shard);
+  std::printf("%-12s %12s %14s %14s %12s\n", "path", "file_bytes",
+              "publish_ms", "consume_ms", "shards");
+  std::vector<double> delta_publish_ms, delta_apply_ms;
+  std::vector<double> full_publish_ms, full_load_ms;
+  int64_t delta_bytes = 0, full_bytes = 0, dirty = 0, total_shards = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    EdgeList batch;
+    for (int64_t e = 0; e < batch_edges; ++e) {
+      // Distinct pairs each round so every publish has real changes.
+      const int64_t k = round * batch_edges + e;
+      batch.push_back({k % num_users, (k * 7) % item_window});
+    }
+    if (Status st = updater->AddInteractions(batch); !st.ok()) {
+      Die("add", st);
+    }
+    if (Status st = updater->ApplyPending(); !st.ok()) Die("apply", st);
+    dirty = updater->dirty_shard_count();
+
+    double start = NowMs();
+    if (Status st = updater->PublishDelta(delta_path); !st.ok()) {
+      Die("publish delta", st);
+    }
+    delta_publish_ms.push_back(NowMs() - start);
+    delta_bytes = FileSizeBytes(delta_path);
+
+    start = NowMs();
+    auto applied = EmbeddingSnapshot::ApplyDelta(live, delta_path);
+    if (!applied.ok()) Die("apply delta", applied.status());
+    delta_apply_ms.push_back(NowMs() - start);
+    live = applied.value();
+    total_shards = live->num_shards();
+
+    // Full republish of the same post-update state, version-matched so
+    // the updater's chain keeps advancing.
+    updater->set_published_version(updater->published_version() - 1);
+    start = NowMs();
+    if (Status st = updater->PublishFull(full_path); !st.ok()) {
+      Die("publish full", st);
+    }
+    full_publish_ms.push_back(NowMs() - start);
+    full_bytes = FileSizeBytes(full_path);
+
+    start = NowMs();
+    auto loaded = LoadShardedSnapshot(full_path);
+    if (!loaded.ok()) Die("load full", loaded.status());
+    full_load_ms.push_back(NowMs() - start);
+  }
+
+  std::printf("%-12s %12lld %14.2f %14.2f %5lld/%lld\n", "delta",
+              static_cast<long long>(delta_bytes), Median(delta_publish_ms),
+              Median(delta_apply_ms), static_cast<long long>(dirty),
+              static_cast<long long>(total_shards));
+  std::printf("%-12s %12lld %14.2f %14.2f %5lld/%lld\n", "full",
+              static_cast<long long>(full_bytes), Median(full_publish_ms),
+              Median(full_load_ms), static_cast<long long>(total_shards),
+              static_cast<long long>(total_shards));
+  std::remove(base_path.c_str());
+  std::remove(delta_path.c_str());
+  std::remove(full_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace imcat
+
+int main(int argc, char** argv) { return imcat::Run(argc, argv); }

@@ -113,9 +113,14 @@ int main(int argc, char** argv) {
   std::printf("\n=== Hot reload: mid-flight requests keep their snapshot ===\n");
   auto before = service.snapshot();
   (void)service.LoadSnapshot(snapshot_path);
-  std::printf("old snapshot version %lld still valid, current is %lld\n",
-              (long long)before->version(),
-              (long long)service.snapshot()->version());
+  // parent_version is the lineage the loaded file claims in its manifest
+  // (0 for unversioned monolithic exports) — the same value the
+  // snapshot_reload journal event now carries.
+  std::printf(
+      "old snapshot version %lld still valid, current is %lld "
+      "(manifest parent_version %lld)\n",
+      (long long)before->version(), (long long)service.snapshot()->version(),
+      (long long)service.snapshot()->parent_version());
 
   std::printf("\n=== Corrupt snapshot + reload: breaker trips, degraded ===\n");
   {

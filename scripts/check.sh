@@ -106,6 +106,11 @@ if [[ "$run_sanitized" == 1 ]]; then
   # injected read faults, quarantined serving) must stay ASan/UBSan-clean:
   # corrupt shards exercise exactly the buffer-boundary paths ASan guards.
   (cd build-asan && ctest -L shard_fault --output-on-failure --timeout 300)
+  echo "=== sanitized delta-publish fault sweep (ctest -L delta_fault) ==="
+  # Same reasoning for the delta-snapshot chaos suite: corrupt/truncated
+  # delta files and mid-chain rejections walk the delta reader's boundary
+  # checks, which is ASan/UBSan's home turf.
+  (cd build-asan && ctest -L delta_fault --output-on-failure --timeout 300)
 fi
 
 if [[ "$run_tsan" == 1 ]]; then
@@ -127,10 +132,10 @@ if [[ "$run_chaos" == 1 ]]; then
   # Chaos suites drive the FaultInjector under concurrency; run them
   # label-selected with a hard per-test timeout so a hang (a lost wakeup,
   # a stuck future) fails loudly instead of wedging CI.
-  echo "=== chaos suites (ctest -L 'chaos|shard_fault') ==="
+  echo "=== chaos suites (ctest -L 'chaos|shard_fault|delta_fault') ==="
   cmake -B build -S . >/dev/null
   cmake --build build -j "$jobs"
-  (cd build && ctest -L 'chaos|shard_fault' --output-on-failure \
+  (cd build && ctest -L 'chaos|shard_fault|delta_fault' --output-on-failure \
       --repeat until-pass:1 --timeout 120)
 fi
 

@@ -345,6 +345,18 @@ std::string IngestFileReport::Summary() const {
   return s;
 }
 
+void IngestFileReport::MergeFrom(const IngestFileReport& other) {
+  if (path.empty()) path = other.path;
+  total_records += other.total_records;
+  kept += other.kept;
+  quarantined += other.quarantined;
+  for (int i = 0; i < kNumIngestErrors; ++i) {
+    error_counts[i] += other.error_counts[i];
+  }
+  samples.insert(samples.end(), other.samples.begin(), other.samples.end());
+  filtered_by_degree += other.filtered_by_degree;
+}
+
 std::string IngestReport::Summary() const {
   return "interactions " + interactions.Summary() + "; item-tags " +
          item_tags.Summary();

@@ -184,6 +184,14 @@ struct IngestFileReport {
 
   /// One-line human-readable summary ("path: N records, K kept, ...").
   std::string Summary() const;
+
+  /// Folds `other` into this report (streaming consumers that ingest many
+  /// micro-batch files keep one cumulative report). Counts, per-class
+  /// errors and degree-filter totals add; samples append up to `other`'s
+  /// own cap; `path` keeps the first non-empty value. The invariant
+  /// kept + quarantined == total_records is preserved: it holds for both
+  /// sides, so it holds for the sum.
+  void MergeFrom(const IngestFileReport& other);
 };
 
 /// The loader's combined report over both input files.

@@ -1,0 +1,145 @@
+#include "obs/scrape.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace imcat {
+
+namespace {
+
+/// Poll interval of the accept loop; bounds how long Stop() can wait for
+/// the thread to notice the stop flag.
+constexpr int kPollMs = 100;
+
+/// Writes the whole buffer, retrying on EINTR/partial writes. Best-effort:
+/// a scraper that hung up mid-response is its own problem.
+void WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    written += static_cast<size_t>(n);
+  }
+}
+
+std::string HttpResponse(int code, const char* reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string response = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n";
+  response += body;
+  return response;
+}
+
+}  // namespace
+
+MetricsScrapeServer::MetricsScrapeServer(const MetricsRegistry* registry)
+    : registry_(registry) {}
+
+MetricsScrapeServer::~MetricsScrapeServer() { Stop(); }
+
+Status MetricsScrapeServer::Start(const std::string& socket_path) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("scrape server already running on " +
+                                      socket_path_);
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::IoError(socket_path + ": socket path too long (max " +
+                           std::to_string(sizeof(addr.sun_path) - 1) +
+                           " bytes)");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket() failed: ") +
+                           std::strerror(errno));
+  }
+  // Replace a stale socket file from a previous run; a live server on the
+  // same path loses its endpoint, which is the standard Unix-socket
+  // single-owner convention.
+  ::unlink(socket_path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, 16) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError(socket_path + ": bind/listen failed: " + error);
+  }
+  socket_path_ = socket_path;
+  listen_fd_ = fd;
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void MetricsScrapeServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!socket_path_.empty()) ::unlink(socket_path_.c_str());
+}
+
+void MetricsScrapeServer::AcceptLoop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready <= 0) continue;  // Timeout (re-check stop flag) or EINTR.
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    HandleConnection(client);
+    ::close(client);
+  }
+}
+
+void MetricsScrapeServer::HandleConnection(int client_fd) {
+  // One bounded read is enough: the only supported request line fits well
+  // within one buffer, and anything longer is not a request we serve.
+  char buffer[2048];
+  ssize_t n;
+  do {
+    n = ::read(client_fd, buffer, sizeof(buffer) - 1);
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return;
+  buffer[n] = '\0';
+  const char* line_end = std::strstr(buffer, "\r\n");
+  const std::string request_line(
+      buffer, line_end != nullptr ? static_cast<size_t>(line_end - buffer)
+                                  : static_cast<size_t>(n));
+
+  std::string response;
+  if (request_line.rfind("GET ", 0) != 0) {
+    response = HttpResponse(405, "Method Not Allowed", "text/plain",
+                            "only GET is supported\n");
+  } else if (request_line.rfind("GET /metrics ", 0) == 0 ||
+             request_line == "GET /metrics") {
+    response = HttpResponse(
+        200, "OK", "text/plain; version=0.0.4",
+        DumpPrometheusText(registry_->Snapshot()));
+  } else {
+    response =
+        HttpResponse(404, "Not Found", "text/plain", "try /metrics\n");
+  }
+  WriteAll(client_fd, response.data(), response.size());
+}
+
+}  // namespace imcat

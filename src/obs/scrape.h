@@ -1,0 +1,64 @@
+#ifndef IMCAT_OBS_SCRAPE_H_
+#define IMCAT_OBS_SCRAPE_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+/// \file scrape.h
+/// Live metrics scrape endpoint. DumpPrometheusText was dump-on-exit only;
+/// this serves it as a minimal `GET /metrics` HTTP/1.0 pull over a Unix
+/// domain socket, so a scraper (curl --unix-socket, a Prometheus
+/// node-exporter sidecar) can watch a long run — delta lag, quarantine
+/// gauges, the serve accounting counters — while it happens.
+///
+/// Deliberately minimal: one accept loop on one background thread, one
+/// request per connection, Connection: close semantics. A Unix socket
+/// instead of TCP keeps the endpoint local-only (filesystem permissions
+/// are the ACL) and free of port-collision flakiness in tests and sweeps.
+
+namespace imcat {
+
+/// Serves `GET /metrics` (Prometheus text over HTTP/1.0) for one
+/// MetricsRegistry on a Unix domain socket. Every request snapshots the
+/// registry at that moment. Unknown paths get 404, other methods 405.
+class MetricsScrapeServer {
+ public:
+  /// `registry` must outlive the server.
+  explicit MetricsScrapeServer(const MetricsRegistry* registry);
+  ~MetricsScrapeServer();
+
+  MetricsScrapeServer(const MetricsScrapeServer&) = delete;
+  MetricsScrapeServer& operator=(const MetricsScrapeServer&) = delete;
+
+  /// Binds `socket_path` (an existing stale socket file is replaced) and
+  /// starts the accept loop. Fails with kIoError when the path cannot be
+  /// bound (too long, unwritable directory) and kFailedPrecondition when
+  /// already started.
+  Status Start(const std::string& socket_path);
+
+  /// Stops the accept loop, joins the thread and unlinks the socket file.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int client_fd);
+
+  const MetricsRegistry* registry_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread thread_;
+};
+
+}  // namespace imcat
+
+#endif  // IMCAT_OBS_SCRAPE_H_

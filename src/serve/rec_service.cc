@@ -67,10 +67,14 @@ RecService::RecService(std::shared_ptr<const PopularityRanker> fallback,
     staleness_trips_total_ = m->GetCounter("serve_staleness_trips_total");
     breaker_transitions_total_ =
         m->GetCounter("serve_breaker_transitions_total");
+    delta_publishes_total_ = m->GetCounter("serve_delta_publishes_total");
+    delta_rejected_total_ = m->GetCounter("serve_delta_rejected_total");
     breaker_state_gauge_ = m->GetGauge("serve_breaker_state");
     quarantined_shards_gauge_ =
         m->GetGauge("serve_snapshot_quarantined_shards");
     staleness_ms_gauge_ = m->GetGauge("serve_snapshot_staleness_ms");
+    stale_shards_gauge_ = m->GetGauge("serve_snapshot_stale_shards");
+    delta_lag_ms_gauge_ = m->GetGauge("serve_snapshot_delta_lag_ms");
     request_latency_ms_ = m->GetHistogram("serve_request_latency_ms");
   }
   if (options.metrics != nullptr || journal_ != nullptr) {
@@ -138,6 +142,7 @@ Status RecService::LoadSnapshot(const std::string& path) {
       loaded->set_version(version);
       const int64_t quarantined = loaded->quarantined_count();
       const int64_t shards = loaded->num_shards();
+      const int64_t parent_version = loaded->parent_version();
       // Keep counter-assigned versions ahead of manifest-assigned ones so
       // the two sources interleave monotonically.
       int64_t next = next_snapshot_version_.load(std::memory_order_relaxed);
@@ -163,11 +168,13 @@ Status RecService::LoadSnapshot(const std::string& path) {
       if (quarantined_shards_gauge_ != nullptr) {
         quarantined_shards_gauge_->Set(static_cast<double>(quarantined));
       }
+      if (stale_shards_gauge_ != nullptr) stale_shards_gauge_->Set(0.0);
       if (journal_ != nullptr) {
         journal_->Append(JournalEvent("snapshot_reload")
                              .Set("ok", true)
                              .Set("path", path)
                              .Set("version", version)
+                             .Set("parent_version", parent_version)
                              .Set("shards", shards)
                              .Set("quarantined_shards", quarantined));
       }
@@ -194,6 +201,122 @@ Status RecService::LoadSnapshot(const std::string& path) {
   }
   return Status(last.code(),
                 "snapshot load failed after " +
+                    std::to_string(options_.load_backoff.max_attempts) +
+                    " attempts: " + last.message());
+}
+
+void RecService::RecordDeltaRejected(const std::string& path,
+                                     int64_t live_version,
+                                     int64_t base_version,
+                                     const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected_deltas;
+  }
+  if (delta_rejected_total_ != nullptr) delta_rejected_total_->Increment();
+  if (journal_ != nullptr) {
+    journal_->Append(JournalEvent("delta_rejected")
+                         .Set("path", path)
+                         .Set("live_version", live_version)
+                         .Set("base_version", base_version)
+                         .Set("reason", reason));
+  }
+}
+
+Status RecService::LoadDelta(const std::string& path) {
+  std::lock_guard<std::mutex> load_lock(load_mu_);
+  const std::shared_ptr<const EmbeddingSnapshot> live = snapshot();
+  if (live == nullptr) {
+    RecordDeltaRejected(path, 0, 0, "no live snapshot to chain onto");
+    return Status::FailedPrecondition(
+        path + ": no live snapshot to apply a delta onto; publish a full "
+               "snapshot first");
+  }
+  Backoff backoff(options_.load_backoff);
+  Status last;
+  while (true) {
+    auto result =
+        EmbeddingSnapshot::ApplyDelta(live, path, options_.snapshot_load);
+    if (result.ok()) {
+      std::shared_ptr<EmbeddingSnapshot> applied = std::move(result).value();
+      const int64_t version = applied->version();
+      const int64_t base_version = applied->base_version();
+      const int64_t quarantined = applied->quarantined_count();
+      const int64_t stale = applied->stale_count();
+      const int64_t shards = applied->num_shards();
+      // Keep counter-assigned versions ahead of delta-assigned ones, same
+      // contract as LoadSnapshot.
+      int64_t next = next_snapshot_version_.load(std::memory_order_relaxed);
+      while (next <= version &&
+             !next_snapshot_version_.compare_exchange_weak(
+                 next, version + 1, std::memory_order_relaxed)) {
+      }
+      PublishSnapshot(std::move(applied));
+      last_delta_publish_ms_.store(now_ms_(), std::memory_order_relaxed);
+      if (delta_lag_ms_gauge_ != nullptr) delta_lag_ms_gauge_->Set(0.0);
+      breaker_.RecordSuccess();
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.delta_publishes;
+      }
+      if (delta_publishes_total_ != nullptr) {
+        delta_publishes_total_->Increment();
+      }
+      if (snapshot_shards_quarantined_total_ != nullptr && quarantined > 0) {
+        snapshot_shards_quarantined_total_->Add(quarantined);
+      }
+      if (quarantined_shards_gauge_ != nullptr) {
+        quarantined_shards_gauge_->Set(static_cast<double>(quarantined));
+      }
+      if (stale_shards_gauge_ != nullptr) {
+        stale_shards_gauge_->Set(static_cast<double>(stale));
+      }
+      if (journal_ != nullptr) {
+        journal_->Append(JournalEvent("delta_publish")
+                             .Set("ok", true)
+                             .Set("path", path)
+                             .Set("version", version)
+                             .Set("base_version", base_version)
+                             .Set("shards", shards)
+                             .Set("quarantined_shards", quarantined)
+                             .Set("stale_shards", stale));
+      }
+      return Status::OK();
+    }
+    last = result.status();
+    if (last.code() == StatusCode::kFailedPrecondition) {
+      // Out-of-order / stale / duplicate delta: refused, not failed — the
+      // file is intact and retrying cannot change its base_version, so no
+      // backoff and no breaker feedback.
+      int64_t delta_base = -1;
+      auto manifest = ReadDeltaSnapshotManifest(path);
+      if (manifest.ok()) delta_base = manifest.value().base_version;
+      RecordDeltaRejected(path, live->version(), delta_base, last.message());
+      return last;
+    }
+    const double delay_ms = backoff.NextDelayMs();
+    if (!backoff.ShouldRetry()) break;
+    sleep_ms_(delay_ms);
+  }
+  // Unrecoverable delta (corrupt manifest/user table, bad geometry, every
+  // changed shard corrupt): the base snapshot stays live.
+  breaker_.RecordFailure();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.snapshot_load_failures;
+  }
+  if (snapshot_load_failures_total_ != nullptr) {
+    snapshot_load_failures_total_->Increment();
+  }
+  if (journal_ != nullptr) {
+    journal_->Append(JournalEvent("delta_publish")
+                         .Set("ok", false)
+                         .Set("path", path)
+                         .Set("live_version", live->version())
+                         .Set("error", last.message()));
+  }
+  return Status(last.code(),
+                "delta publish failed after " +
                     std::to_string(options_.load_backoff.max_attempts) +
                     " attempts: " + last.message());
 }
@@ -315,6 +438,17 @@ RecResponse RecService::Handle(const RecRequest& request) {
     return response;
   }
 
+  // Delta lag: time since the live snapshot last advanced via a delta
+  // publish. Exported on every request so a scraper watches the lag grow
+  // live while deltas are rejected or failing.
+  if (delta_lag_ms_gauge_ != nullptr) {
+    const double last_delta =
+        last_delta_publish_ms_.load(std::memory_order_relaxed);
+    if (last_delta >= 0.0) {
+      delta_lag_ms_gauge_->Set(now_ms_() - last_delta);
+    }
+  }
+
   // Staleness watchdog: repeated reload failures leave the live snapshot
   // older than the bounded-staleness budget; past it the model scores are
   // no longer trustworthy and the popularity fallback takes over until a
@@ -392,6 +526,22 @@ RecResponse RecService::Handle(const RecRequest& request) {
         response.items.insert(response.items.end(), backfill.begin(),
                               backfill.end());
       }
+      if (requests_partial_degraded_ != nullptr) {
+        requests_partial_degraded_->Increment();
+      }
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.served_partial_degraded;
+      return response;
+    }
+    // Stale shards (a delta failed to replace them; old rows kept): the
+    // scores are real but one publish behind, so a request whose range
+    // touches a stale shard is surfaced as partial_degraded — no backfill,
+    // just the flag.
+    const int64_t range_begin = request.item_begin;
+    const int64_t range_end =
+        request.item_end > 0 ? request.item_end : snapshot->num_items();
+    if (snapshot->RangeTouchesStale(range_begin, range_end)) {
+      response.partial_degraded = true;
       if (requests_partial_degraded_ != nullptr) {
         requests_partial_degraded_->Increment();
       }

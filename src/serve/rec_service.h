@@ -78,6 +78,11 @@ struct RecServiceStats {
   /// Times the staleness watchdog tripped (edge-triggered; resets on a
   /// successful publish).
   int64_t staleness_trips = 0;
+  /// Successful delta publishes (LoadDelta applied and swapped in).
+  int64_t delta_publishes = 0;
+  /// Deltas refused with kFailedPrecondition: base-version mismatch
+  /// (stale/out-of-order delta) or no live snapshot to chain onto.
+  int64_t rejected_deltas = 0;
 };
 
 /// Service configuration.
@@ -147,6 +152,25 @@ class RecService {
   /// partially (healthy ranges serve normally); the next LoadSnapshot of a
   /// clean file replaces it wholesale, un-quarantining everything.
   Status LoadSnapshot(const std::string& path);
+
+  /// Applies a delta snapshot file (shard_format.h, "IMD3") on top of the
+  /// live snapshot and publishes the result atomically — requests see the
+  /// old snapshot until the swap, then the new one; a delta is never
+  /// half-applied.
+  ///
+  /// Refusals with kFailedPrecondition (journal event "delta_rejected",
+  /// `serve_delta_rejected_total`; no breaker feedback, no retries — a
+  /// stale delta cannot become fresh by retrying): no live snapshot to
+  /// chain onto, or the delta's base_version does not match the live
+  /// version (out-of-order / stale / duplicate delta).
+  ///
+  /// Corruption containment follows EmbeddingSnapshot::ApplyDelta: a
+  /// corrupt changed shard keeps the base's old rows (stale — requests
+  /// touching it are flagged partial_degraded) or quarantines when the
+  /// base cannot cover it; a corrupt manifest or user table fails the
+  /// publish after the load-backoff retries, the base stays live, and the
+  /// breaker records the failure.
+  Status LoadDelta(const std::string& path);
 
   /// Enqueues a request. Returns a future that is always eventually
   /// satisfied with a definite RecResponse; when the queue is full the
@@ -231,11 +255,24 @@ class RecService {
   Counter* snapshot_shards_quarantined_total_ = nullptr;
   Counter* staleness_trips_total_ = nullptr;
   Counter* breaker_transitions_total_ = nullptr;
+  Counter* delta_publishes_total_ = nullptr;
+  Counter* delta_rejected_total_ = nullptr;
   Gauge* breaker_state_gauge_ = nullptr;
   Gauge* quarantined_shards_gauge_ = nullptr;
   Gauge* staleness_ms_gauge_ = nullptr;
+  Gauge* stale_shards_gauge_ = nullptr;
+  Gauge* delta_lag_ms_gauge_ = nullptr;
   Histogram* request_latency_ms_ = nullptr;
   RunJournal* journal_ = nullptr;
+
+  /// Records a delta refusal (stats + counter + "delta_rejected" journal).
+  void RecordDeltaRejected(const std::string& path, int64_t live_version,
+                           int64_t base_version, const std::string& reason);
+
+  /// When >= 0, the now_ms_ time of the last successful delta publish;
+  /// `serve_snapshot_delta_lag_ms` measures against it on every request so
+  /// a scraper sees delta lag grow live while publishes fail.
+  std::atomic<double> last_delta_publish_ms_{-1.0};
 
   /// Workers + bounded queue + shutdown contract. Declared last so the
   /// pool (and with it every in-flight Handle referencing this service)

@@ -218,6 +218,112 @@ Status ReadManifest(ShardFileReader* reader, ShardManifest* manifest) {
   return Status::OK();
 }
 
+constexpr char kDeltaMagic[4] = {'I', 'M', 'D', '3'};
+constexpr uint32_t kDeltaVersion = 1;
+
+/// Fixed delta-manifest sizes (see the delta layout in shard_format.h).
+constexpr int64_t kDeltaHeaderBytes = 4 + 4 + 7 * 8;  // magic..num_changed.
+constexpr int64_t kDeltaShardEntryBytes = 6 * 8;      // index..checksum.
+
+int64_t DeltaManifestBytes(int64_t num_changed_shards) {
+  return kDeltaHeaderBytes + kUserEntryBytes +
+         num_changed_shards * kDeltaShardEntryBytes + kChecksumBytes;
+}
+
+/// Reads and validates a delta manifest: magic, version chain, geometry,
+/// shard-entry layout and the manifest checksum. Payload untouched.
+Status ReadDeltaManifest(ShardFileReader* reader, DeltaManifest* manifest) {
+  ManifestCursor cursor(reader);
+  char magic[4];
+  Status magic_status = cursor.ReadBytes(magic, sizeof(magic));
+  if (!magic_status.ok() ||
+      std::memcmp(magic, kDeltaMagic, sizeof(kDeltaMagic)) != 0) {
+    return Status::InvalidArgument(reader->path() +
+                                   ": not an IMCAT delta snapshot");
+  }
+  uint32_t version = 0;
+  IMCAT_RETURN_IF_ERROR(cursor.Read(&version));
+  if (version != kDeltaVersion) {
+    return Status::InvalidArgument(
+        reader->path() + ": unsupported delta snapshot version " +
+        std::to_string(version));
+  }
+  int64_t num_changed = 0;
+  IMCAT_RETURN_IF_ERROR(cursor.Read(&manifest->base_version));
+  IMCAT_RETURN_IF_ERROR(cursor.Read(&manifest->version));
+  IMCAT_RETURN_IF_ERROR(cursor.Read(&manifest->num_users));
+  IMCAT_RETURN_IF_ERROR(cursor.Read(&manifest->num_items));
+  IMCAT_RETURN_IF_ERROR(cursor.Read(&manifest->dim));
+  IMCAT_RETURN_IF_ERROR(cursor.Read(&manifest->items_per_shard));
+  IMCAT_RETURN_IF_ERROR(cursor.Read(&num_changed));
+
+  // Geometry sanity before any allocation, mirroring the full format: a
+  // bit-flipped count fails cleanly here or at the checksum, never as
+  // bad_alloc or a half-applied delta.
+  const auto bounded = [](int64_t v) { return v > 0 && v < kMaxDimension; };
+  const int64_t total_shards =
+      bounded(manifest->num_items) && bounded(manifest->items_per_shard)
+          ? (manifest->num_items + manifest->items_per_shard - 1) /
+                manifest->items_per_shard
+          : 0;
+  if (!bounded(manifest->num_users) || !bounded(manifest->num_items) ||
+      !bounded(manifest->dim) || !bounded(manifest->items_per_shard) ||
+      manifest->base_version < 0 ||
+      manifest->version <= manifest->base_version || num_changed < 0 ||
+      num_changed > total_shards ||
+      DeltaManifestBytes(num_changed) > reader->file_size()) {
+    return Status::DataLoss(reader->path() +
+                            ": delta snapshot manifest geometry corrupt");
+  }
+  const int64_t row_bytes =
+      manifest->dim * static_cast<int64_t>(sizeof(float));
+  const int64_t payload_start = DeltaManifestBytes(num_changed);
+
+  IMCAT_RETURN_IF_ERROR(ReadEntry(&cursor, /*with_range=*/false,
+                                  &manifest->user_table));
+  manifest->user_table.begin = 0;
+  manifest->user_table.end = manifest->num_users;
+  if (manifest->user_table.byte_offset != payload_start ||
+      manifest->user_table.byte_size != manifest->num_users * row_bytes) {
+    return Status::DataLoss(reader->path() +
+                            ": delta snapshot user-table entry corrupt");
+  }
+
+  manifest->changed_shards.resize(static_cast<size_t>(num_changed));
+  int64_t expected_offset =
+      manifest->user_table.byte_offset + manifest->user_table.byte_size;
+  int64_t previous_index = -1;
+  for (int64_t i = 0; i < num_changed; ++i) {
+    DeltaShardEntry& entry = manifest->changed_shards[static_cast<size_t>(i)];
+    IMCAT_RETURN_IF_ERROR(cursor.Read(&entry.shard_index));
+    IMCAT_RETURN_IF_ERROR(ReadEntry(&cursor, /*with_range=*/true,
+                                    &entry.shard));
+    const int64_t begin = entry.shard_index * manifest->items_per_shard;
+    const int64_t end =
+        std::min(begin + manifest->items_per_shard, manifest->num_items);
+    if (entry.shard_index <= previous_index ||
+        entry.shard_index >= total_shards || entry.shard.begin != begin ||
+        entry.shard.end != end ||
+        entry.shard.byte_offset != expected_offset ||
+        entry.shard.byte_size != (end - begin) * row_bytes) {
+      return Status::DataLoss(reader->path() + ": delta snapshot shard " +
+                              std::to_string(i) + " entry corrupt");
+    }
+    previous_index = entry.shard_index;
+    expected_offset += entry.shard.byte_size;
+  }
+
+  const uint64_t computed = cursor.checksum();
+  uint64_t stored = 0;
+  IMCAT_RETURN_IF_ERROR(reader->ReadAt(cursor.position(), &stored,
+                                       sizeof(stored)));
+  if (stored != computed) {
+    return Status::DataLoss(reader->path() +
+                            ": delta snapshot manifest checksum mismatch");
+  }
+  return Status::OK();
+}
+
 /// Reads one integrity unit into `out` (already sized), re-reading up to
 /// `attempts` times on corruption. OK means the checksum matched.
 Status ReadValidated(ShardFileReader* reader, const ShardEntry& entry,
@@ -393,6 +499,180 @@ StatusOr<ShardedLoadResult> LoadShardedSnapshot(
     return Status::DataLoss(path +
                             ": every item shard failed validation; nothing "
                             "left to serve");
+  }
+  return result;
+}
+
+bool IsDeltaSnapshotFile(const std::string& path) {
+  // Same raw peek as IsShardedSnapshotFile: deliberately outside the
+  // FaultInjector hooks so the peek never consumes an armed read fault.
+  std::ifstream in(path, std::ios::binary);
+  char magic[4] = {0, 0, 0, 0};
+  in.read(magic, sizeof(magic));
+  return in.good() && std::memcmp(magic, kDeltaMagic, sizeof(kDeltaMagic)) == 0;
+}
+
+Status WriteDeltaSnapshot(const std::string& path, const Tensor& users,
+                          const Tensor& items,
+                          const std::vector<int64_t>& changed_shards,
+                          const DeltaSnapshotOptions& options) {
+  IMCAT_CHECK(users.defined() && items.defined());
+  if (users.rows() <= 0 || items.rows() <= 0 || users.cols() <= 0 ||
+      users.cols() != items.cols()) {
+    return Status::InvalidArgument(
+        path + ": delta snapshot needs factor matrices over one embedding "
+               "dimension, got user table " +
+        std::to_string(users.rows()) + "x" + std::to_string(users.cols()) +
+        " and item table " + std::to_string(items.rows()) + "x" +
+        std::to_string(items.cols()));
+  }
+  if (options.items_per_shard <= 0) {
+    return Status::InvalidArgument(path + ": items_per_shard must be > 0");
+  }
+  if (options.base_version < 0 || options.version <= options.base_version) {
+    return Status::InvalidArgument(
+        path + ": delta version chain must satisfy 0 <= base_version < "
+               "version, got base " +
+        std::to_string(options.base_version) + " -> " +
+        std::to_string(options.version));
+  }
+  const int64_t num_users = users.rows();
+  const int64_t num_items = items.rows();
+  const int64_t dim = users.cols();
+  const int64_t items_per_shard = options.items_per_shard;
+  const int64_t total_shards =
+      (num_items + items_per_shard - 1) / items_per_shard;
+  int64_t previous_index = -1;
+  for (int64_t index : changed_shards) {
+    if (index <= previous_index || index >= total_shards) {
+      return Status::InvalidArgument(
+          path + ": changed shard indices must be strictly increasing and "
+                 "< " +
+          std::to_string(total_shards) + ", got " + std::to_string(index) +
+          " after " + std::to_string(previous_index));
+    }
+    previous_index = index;
+  }
+  const int64_t num_changed = static_cast<int64_t>(changed_shards.size());
+  const int64_t row_bytes = dim * static_cast<int64_t>(sizeof(float));
+  const int64_t payload_start = DeltaManifestBytes(num_changed);
+
+  AtomicFileWriter out(path);
+  IMCAT_RETURN_IF_ERROR(out.Open());
+  Fnv1a hash;
+  hash.Update(kDeltaMagic, sizeof(kDeltaMagic));
+  IMCAT_RETURN_IF_ERROR(out.Write(kDeltaMagic, sizeof(kDeltaMagic)));
+  IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, kDeltaVersion));
+  IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, options.base_version));
+  IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, options.version));
+  IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, num_users));
+  IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, num_items));
+  IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, dim));
+  IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, items_per_shard));
+  IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, num_changed));
+
+  // User-table entry (the user table always ships in full: fold-in touches
+  // arbitrary user rows and the table is small next to the catalogue).
+  const int64_t user_bytes = num_users * row_bytes;
+  IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, payload_start));
+  IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, user_bytes));
+  IMCAT_RETURN_IF_ERROR(WriteValue(
+      &out, &hash, Fnv1aHash(users.data(), static_cast<size_t>(user_bytes))));
+
+  // Changed-shard entries, payload contiguous after the user table.
+  int64_t offset = payload_start + user_bytes;
+  for (int64_t index : changed_shards) {
+    const int64_t begin = index * items_per_shard;
+    const int64_t end = std::min(begin + items_per_shard, num_items);
+    const int64_t bytes = (end - begin) * row_bytes;
+    IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, index));
+    IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, begin));
+    IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, end));
+    IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, offset));
+    IMCAT_RETURN_IF_ERROR(WriteValue(&out, &hash, bytes));
+    IMCAT_RETURN_IF_ERROR(WriteValue(
+        &out, &hash,
+        Fnv1aHash(items.data() + begin * dim, static_cast<size_t>(bytes))));
+    offset += bytes;
+  }
+  const uint64_t manifest_checksum = hash.value();
+  IMCAT_RETURN_IF_ERROR(
+      out.Write(&manifest_checksum, sizeof(manifest_checksum)));
+
+  IMCAT_RETURN_IF_ERROR(
+      out.Write(users.data(), static_cast<size_t>(user_bytes)));
+  for (int64_t index : changed_shards) {
+    const int64_t begin = index * items_per_shard;
+    const int64_t end = std::min(begin + items_per_shard, num_items);
+    IMCAT_RETURN_IF_ERROR(
+        out.Write(items.data() + begin * dim,
+                  static_cast<size_t>((end - begin) * row_bytes)));
+  }
+  return out.Commit();
+}
+
+StatusOr<DeltaManifest> ReadDeltaSnapshotManifest(const std::string& path) {
+  ShardFileReader reader;
+  IMCAT_RETURN_IF_ERROR(reader.Open(path));
+  DeltaManifest manifest;
+  IMCAT_RETURN_IF_ERROR(ReadDeltaManifest(&reader, &manifest));
+  return manifest;
+}
+
+StatusOr<DeltaLoadResult> LoadDeltaSnapshot(
+    const std::string& path, const SnapshotLoadOptions& options) {
+  ShardFileReader reader;
+  IMCAT_RETURN_IF_ERROR(reader.Open(path));
+  DeltaLoadResult result;
+  IMCAT_RETURN_IF_ERROR(ReadDeltaManifest(&reader, &result.manifest));
+  const DeltaManifest& manifest = result.manifest;
+
+  // The user table must validate in full: a delta replaces the whole user
+  // table, so without it the delta cannot be applied at all.
+  result.users.resize(
+      static_cast<size_t>(manifest.num_users * manifest.dim));
+  Status user_status =
+      ReadValidated(&reader, manifest.user_table,
+                    options.shard_read_attempts, result.users.data());
+  if (!user_status.ok()) {
+    return Status(user_status.code(),
+                  "delta user table failed validation: " +
+                      user_status.message());
+  }
+
+  // Each changed shard validates independently. A corrupt shard's payload
+  // stays empty and is reported through shard_ok — the *apply* layer then
+  // decides whether the base's old rows can keep serving that range.
+  const size_t num_changed = manifest.changed_shards.size();
+  result.shard_ok.assign(num_changed, 1);
+  result.shard_data.resize(num_changed);
+  for (size_t s = 0; s < num_changed; ++s) {
+    const DeltaShardEntry& entry = manifest.changed_shards[s];
+    std::vector<float> payload(
+        static_cast<size_t>(entry.shard.end - entry.shard.begin) *
+        static_cast<size_t>(manifest.dim));
+    Status shard_status = ReadValidated(&reader, entry.shard,
+                                        options.shard_read_attempts,
+                                        payload.data());
+    if (shard_status.ok()) {
+      result.shard_data[s] = std::move(payload);
+      continue;
+    }
+    if (!options.allow_partial) {
+      return Status(shard_status.code(),
+                    "delta shard " + std::to_string(entry.shard_index) +
+                        " [" + std::to_string(entry.shard.begin) + ", " +
+                        std::to_string(entry.shard.end) +
+                        ") failed validation: " + shard_status.message());
+    }
+    result.shard_ok[s] = 0;
+    ++result.corrupt_count;
+  }
+  if (num_changed > 0 &&
+      result.corrupt_count == static_cast<int64_t>(num_changed)) {
+    return Status::DataLoss(path +
+                            ": every changed shard failed validation; delta "
+                            "refused");
   }
   return result;
 }

@@ -112,6 +112,112 @@ struct ShardedLoadResult {
   int64_t quarantined_count = 0;
 };
 
+/// --- Delta snapshots ---------------------------------------------------
+///
+/// A delta snapshot ("IMD3") publishes an incremental update on top of an
+/// already-live sharded snapshot instead of rewriting the whole catalogue:
+/// the full (possibly grown) user table plus only the item shards whose
+/// item ranges changed since the base was published. Every delta is chained
+/// to an explicit `base_version`; applying it to any other live version is
+/// a precondition failure, never a half-applied snapshot.
+///
+/// Layout (little-endian):
+///
+///   magic "IMD3" | u32 delta format version (1) |
+///   i64 base_version | i64 version  (version > base_version) |
+///   u64 num_users | u64 num_items | u64 dim | u64 items_per_shard |
+///   u64 num_changed_shards |
+///   user-table entry:    u64 byte_offset | u64 byte_size | u64 checksum |
+///   per changed shard:   i64 shard_index | u64 begin_item | u64 end_item |
+///                        u64 byte_offset | u64 byte_size | u64 checksum |
+///   u64 manifest checksum  (FNV-1a over every preceding byte)
+///   --- payload ---
+///   user table floats (row-major num_users x dim)
+///   changed shard payloads, in manifest order
+///
+/// `num_users`/`num_items` are the totals of the snapshot the delta
+/// produces; they may exceed the base's (cold-start fold-in grows the
+/// tables), never shrink them. `items_per_shard` must match the base, so a
+/// shard index addresses the same item range in both. Changed shards are
+/// listed in strictly increasing shard order and may include brand-new
+/// shards past the base's last one.
+///
+/// Integrity rules mirror the full format: a corrupt manifest or user
+/// table refuses the whole delta (the base stays live); each changed shard
+/// validates independently (re-read, then reported corrupt); when *every*
+/// changed shard is corrupt the delta is refused outright rather than
+/// publishing an update that updates nothing.
+
+/// One changed item shard recorded in a delta manifest.
+struct DeltaShardEntry {
+  int64_t shard_index = 0;  ///< Shard slot in the base's shard topology.
+  ShardEntry shard;         ///< Range, payload location and checksum.
+};
+
+/// The validated manifest of a delta snapshot file.
+struct DeltaManifest {
+  /// Version of the live snapshot this delta applies on top of.
+  int64_t base_version = 0;
+  /// Version the applied snapshot becomes (always > base_version).
+  int64_t version = 0;
+  int64_t num_users = 0;   ///< Post-apply totals (>= the base's).
+  int64_t num_items = 0;
+  int64_t dim = 0;
+  int64_t items_per_shard = 0;
+  ShardEntry user_table;
+  std::vector<DeltaShardEntry> changed_shards;
+
+  int64_t num_changed_shards() const {
+    return static_cast<int64_t>(changed_shards.size());
+  }
+};
+
+/// Writer configuration for `WriteDeltaSnapshot`.
+struct DeltaSnapshotOptions {
+  int64_t items_per_shard = 4096;
+  /// Version of the snapshot this delta chains to (>= 0).
+  int64_t base_version = 0;
+  /// Version the applied snapshot becomes; must be > base_version.
+  int64_t version = 0;
+};
+
+/// The result of reading a delta snapshot file: the manifest, the full new
+/// user table, and each changed shard's payload with its validation
+/// outcome (`shard_ok[i]` == 0 means corrupt after re-reads; its
+/// `shard_data[i]` is empty).
+struct DeltaLoadResult {
+  DeltaManifest manifest;
+  std::vector<float> users;
+  std::vector<uint8_t> shard_ok;
+  std::vector<std::vector<float>> shard_data;
+  int64_t corrupt_count = 0;
+};
+
+/// True when the file starts with the delta-snapshot magic ("IMD3").
+bool IsDeltaSnapshotFile(const std::string& path);
+
+/// Writes the user table and the listed item shards of `items` as a delta
+/// snapshot chained to `options.base_version` (atomic write). The shard
+/// indices must be unique, in range for `items`' shard topology, and the
+/// tensors must share one embedding dimension.
+Status WriteDeltaSnapshot(const std::string& path, const Tensor& users,
+                          const Tensor& items,
+                          const std::vector<int64_t>& changed_shards,
+                          const DeltaSnapshotOptions& options);
+
+/// Reads and fully validates only the delta manifest; payload untouched.
+StatusOr<DeltaManifest> ReadDeltaSnapshotManifest(const std::string& path);
+
+/// Reads a delta snapshot: manifest and user table must validate in full
+/// (kDataLoss otherwise — without them the delta cannot be applied), each
+/// changed shard validates independently with `options.shard_read_attempts`
+/// total reads. With `options.allow_partial` a corrupt shard is reported
+/// through `shard_ok` and loading continues; without it any corruption
+/// fails the read. A delta whose every changed shard is corrupt is refused
+/// with kDataLoss.
+StatusOr<DeltaLoadResult> LoadDeltaSnapshot(
+    const std::string& path, const SnapshotLoadOptions& options = {});
+
 /// True when the file starts with the sharded-snapshot magic ("IMS3").
 /// Missing/unreadable files return false (the caller's loader will then
 /// produce the real error).

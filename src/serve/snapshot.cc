@@ -73,6 +73,7 @@ StatusOr<std::shared_ptr<EmbeddingSnapshot>> EmbeddingSnapshot::Load(
     snapshot->items_per_shard_ = result.manifest.items_per_shard;
     snapshot->quarantined_ = std::move(result.quarantined);
     snapshot->quarantined_count_ = result.quarantined_count;
+    snapshot->stale_.assign(snapshot->quarantined_.size(), 0);
     snapshot->users_ = std::move(result.users);
     snapshot->items_ = std::move(result.items);
     return snapshot;
@@ -82,6 +83,130 @@ StatusOr<std::shared_ptr<EmbeddingSnapshot>> EmbeddingSnapshot::Load(
       &snapshot->users_, &snapshot->items_));
   snapshot->items_per_shard_ = snapshot->num_items_;
   snapshot->quarantined_.assign(1, 0);
+  snapshot->stale_.assign(1, 0);
+  return snapshot;
+}
+
+StatusOr<std::shared_ptr<EmbeddingSnapshot>> EmbeddingSnapshot::ApplyDelta(
+    const std::shared_ptr<const EmbeddingSnapshot>& base,
+    const std::string& delta_path, const SnapshotLoadOptions& options) {
+  if (base == nullptr) {
+    return Status::InvalidArgument(delta_path +
+                                   ": cannot apply a delta without a base "
+                                   "snapshot");
+  }
+  FaultInjector& injector = FaultInjector::Instance();
+  if (injector.enabled() && injector.ConsumeLoadFailure()) {
+    return Status::IoError(delta_path + ": injected delta load failure");
+  }
+  // Version-chain check on the manifest alone, before any payload is read:
+  // a stale or out-of-order delta is refused cheaply and unambiguously.
+  auto manifest_or = ReadDeltaSnapshotManifest(delta_path);
+  IMCAT_RETURN_IF_ERROR(manifest_or.status());
+  const DeltaManifest& peek = manifest_or.value();
+  if (peek.base_version != base->version()) {
+    return Status::FailedPrecondition(
+        delta_path + ": delta chains to base version " +
+        std::to_string(peek.base_version) + " but live snapshot is version " +
+        std::to_string(base->version()));
+  }
+  if (peek.dim != base->dim() ||
+      peek.items_per_shard != base->items_per_shard()) {
+    return Status::InvalidArgument(
+        delta_path + ": delta geometry (dim " + std::to_string(peek.dim) +
+        ", items/shard " + std::to_string(peek.items_per_shard) +
+        ") does not match base (dim " + std::to_string(base->dim()) +
+        ", items/shard " + std::to_string(base->items_per_shard()) + ")");
+  }
+  if (peek.num_users < base->num_users() ||
+      peek.num_items < base->num_items()) {
+    return Status::InvalidArgument(
+        delta_path + ": delta shrinks the catalogue (" +
+        std::to_string(peek.num_users) + " users, " +
+        std::to_string(peek.num_items) + " items vs base " +
+        std::to_string(base->num_users()) + ", " +
+        std::to_string(base->num_items()) + ")");
+  }
+
+  auto loaded = LoadDeltaSnapshot(delta_path, options);
+  IMCAT_RETURN_IF_ERROR(loaded.status());
+  DeltaLoadResult result = std::move(loaded).value();
+  const DeltaManifest& manifest = result.manifest;
+
+  // Everything below builds the complete replacement snapshot before the
+  // caller can publish it — a delta is applied in full or not at all.
+  std::shared_ptr<EmbeddingSnapshot> snapshot(new EmbeddingSnapshot());
+  snapshot->num_users_ = manifest.num_users;
+  snapshot->num_items_ = manifest.num_items;
+  snapshot->dim_ = manifest.dim;
+  snapshot->items_per_shard_ = manifest.items_per_shard;
+  snapshot->parent_version_ = manifest.version;
+  snapshot->base_version_ = base->version();
+  snapshot->version_ = manifest.version;
+  snapshot->users_ = std::move(result.users);
+
+  const int64_t dim = manifest.dim;
+  const int64_t ips = manifest.items_per_shard;
+  const int64_t base_items = base->num_items();
+  const int64_t num_shards = (manifest.num_items + ips - 1) / ips;
+  snapshot->items_.assign(
+      static_cast<size_t>(manifest.num_items * dim), 0.0f);
+  std::memcpy(snapshot->items_.data(), base->items_.data(),
+              static_cast<size_t>(base_items * dim) * sizeof(float));
+
+  // A shard whose new range [begin, end) lies entirely inside the base's
+  // catalogue inherits the base's health; a shard whose range extends past
+  // it (brand-new, or the old tail shard grown by cold-start items) has no
+  // complete fallback and starts quarantined until the delta ships it.
+  snapshot->quarantined_.assign(static_cast<size_t>(num_shards), 0);
+  snapshot->stale_.assign(static_cast<size_t>(num_shards), 0);
+  for (int64_t s = 0; s < num_shards; ++s) {
+    const int64_t end = std::min((s + 1) * ips, manifest.num_items);
+    if (end <= base_items) {
+      snapshot->quarantined_[s] = base->quarantined_[s];
+      snapshot->stale_[s] = base->stale_[s];
+    } else {
+      snapshot->quarantined_[s] = 1;
+    }
+  }
+  for (size_t i = 0; i < manifest.changed_shards.size(); ++i) {
+    const DeltaShardEntry& entry = manifest.changed_shards[i];
+    const int64_t s = entry.shard_index;
+    if (result.shard_ok[i]) {
+      std::memcpy(snapshot->items_.data() + entry.shard.begin * dim,
+                  result.shard_data[i].data(),
+                  static_cast<size_t>(entry.shard.byte_size));
+      snapshot->quarantined_[s] = 0;
+      snapshot->stale_[s] = 0;
+      continue;
+    }
+    // Corrupt changed shard: fall back to the base's old rows when they
+    // cover the whole range and were healthy (stale), else quarantine.
+    const bool covered = entry.shard.end <= base_items;
+    if (covered && !base->shard_quarantined(s)) {
+      snapshot->stale_[s] = 1;
+    } else {
+      snapshot->quarantined_[s] = 1;
+      snapshot->stale_[s] = 0;
+      // Quarantined rows are zero-filled by contract; clear any base rows
+      // copied into the prefix of a partially-covered range.
+      const int64_t zero_end = std::min(entry.shard.end, base_items);
+      if (zero_end > entry.shard.begin) {
+        std::memset(snapshot->items_.data() + entry.shard.begin * dim, 0,
+                    static_cast<size_t>((zero_end - entry.shard.begin) * dim) *
+                        sizeof(float));
+      }
+    }
+  }
+  for (int64_t s = 0; s < num_shards; ++s) {
+    snapshot->quarantined_count_ += snapshot->quarantined_[s];
+    snapshot->stale_count_ += snapshot->stale_[s];
+  }
+  if (snapshot->quarantined_count_ == num_shards) {
+    return Status::DataLoss(delta_path +
+                            ": applying the delta would quarantine every "
+                            "shard; delta refused");
+  }
   return snapshot;
 }
 
@@ -122,6 +247,21 @@ std::vector<std::pair<int64_t, int64_t>> EmbeddingSnapshot::QuarantinedRanges()
     const auto [begin, end] = shard_range(s);
     if (!ranges.empty() && ranges.back().second == begin) {
       ranges.back().second = end;  // Coalesce adjacent quarantined shards.
+    } else {
+      ranges.emplace_back(begin, end);
+    }
+  }
+  return ranges;
+}
+
+std::vector<std::pair<int64_t, int64_t>> EmbeddingSnapshot::StaleRanges()
+    const {
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  for (int64_t s = 0; s < num_shards(); ++s) {
+    if (!shard_stale(s)) continue;
+    const auto [begin, end] = shard_range(s);
+    if (!ranges.empty() && ranges.back().second == begin) {
+      ranges.back().second = end;
     } else {
       ranges.emplace_back(begin, end);
     }

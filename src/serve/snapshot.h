@@ -51,6 +51,31 @@ class EmbeddingSnapshot {
     return Load(path, SnapshotLoadOptions{});
   }
 
+  /// Applies a delta snapshot file (shard_format.h, "IMD3") on top of
+  /// `base`, producing a complete new snapshot — the base is never mutated
+  /// and a delta is never half-applied: any failure returns an error and
+  /// leaves the caller serving the base unchanged.
+  ///
+  /// Refusals:
+  ///  - kFailedPrecondition when the delta's `base_version` does not match
+  ///    `base->version()` (stale or out-of-order delta);
+  ///  - kInvalidArgument when the delta's geometry cannot chain onto the
+  ///    base (dim / items_per_shard mismatch, or shrinking tables);
+  ///  - kDataLoss when the delta's manifest, user table, or every changed
+  ///    shard fails validation.
+  ///
+  /// Per-shard containment (with `options.allow_partial`): a corrupt
+  /// changed shard whose item range is fully covered by healthy base data
+  /// keeps the base's old rows and is marked **stale** — real scores, one
+  /// publish behind — while a corrupt shard that is brand-new (past the
+  /// base's catalogue) or was already quarantined in the base is
+  /// **quarantined** (rows zeroed). A shard the delta replaces with valid
+  /// data always comes out fresh, healing base quarantine/staleness.
+  static StatusOr<std::shared_ptr<EmbeddingSnapshot>> ApplyDelta(
+      const std::shared_ptr<const EmbeddingSnapshot>& base,
+      const std::string& delta_path,
+      const SnapshotLoadOptions& options = {});
+
   int64_t num_users() const { return num_users_; }
   int64_t num_items() const { return num_items_; }
   int64_t dim() const { return dim_; }
@@ -99,21 +124,50 @@ class EmbeddingSnapshot {
 
   bool shard_quarantined(int64_t s) const { return quarantined_[s] != 0; }
 
+  /// True when shard `s` kept the previous publish's rows because a delta
+  /// failed to replace them (see ApplyDelta): the data is real but one
+  /// publish behind. Stale shards still score — responses touching them
+  /// are flagged partial_degraded, not backfilled.
+  bool shard_stale(int64_t s) const { return stale_[s] != 0; }
+
   /// True when item `i`'s embedding is trustworthy (its shard validated).
-  /// Hot path: one branch when nothing is quarantined.
+  /// Hot path: one branch when nothing is quarantined. Stale shards count
+  /// as available — their rows are real, just old.
   bool item_available(int64_t i) const {
     return quarantined_count_ == 0 || quarantined_[i / items_per_shard_] == 0;
   }
 
   int64_t quarantined_count() const { return quarantined_count_; }
+  int64_t stale_count() const { return stale_count_; }
+
+  /// True when any shard overlapping item range [begin, end) is stale.
+  /// Hot path: one branch when nothing is stale.
+  bool RangeTouchesStale(int64_t begin, int64_t end) const {
+    if (stale_count_ == 0) return false;
+    const int64_t first = begin / items_per_shard_;
+    const int64_t last = (end - 1) / items_per_shard_;
+    for (int64_t s = first; s <= last && s < num_shards(); ++s) {
+      if (stale_[s] != 0) return true;
+    }
+    return false;
+  }
 
   /// Item-id ranges currently quarantined (adjacent quarantined shards are
   /// coalesced). Empty when the snapshot is fully healthy.
   std::vector<std::pair<int64_t, int64_t>> QuarantinedRanges() const;
 
+  /// Item-id ranges currently stale (adjacent stale shards coalesced).
+  std::vector<std::pair<int64_t, int64_t>> StaleRanges() const;
+
   /// Version recorded in the file's manifest by the exporter (0 for v2
-  /// files and unversioned exports).
+  /// files and unversioned exports). For a delta-applied snapshot, the
+  /// delta manifest's `version`.
   int64_t parent_version() const { return parent_version_; }
+
+  /// For a snapshot produced by ApplyDelta: the version of the base it was
+  /// chained onto (0 for snapshots loaded whole from disk). Gives logs the
+  /// full lineage: base_version -> version.
+  int64_t base_version() const { return base_version_; }
 
   /// Monotonically increasing id assigned by the service on publish
   /// (0 = never published).
@@ -128,9 +182,12 @@ class EmbeddingSnapshot {
   int64_t dim_ = 0;
   int64_t version_ = 0;
   int64_t parent_version_ = 0;
+  int64_t base_version_ = 0;
   int64_t items_per_shard_ = 0;
   int64_t quarantined_count_ = 0;
+  int64_t stale_count_ = 0;
   std::vector<uint8_t> quarantined_;  ///< Per-shard flags (1 = quarantined).
+  std::vector<uint8_t> stale_;        ///< Per-shard flags (1 = stale rows).
   std::vector<float> users_;
   std::vector<float> items_;
 };

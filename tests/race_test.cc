@@ -21,8 +21,10 @@
 #include "data/dataset.h"
 #include "obs/metrics.h"
 #include "serve/rec_service.h"
+#include "serve/shard_format.h"
 #include "tensor/checkpoint.h"
 #include "tensor/tensor.h"
+#include "train/online_updater.h"
 #include "util/fault_injector.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -405,6 +407,96 @@ TEST_F(RaceTest, PoolTeardownWithInFlightTasksResolvesEveryAdmittedTask) {
     pool.reset();  // Destructor after Shutdown: idempotent.
     EXPECT_EQ(resolved.load(), admitted.load()) << "generation " << gen;
   }
+}
+
+// Tentpole (online fold-in): an OnlineUpdater cycling
+// ingest -> apply -> PublishDelta -> LoadDelta on its own thread while
+// client threads hammer Recommend. Each LoadDelta atomically swaps the
+// live snapshot under the scorers. Invariants: every response definite,
+// never degraded (every delta in the chain is valid), every publish
+// accepted, and the full request-accounting identity holds after join.
+TEST_F(RaceTest, UpdaterPublishingDeltasWhileServingStaysConsistent) {
+  const std::string base_path = TempPath("race_delta_base.snap");
+  {
+    Tensor users = MakeTable(kNumUsers, kDim, 0.125f);
+    Tensor items = MakeTable(kNumItems, kDim, -0.125f);
+    ShardedSnapshotOptions snapshot_options;
+    snapshot_options.items_per_shard = 16;
+    snapshot_options.version = 1;
+    ASSERT_TRUE(
+        WriteShardedSnapshot(base_path, users, items, snapshot_options).ok());
+  }
+
+  MetricsRegistry metrics;
+  RecServiceOptions options = RaceOptions();
+  options.metrics = &metrics;
+  RecService service(RaceFallback(), options);
+  ASSERT_TRUE(service.LoadSnapshot(base_path).ok());
+
+  OnlineUpdaterOptions updater_options;
+  auto seeded = OnlineUpdater::FromSnapshot(base_path, {}, updater_options);
+  ASSERT_TRUE(seeded.ok()) << seeded.status().ToString();
+  std::unique_ptr<OnlineUpdater> updater = std::move(seeded.value());
+
+  constexpr int kRounds = 8;
+  constexpr int kEdgesPerRound = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> indefinite{0};
+  std::atomic<int64_t> degraded{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&service, &stop, &indefinite, &degraded, t] {
+      int64_t user = t;
+      while (!stop.load()) {
+        RecRequest request;
+        request.user = user++ % kNumUsers;
+        RecResponse response = service.Recommend(std::move(request));
+        if (!IsDefinite(response)) ++indefinite;
+        if (response.degraded) ++degraded;
+      }
+    });
+  }
+
+  // The updater runs on the main thread: Recommend races LoadDelta's
+  // snapshot swap, which is the schedule TSan needs to see.
+  int64_t next_edge = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    EdgeList batch;
+    for (int e = 0; e < kEdgesPerRound; ++e, ++next_edge) {
+      batch.push_back({next_edge % kNumUsers,
+                       (next_edge / kNumUsers) % kNumItems});
+    }
+    ASSERT_TRUE(updater->AddInteractions(batch).ok());
+    ASSERT_TRUE(updater->ApplyPending().ok());
+    const std::string delta_path =
+        TempPath(("race_delta_" + std::to_string(round) + ".delta").c_str());
+    ASSERT_TRUE(updater->PublishDelta(delta_path).ok());
+    Status load = service.LoadDelta(delta_path);
+    ASSERT_TRUE(load.ok()) << "round " << round << ": " << load.ToString();
+    std::remove(delta_path.c_str());
+  }
+  stop = true;
+  for (std::thread& c : clients) c.join();
+
+  EXPECT_EQ(indefinite.load(), 0);
+  EXPECT_EQ(degraded.load(), 0);
+  EXPECT_EQ(service.snapshot()->version(), 1 + kRounds);
+
+  service.Shutdown();
+  MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("serve_delta_publishes_total"), kRounds);
+  EXPECT_EQ(snapshot.CounterValue("serve_delta_rejected_total"), 0);
+  const int64_t accounted =
+      snapshot.CounterValue("serve_requests_ok_total") +
+      snapshot.CounterValue("serve_requests_degraded_total") +
+      snapshot.CounterValue("serve_requests_partial_degraded_total") +
+      snapshot.CounterValue("serve_requests_shed_total") +
+      snapshot.CounterValue("serve_requests_deadline_exceeded_total") +
+      snapshot.CounterValue("serve_requests_invalid_total") +
+      snapshot.CounterValue("serve_requests_error_total") +
+      snapshot.CounterValue("serve_requests_cancelled_total");
+  EXPECT_EQ(snapshot.CounterValue("serve_requests_total"), accounted);
+  std::remove(base_path.c_str());
 }
 
 // ParallelFor under submission pressure from other threads: helper

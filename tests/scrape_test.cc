@@ -1,0 +1,136 @@
+// MetricsScrapeServer: a raw AF_UNIX client exercises the full pull path —
+// 200 with Prometheus text for GET /metrics, 404 for unknown paths, 405
+// for non-GET — plus the lifecycle edges: double Start refused, too-long
+// socket path refused, Stop unlinks the socket file, restart on the same
+// path works.
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/scrape.h"
+#include "util/status.h"
+
+namespace imcat {
+namespace {
+
+std::string SocketPath(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// Connects, sends `request`, reads the whole response until EOF. Retries
+/// the connect briefly: Start() returns as soon as the socket is bound, but
+/// a parallel test machine can still delay the accept loop's first poll.
+std::string Scrape(const std::string& socket_path,
+                   const std::string& request) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  int connected = -1;
+  for (int attempt = 0; attempt < 50 && connected != 0; ++attempt) {
+    connected =
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (connected != 0) ::usleep(10 * 1000);
+  }
+  EXPECT_EQ(connected, 0) << socket_path << ": " << std::strerror(errno);
+  EXPECT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buffer, sizeof(buffer))) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ScrapeTest, GetMetricsServesPrometheusText) {
+  MetricsRegistry registry;
+  registry.GetCounter("scrape_test_requests_total")->Add(7);
+  registry.GetGauge("scrape_test_depth")->Set(3.5);
+  MetricsScrapeServer server(&registry);
+  const std::string path = SocketPath("scrape_ok.sock");
+  ASSERT_TRUE(server.Start(path).ok());
+  EXPECT_TRUE(server.running());
+
+  const std::string response =
+      Scrape(path, "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("scrape_test_requests_total 7"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("scrape_test_depth"), std::string::npos);
+
+  // Each scrape snapshots the registry at request time, not bind time.
+  registry.GetCounter("scrape_test_requests_total")->Add(3);
+  const std::string second = Scrape(path, "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(second.find("scrape_test_requests_total 10"), std::string::npos)
+      << second;
+  server.Stop();
+}
+
+TEST(ScrapeTest, UnknownPathAndNonGetAreRefused) {
+  MetricsRegistry registry;
+  MetricsScrapeServer server(&registry);
+  const std::string path = SocketPath("scrape_refuse.sock");
+  ASSERT_TRUE(server.Start(path).ok());
+  EXPECT_NE(Scrape(path, "GET /health HTTP/1.0\r\n\r\n")
+                .find("HTTP/1.0 404 Not Found"),
+            std::string::npos);
+  EXPECT_NE(Scrape(path, "POST /metrics HTTP/1.0\r\n\r\n")
+                .find("HTTP/1.0 405 Method Not Allowed"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(ScrapeTest, DoubleStartIsRefusedAndTooLongPathIsIoError) {
+  MetricsRegistry registry;
+  MetricsScrapeServer server(&registry);
+  const std::string path = SocketPath("scrape_double.sock");
+  ASSERT_TRUE(server.Start(path).ok());
+  const Status again = server.Start(SocketPath("scrape_other.sock"));
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+  server.Stop();
+
+  // sun_path is ~108 bytes; a longer path must fail cleanly, not truncate.
+  const Status too_long = server.Start(std::string(200, 'x'));
+  EXPECT_EQ(too_long.code(), StatusCode::kIoError);
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ScrapeTest, StopUnlinksSocketAndServerRestartsOnSamePath) {
+  MetricsRegistry registry;
+  registry.GetCounter("scrape_restart_total")->Increment();
+  MetricsScrapeServer server(&registry);
+  const std::string path = SocketPath("scrape_restart.sock");
+  ASSERT_TRUE(server.Start(path).ok());
+  EXPECT_TRUE(PathExists(path));
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_FALSE(PathExists(path));
+
+  // Same object restarts on the same path; a fresh scrape succeeds.
+  ASSERT_TRUE(server.Start(path).ok());
+  EXPECT_NE(Scrape(path, "GET /metrics HTTP/1.0\r\n\r\n")
+                .find("scrape_restart_total 1"),
+            std::string::npos);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace imcat
