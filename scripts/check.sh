@@ -17,8 +17,9 @@
 #   scripts/check.sh --sanitize # asan/ubsan leg only
 #   scripts/check.sh --tsan     # tsan leg only (full suite + race/chaos)
 #   scripts/check.sh --chaos    # fault-injection + serving chaos suites
+#   scripts/check.sh --overload # overload/brownout suite (plain + TSan)
 #   scripts/check.sh --fuzz     # ingestion corruption-fuzz sweep (sanitized)
-#   scripts/check.sh --docs     # docs link check: no dangling repo paths
+#   scripts/check.sh --docs     # docs link check + BENCH_serving.json schema
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,6 +29,7 @@ run_plain=1
 run_sanitized=1
 run_tsan=1
 run_chaos=0
+run_overload=0
 run_fuzz=0
 run_docs=0
 case "${1:-}" in
@@ -35,10 +37,11 @@ case "${1:-}" in
   --sanitize) run_plain=0; run_tsan=0 ;;
   --tsan)     run_plain=0; run_sanitized=0 ;;
   --chaos)    run_plain=0; run_sanitized=0; run_tsan=0; run_chaos=1 ;;
+  --overload) run_plain=0; run_sanitized=0; run_tsan=0; run_overload=1 ;;
   --fuzz)     run_plain=0; run_sanitized=0; run_tsan=0; run_fuzz=1 ;;
   --docs)     run_plain=0; run_sanitized=0; run_tsan=0; run_docs=1 ;;
   "") run_docs=1 ;;
-  *) echo "usage: $0 [--plain|--sanitize|--tsan|--chaos|--fuzz|--docs]" >&2
+  *) echo "usage: $0 [--plain|--sanitize|--tsan|--chaos|--overload|--fuzz|--docs]" >&2
      exit 2 ;;
 esac
 
@@ -83,8 +86,22 @@ check_docs() {
   echo "docs check passed."
 }
 
+check_bench_serving() {
+  # The serving-bench artifact (bench/load_gen output) is committed; its
+  # schema, per-point accounting identity and no-metastable-collapse
+  # criteria must keep holding for the numbers the docs cite.
+  echo "=== BENCH_serving.json schema + acceptance check ==="
+  if [[ -f BENCH_serving.json ]]; then
+    python3 scripts/validate_bench_serving.py BENCH_serving.json
+  else
+    echo "BENCH_serving.json missing: run build/bench/load_gen" >&2
+    exit 1
+  fi
+}
+
 if [[ "$run_docs" == 1 ]]; then
   check_docs
+  check_bench_serving
 fi
 
 if [[ "$run_plain" == 1 ]]; then
@@ -137,6 +154,23 @@ if [[ "$run_chaos" == 1 ]]; then
   cmake --build build -j "$jobs"
   (cd build && ctest -L 'chaos|shard_fault|delta_fault' --output-on-failure \
       --repeat until-pass:1 --timeout 120)
+fi
+
+if [[ "$run_overload" == 1 ]]; then
+  # The overload/brownout suite proves the admission-control invariants
+  # (CoDel declare/clear, ladder determinism across thread counts, the
+  # 10-outcome accounting identity under overload chaos) twice: once on
+  # the plain build for exact behaviour, once under TSan because every
+  # invariant is enforced across racing client/worker/publisher threads.
+  echo "=== overload suite, plain build (ctest -L overload) ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs"
+  (cd build && ctest -L overload --output-on-failure --timeout 240)
+  echo "=== overload suite under TSan (ctest -L overload) ==="
+  cmake -B build-tsan -S . -DIMCAT_SANITIZE="thread" >/dev/null
+  cmake --build build-tsan -j "$jobs"
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
+      ctest -L overload --output-on-failure --timeout 240)
 fi
 
 if [[ "$run_fuzz" == 1 ]]; then

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Validates BENCH_serving.json (emitted by bench/load_gen).
+
+Checks, in order:
+  1. schema tag and structural shape (config, capacity, 2 modes x 5
+     sweep points, full 10-outcome taxonomy per point);
+  2. the exact accounting identity per sweep point:
+     sent == requests_total == sum(outcomes) — the same invariant the
+     overload chaos suite asserts on live counters, re-checked offline
+     on the published artifact;
+  3. the no-metastable-collapse acceptance criteria on the controller
+     sweep: goodput at the highest offered load stays within 80% of the
+     peak goodput, and accepted-request p99 stays within each priority
+     class's deadline (x1.2 grace: client-observed latency includes
+     harvester scheduling noise on a loaded single-core runner);
+  4. the contrast: the baseline (controller disabled) must actually
+     collapse — its goodput fraction at the highest load below half the
+     controller's.
+
+Usage: validate_bench_serving.py [path]      (default BENCH_serving.json)
+Exit 0 when valid, 1 with a message per violation otherwise.
+"""
+import json
+import sys
+
+SCHEMA = "imcat-bench-serving/1"
+OUTCOME_KEYS = [
+    "ok", "degraded", "partial_degraded", "shed", "shed_queue_delay",
+    "shed_predicted_late", "deadline_exceeded", "invalid", "error",
+    "cancelled",
+]
+RUN_KEYS = [
+    "mode", "qps_multiplier", "offered_qps", "sent", "requests_total",
+    "outcomes", "goodput_qps", "goodput_fraction", "shed_rate",
+    "accepted_p50_ms", "accepted_p95_ms", "accepted_p99_ms",
+    "accepted_interactive_p99_ms", "accepted_batch_p99_ms",
+    "max_brownout_level", "brownout_transitions", "reloads",
+]
+P99_GRACE = 1.2
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_serving.json"
+    errors = []
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"validate_bench_serving: cannot read {path}: {e}",
+              file=sys.stderr)
+        return 1
+
+    def check(cond, message):
+        if not cond:
+            errors.append(message)
+
+    check(doc.get("schema") == SCHEMA,
+          f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    config = doc.get("config", {})
+    for key in ("interactive_deadline_ms", "batch_deadline_ms",
+                "queue_capacity", "run_seconds"):
+        check(key in config, f"config.{key} missing")
+    check(doc.get("capacity_qps", 0) > 0, "capacity_qps must be > 0")
+
+    sweep = doc.get("sweep", [])
+    by_mode = {"controller": [], "baseline": []}
+    for i, run in enumerate(sweep):
+        where = f"sweep[{i}]"
+        for key in RUN_KEYS:
+            check(key in run, f"{where}.{key} missing")
+        outcomes = run.get("outcomes", {})
+        check(sorted(outcomes.keys()) == sorted(OUTCOME_KEYS),
+              f"{where}.outcomes keys {sorted(outcomes.keys())} != "
+              f"{sorted(OUTCOME_KEYS)}")
+        # The exact identity, offline: every submitted request landed in
+        # exactly one outcome bucket.
+        total = run.get("requests_total", -1)
+        check(run.get("sent") == total,
+              f"{where}: sent {run.get('sent')} != requests_total {total}")
+        check(sum(outcomes.values()) == total,
+              f"{where}: outcome sum {sum(outcomes.values())} != "
+              f"requests_total {total}")
+        if run.get("mode") in by_mode:
+            by_mode[run["mode"]].append(run)
+        else:
+            errors.append(f"{where}: unknown mode {run.get('mode')!r}")
+
+    for mode, runs in by_mode.items():
+        check(len(runs) >= 4, f"mode {mode}: want >= 4 sweep points, "
+                              f"got {len(runs)}")
+
+    if not errors and by_mode["controller"] and by_mode["baseline"]:
+        controller = sorted(by_mode["controller"],
+                            key=lambda r: r["qps_multiplier"])
+        baseline = sorted(by_mode["baseline"],
+                          key=lambda r: r["qps_multiplier"])
+        top = controller[-1]
+        check(top["qps_multiplier"] >= 2.0,
+              f"controller sweep tops out at x{top['qps_multiplier']}, "
+              "want >= x2 capacity")
+
+        # No metastable collapse: pushing offered load to 2x capacity must
+        # not destroy the goodput the service had at its best point.
+        peak = max(r["goodput_qps"] for r in controller)
+        check(top["goodput_qps"] >= 0.8 * peak,
+              f"controller goodput at x{top['qps_multiplier']} is "
+              f"{top['goodput_qps']:.0f} qps, below 80% of peak "
+              f"{peak:.0f} qps: metastable collapse")
+
+        # Accepted traffic stays within its deadline class even at 2x.
+        idl = config.get("interactive_deadline_ms", 0)
+        bdl = config.get("batch_deadline_ms", 0)
+        check(top["accepted_interactive_p99_ms"] <= P99_GRACE * idl,
+              f"controller interactive p99 {top['accepted_interactive_p99_ms']}"
+              f" ms exceeds {P99_GRACE}x deadline {idl} ms at "
+              f"x{top['qps_multiplier']}")
+        check(top["accepted_batch_p99_ms"] <= P99_GRACE * bdl,
+              f"controller batch p99 {top['accepted_batch_p99_ms']} ms "
+              f"exceeds {P99_GRACE}x deadline {bdl} ms at "
+              f"x{top['qps_multiplier']}")
+
+        # And the baseline really does collapse without the controller —
+        # otherwise the sweep proves nothing.
+        base_top = baseline[-1]
+        check(base_top["goodput_fraction"] <
+                  0.5 * max(top["goodput_fraction"], 1e-9),
+              f"baseline goodput fraction {base_top['goodput_fraction']:.2f} "
+              f"at x{base_top['qps_multiplier']} is not < half the "
+              f"controller's {top['goodput_fraction']:.2f}: no contrast")
+
+    if errors:
+        for message in errors:
+            print(f"validate_bench_serving: {message}", file=sys.stderr)
+        print(f"validate_bench_serving: FAILED ({len(errors)} violations)",
+              file=sys.stderr)
+        return 1
+    print(f"validate_bench_serving: {path} ok "
+          f"({len(sweep)} sweep points, capacity "
+          f"{doc['capacity_qps']:.0f} qps)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

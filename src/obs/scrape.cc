@@ -46,6 +46,11 @@ std::string HttpResponse(int code, const char* reason,
 MetricsScrapeServer::MetricsScrapeServer(const MetricsRegistry* registry)
     : registry_(registry) {}
 
+void MetricsScrapeServer::set_health_provider(
+    std::function<std::string()> provider) {
+  health_provider_ = std::move(provider);
+}
+
 MetricsScrapeServer::~MetricsScrapeServer() { Stop(); }
 
 Status MetricsScrapeServer::Start(const std::string& socket_path) {
@@ -135,6 +140,11 @@ void MetricsScrapeServer::HandleConnection(int client_fd) {
     response = HttpResponse(
         200, "OK", "text/plain; version=0.0.4",
         DumpPrometheusText(registry_->Snapshot()));
+  } else if (health_provider_ != nullptr &&
+             (request_line.rfind("GET /healthz ", 0) == 0 ||
+              request_line == "GET /healthz")) {
+    response =
+        HttpResponse(200, "OK", "application/json", health_provider_());
   } else {
     response =
         HttpResponse(404, "Not Found", "text/plain", "try /metrics\n");

@@ -2,6 +2,7 @@
 #define IMCAT_OBS_SCRAPE_H_
 
 #include <atomic>
+#include <functional>
 #include <string>
 #include <thread>
 
@@ -23,7 +24,8 @@
 namespace imcat {
 
 /// Serves `GET /metrics` (Prometheus text over HTTP/1.0) for one
-/// MetricsRegistry on a Unix domain socket. Every request snapshots the
+/// MetricsRegistry on a Unix domain socket, plus an optional
+/// `GET /healthz` JSON health report. Every request snapshots the
 /// registry at that moment. Unknown paths get 404, other methods 405.
 class MetricsScrapeServer {
  public:
@@ -33,6 +35,14 @@ class MetricsScrapeServer {
 
   MetricsScrapeServer(const MetricsScrapeServer&) = delete;
   MetricsScrapeServer& operator=(const MetricsScrapeServer&) = delete;
+
+  /// Enables `GET /healthz`: the provider is called per request (on the
+  /// accept thread) and must return a JSON document — typically
+  /// RecService::HealthJson, which reports breaker, brownout-ladder and
+  /// snapshot-staleness state. Without a provider, /healthz is 404 like
+  /// any other unknown path. Set before Start(); the provider must stay
+  /// callable until Stop().
+  void set_health_provider(std::function<std::string()> provider);
 
   /// Binds `socket_path` (an existing stale socket file is replaced) and
   /// starts the accept loop. Fails with kIoError when the path cannot be
@@ -52,6 +62,7 @@ class MetricsScrapeServer {
   void HandleConnection(int client_fd);
 
   const MetricsRegistry* registry_;
+  std::function<std::string()> health_provider_;
   std::string socket_path_;
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};

@@ -1,0 +1,157 @@
+#include "serve/overload.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace imcat {
+
+OverloadController::OverloadController(const OverloadOptions& options)
+    : options_(options) {
+  if (options_.target_ms <= 0.0) options_.target_ms = 5.0;
+  if (options_.interval_ms <= 0.0) options_.interval_ms = 100.0;
+  if (options_.ewma_alpha <= 0.0 || options_.ewma_alpha > 1.0) {
+    options_.ewma_alpha = 0.3;
+  }
+  if (options_.ladder_up_ms <= 0.0) options_.ladder_up_ms = 400.0;
+  if (options_.ladder_down_ms <= 0.0) options_.ladder_down_ms = 800.0;
+  if (options_.max_level < 0) options_.max_level = 0;
+  if (options_.scoring_fraction <= 0.0 || options_.scoring_fraction > 1.0) {
+    options_.scoring_fraction = 0.5;
+  }
+  now_ms_ = options_.now_ms ? options_.now_ms : [] { return MetricsNowMs(); };
+}
+
+void OverloadController::set_on_brownout(
+    std::function<void(int64_t, int64_t)> listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  on_brownout_ = std::move(listener);
+}
+
+std::pair<int64_t, int64_t> OverloadController::UpdateLocked(double now) {
+  // Drain detection: overload was declared from dequeue evidence, so a full
+  // interval with no dequeues at all means the queue emptied — clear it.
+  if (overloaded_ && last_sample_ms_ >= 0.0 &&
+      now - last_sample_ms_ >= options_.interval_ms) {
+    overloaded_ = false;
+    first_above_ms_ = -1.0;
+  }
+
+  // Track the edges of the pressure signal so ladder steps are measured
+  // from the start of the current episode, not from stale history.
+  if (overloaded_) {
+    if (pressure_since_ms_ < 0.0) pressure_since_ms_ = now;
+    calm_since_ms_ = -1.0;
+  } else {
+    if (calm_since_ms_ < 0.0) calm_since_ms_ = now;
+    pressure_since_ms_ = -1.0;
+  }
+
+  const int64_t from = level_;
+  if (overloaded_ && level_ < options_.max_level) {
+    // Step up after ladder_up_ms of continuous pressure, and again after
+    // each further ladder_up_ms (last_level_change gates the cadence).
+    const double since =
+        std::max(pressure_since_ms_, last_level_change_ms_);
+    if (now - since >= options_.ladder_up_ms) {
+      ++level_;
+      last_level_change_ms_ = now;
+    }
+  } else if (!overloaded_ && level_ > 0) {
+    const double since = std::max(calm_since_ms_, last_level_change_ms_);
+    if (now - since >= options_.ladder_down_ms) {
+      --level_;
+      last_level_change_ms_ = now;
+    }
+  }
+  return {from, level_};
+}
+
+OverloadController::Decision OverloadController::Admit(
+    RequestPriority priority, double deadline_budget_ms) {
+  Decision decision = Decision::kAdmit;
+  std::pair<int64_t, int64_t> transition;
+  std::function<void(int64_t, int64_t)> listener;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const double now = now_ms_();
+    transition = UpdateLocked(now);
+    if (transition.first != transition.second) listener = on_brownout_;
+    if (options_.predict_late && deadline_budget_ms > 0.0 && have_sample_) {
+      const double estimate = std::max(ewma_ms_, last_sojourn_ms_);
+      if (deadline_budget_ms < estimate) {
+        decision = Decision::kShedPredictedLate;
+      }
+    }
+    if (decision == Decision::kAdmit && overloaded_ &&
+        priority == RequestPriority::kBatch) {
+      decision = Decision::kShedQueueDelay;
+    }
+  }
+  if (listener) listener(transition.first, transition.second);
+  return decision;
+}
+
+void OverloadController::OnDequeue(double sojourn_ms) {
+  if (sojourn_ms < 0.0) sojourn_ms = 0.0;
+  std::pair<int64_t, int64_t> transition;
+  std::function<void(int64_t, int64_t)> listener;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const double now = now_ms_();
+    if (!have_sample_) {
+      ewma_ms_ = sojourn_ms;
+      have_sample_ = true;
+    } else {
+      ewma_ms_ += options_.ewma_alpha * (sojourn_ms - ewma_ms_);
+    }
+    last_sojourn_ms_ = sojourn_ms;
+    last_sample_ms_ = now;
+
+    // CoDel control law: one sojourn below target clears overload
+    // immediately; sojourn continuously above target for a full interval
+    // declares it.
+    if (sojourn_ms < options_.target_ms) {
+      first_above_ms_ = -1.0;
+      overloaded_ = false;
+    } else if (first_above_ms_ < 0.0) {
+      first_above_ms_ = now + options_.interval_ms;
+    } else if (now >= first_above_ms_) {
+      overloaded_ = true;
+    }
+    transition = UpdateLocked(now);
+    if (transition.first != transition.second) listener = on_brownout_;
+  }
+  if (listener) listener(transition.first, transition.second);
+}
+
+bool OverloadController::overloaded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overloaded_;
+}
+
+int64_t OverloadController::brownout_level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return level_;
+}
+
+double OverloadController::smoothed_wait_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!have_sample_) return 0.0;
+  return std::max(ewma_ms_, last_sojourn_ms_);
+}
+
+const char* DecisionName(OverloadController::Decision decision) {
+  switch (decision) {
+    case OverloadController::Decision::kAdmit:
+      return "admit";
+    case OverloadController::Decision::kShedQueueDelay:
+      return "shed-queue-delay";
+    case OverloadController::Decision::kShedPredictedLate:
+      return "shed-predicted-late";
+  }
+  return "unknown";
+}
+
+}  // namespace imcat

@@ -1,0 +1,174 @@
+#ifndef IMCAT_SERVE_OVERLOAD_H_
+#define IMCAT_SERVE_OVERLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "serve/types.h"
+
+/// \file overload.h
+/// Adaptive overload control for the serving front end: a CoDel-style
+/// admission controller driven by *measured queue delay*, plus a stepwise
+/// brownout ladder that trades answer quality for capacity under sustained
+/// pressure.
+///
+/// Why not just a bounded queue? A fixed-capacity queue defends the server
+/// but not the requests: under a sustained QPS ramp it either queues until
+/// every request blows its deadline inside the queue (goodput collapses to
+/// zero while the server runs at 100% — the metastable-failure shape) or
+/// sheds blindly at queue-full with no notion of priority or deadline
+/// budget. This controller sheds *early* and *selectively*:
+///
+///  - **CoDel control law on sojourn time.** Workers report each request's
+///    measured queue wait (sojourn) via `OnDequeue`. When the sojourn has
+///    stayed above `target_ms` continuously for `interval_ms`, the
+///    controller declares overload; one sojourn below target (or
+///    `interval_ms` with no dequeues at all — the queue drained) clears it.
+///    While overloaded, *batch-priority* arrivals are shed immediately
+///    (`Decision::kShedQueueDelay`) so interactive traffic keeps the queue.
+///  - **Deadline-aware (predicted-late) rejection.** An arrival whose
+///    remaining deadline budget is below the current smoothed queue-wait
+///    estimate (EWMA of measured sojourns, floored by the latest sample so
+///    ramps are seen immediately) cannot possibly answer in time; it is
+///    refused at admission (`Decision::kShedPredictedLate`) instead of
+///    being scored and then expired — the wasted-work path that turns
+///    overload into collapse.
+///  - **Brownout ladder.** Sustained overload (continuous CoDel pressure
+///    for `ladder_up_ms`) steps a degradation level up, one step per
+///    further `ladder_up_ms` of pressure, up to `max_level`; a
+///    pressure-free `ladder_down_ms` steps it back down one level at a
+///    time (hysteresis: up is harder than down is slow, so the ladder
+///    never flaps with the control signal). The service maps levels to
+///    cheaper answers (shrunken scoring budgets, popularity fallback for
+///    batch traffic); the controller only decides *when*. Transitions are
+///    edge-triggered and reported through `set_on_brownout` exactly once
+///    each, so the service can journal them like breaker transitions.
+///
+/// Determinism: every decision is a pure function of the option values,
+/// the injected clock readings and the exact sequence of Admit/OnDequeue
+/// calls — on a fake clock with a scripted call sequence, transitions are
+/// bit-identical run to run (asserted across worker counts by the
+/// `overload` test suite).
+///
+/// Thread-safe; one mutex, held only for a handful of arithmetic ops —
+/// negligible next to scoring.
+
+namespace imcat {
+
+/// Controller configuration. The defaults suit a ~50 ms request deadline;
+/// see docs/OPERATIONS.md §6 for how to tune target/interval against a
+/// saturation sweep.
+struct OverloadOptions {
+  /// Master switch. Disabled (the default, the pre-controller behaviour)
+  /// the service sheds only at queue-full; the load-generator's baseline
+  /// mode measures exactly this contrast.
+  bool enabled = false;
+  /// CoDel sojourn target: queue delay the controller tries to keep the
+  /// standing queue under.
+  double target_ms = 5.0;
+  /// CoDel interval: how long sojourn must stay above target before the
+  /// controller declares overload (and how long "no dequeues" must last
+  /// before overload is cleared as drained).
+  double interval_ms = 100.0;
+  /// Smoothing factor of the queue-wait EWMA in (0, 1]; higher tracks
+  /// faster.
+  double ewma_alpha = 0.3;
+  /// When true, arrivals whose remaining deadline budget is below the
+  /// smoothed queue-wait estimate are refused at admission.
+  bool predict_late = true;
+  /// Continuous overload pressure before the brownout ladder steps up one
+  /// level (and between successive step-ups).
+  double ladder_up_ms = 400.0;
+  /// Continuous pressure-free time before the ladder steps down one level
+  /// (and between successive step-downs). Larger than ladder_up_ms by
+  /// default: recovery is deliberately slower than degradation.
+  double ladder_down_ms = 800.0;
+  /// Deepest brownout level. Level semantics are the service's; the
+  /// controller just walks [0, max_level].
+  int64_t max_level = 2;
+  /// Catalogue fraction scored per brownout level: at level L the service
+  /// scores `pow(fraction, L)` of the requested item range (applied by
+  /// RecService, carried here so the whole policy is one knob bundle).
+  double scoring_fraction = 0.5;
+  /// Monotonic millisecond clock; empty uses steady_clock. Tests inject a
+  /// fake clock.
+  std::function<double()> now_ms;
+};
+
+/// The admission controller + brownout ladder. One instance per service.
+class OverloadController {
+ public:
+  /// Admission verdicts, in shedding order: batch queue-delay sheds fire
+  /// only while overloaded; predicted-late sheds fire whenever the
+  /// deadline math says the request cannot make it.
+  enum class Decision {
+    kAdmit = 0,
+    kShedQueueDelay = 1,
+    kShedPredictedLate = 2,
+  };
+
+  explicit OverloadController(const OverloadOptions& options);
+
+  /// Admission decision for one arrival. `deadline_budget_ms` is the
+  /// request's total deadline budget (<= 0 means no deadline — such a
+  /// request can never be predicted late).
+  Decision Admit(RequestPriority priority, double deadline_budget_ms);
+
+  /// Reports one request's measured queue sojourn, on dequeue. Feeds the
+  /// CoDel control law and the smoothed estimate.
+  void OnDequeue(double sojourn_ms);
+
+  /// True while the CoDel law currently declares overload.
+  bool overloaded() const;
+  /// Current brownout level in [0, options.max_level].
+  int64_t brownout_level() const;
+  /// Smoothed queue-wait estimate (EWMA floored by the latest sample);
+  /// 0 before the first measurement.
+  double smoothed_wait_ms() const;
+
+  /// Registers an observer invoked on every ladder transition with
+  /// (from_level, to_level), outside the controller lock but on the
+  /// transitioning thread — same contract as
+  /// CircuitBreaker::set_on_transition. Set before concurrent traffic.
+  void set_on_brownout(std::function<void(int64_t, int64_t)> listener);
+
+  const OverloadOptions& options() const { return options_; }
+
+ private:
+  /// Re-evaluates overload freshness and the ladder at `now`; returns the
+  /// (from, to) pair to report, or (level, level) when nothing changed.
+  /// Caller must hold `lock` and fire the listener after unlocking.
+  std::pair<int64_t, int64_t> UpdateLocked(double now);
+
+  OverloadOptions options_;
+  std::function<double()> now_ms_;
+  std::function<void(int64_t, int64_t)> on_brownout_;
+
+  mutable std::mutex mu_;
+  /// CoDel state: when the sojourn first rose above target (-1 while
+  /// below), whether overload is currently declared, and the clock of the
+  /// newest sojourn sample (for drain detection).
+  double first_above_ms_ = -1.0;
+  bool overloaded_ = false;
+  double last_sample_ms_ = -1.0;
+  /// Queue-wait estimate: EWMA + the latest raw sample.
+  double ewma_ms_ = 0.0;
+  double last_sojourn_ms_ = 0.0;
+  bool have_sample_ = false;
+  /// Ladder state: current level, when the current pressure episode
+  /// started (-1 while calm), when calm started (-1 while pressured), and
+  /// the clock of the last level change (rate-limits successive steps).
+  int64_t level_ = 0;
+  double pressure_since_ms_ = -1.0;
+  double calm_since_ms_ = -1.0;
+  double last_level_change_ms_ = -1.0;
+};
+
+/// Human-readable decision name ("admit" / "shed-queue-delay" /
+/// "shed-predicted-late"), for logs and journals.
+const char* DecisionName(OverloadController::Decision decision);
+
+}  // namespace imcat
+
+#endif  // IMCAT_SERVE_OVERLOAD_H_

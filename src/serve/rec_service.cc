@@ -1,6 +1,8 @@
 #include "serve/rec_service.h"
 
+#include <algorithm>
 #include <chrono>
+#include <sstream>
 #include <thread>
 #include <utility>
 
@@ -44,6 +46,11 @@ RecService::RecService(std::shared_ptr<const PopularityRanker> fallback,
       pool_(ServicePoolOptions(options)) {
   IMCAT_CHECK(fallback_ != nullptr);
   IMCAT_CHECK(options_.default_top_k >= 1);
+  if (options_.overload.enabled) {
+    OverloadOptions oopts = options_.overload;
+    if (!oopts.now_ms) oopts.now_ms = now_ms_;
+    overload_ = std::make_unique<OverloadController>(oopts);
+  }
   if (options.metrics != nullptr) {
     MetricsRegistry* m = options.metrics;
     requests_total_ = m->GetCounter("serve_requests_total");
@@ -52,6 +59,10 @@ RecService::RecService(std::shared_ptr<const PopularityRanker> fallback,
     requests_partial_degraded_ =
         m->GetCounter("serve_requests_partial_degraded_total");
     requests_shed_ = m->GetCounter("serve_requests_shed_total");
+    requests_shed_queue_delay_ =
+        m->GetCounter("serve_requests_shed_queue_delay_total");
+    requests_shed_predicted_late_ =
+        m->GetCounter("serve_requests_shed_predicted_late_total");
     requests_deadline_ =
         m->GetCounter("serve_requests_deadline_exceeded_total");
     requests_invalid_ = m->GetCounter("serve_requests_invalid_total");
@@ -69,6 +80,9 @@ RecService::RecService(std::shared_ptr<const PopularityRanker> fallback,
         m->GetCounter("serve_breaker_transitions_total");
     delta_publishes_total_ = m->GetCounter("serve_delta_publishes_total");
     delta_rejected_total_ = m->GetCounter("serve_delta_rejected_total");
+    brownout_transitions_total_ =
+        m->GetCounter("serve_brownout_transitions_total");
+    brownout_level_gauge_ = m->GetGauge("serve_brownout_level");
     breaker_state_gauge_ = m->GetGauge("serve_breaker_state");
     quarantined_shards_gauge_ =
         m->GetGauge("serve_snapshot_quarantined_shards");
@@ -76,6 +90,7 @@ RecService::RecService(std::shared_ptr<const PopularityRanker> fallback,
     stale_shards_gauge_ = m->GetGauge("serve_snapshot_stale_shards");
     delta_lag_ms_gauge_ = m->GetGauge("serve_snapshot_delta_lag_ms");
     request_latency_ms_ = m->GetHistogram("serve_request_latency_ms");
+    queue_wait_ms_ = m->GetHistogram("serve_queue_wait_ms");
   }
   if (options.metrics != nullptr || journal_ != nullptr) {
     // Observe breaker transitions for the gauge / counter / journal. The
@@ -94,6 +109,27 @@ RecService::RecService(std::shared_ptr<const PopularityRanker> fallback,
                                  .Set("to", CircuitBreaker::StateName(to)));
           }
         });
+  }
+  if (overload_ != nullptr) {
+    // Brownout ladder transitions are observable exactly like breaker
+    // transitions: one stats bump + counter + gauge + journal event per
+    // edge, fired outside the controller lock on the transitioning thread.
+    overload_->set_on_brownout([this](int64_t from, int64_t to) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.brownout_transitions;
+      }
+      if (brownout_transitions_total_ != nullptr) {
+        brownout_transitions_total_->Increment();
+      }
+      if (brownout_level_gauge_ != nullptr) {
+        brownout_level_gauge_->Set(static_cast<double>(to));
+      }
+      if (journal_ != nullptr) {
+        journal_->Append(
+            JournalEvent("brownout").Set("from", from).Set("to", to));
+      }
+    });
   }
 }
 
@@ -326,12 +362,63 @@ std::future<RecResponse> RecService::Submit(RecRequest request) {
   task->request = std::move(request);
   std::future<RecResponse> future = task->promise.get_future();
   if (requests_total_ != nullptr) requests_total_->Increment();
+  // Adaptive admission control: the overload controller sheds *before*
+  // enqueue — batch traffic while the CoDel law declares overload, any
+  // request whose deadline budget the smoothed queue-wait estimate already
+  // exceeds. Both resolve immediately with kUnavailable, same contract as
+  // a queue-full shed.
+  if (overload_ != nullptr) {
+    const RecRequest& req = task->request;
+    const double deadline_ms = req.deadline_ms == 0.0
+                                   ? options_.default_deadline_ms
+                                   : req.deadline_ms;
+    const OverloadController::Decision decision =
+        overload_->Admit(req.priority, deadline_ms);
+    if (decision != OverloadController::Decision::kAdmit) {
+      RecResponse shed;
+      if (decision == OverloadController::Decision::kShedQueueDelay) {
+        shed.status = Status::Unavailable(
+            "overloaded: queue delay above target; " +
+            std::string(PriorityName(req.priority)) +
+            " request shed, retry later");
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.shed_queue_delay;
+        }
+        if (requests_shed_queue_delay_ != nullptr) {
+          requests_shed_queue_delay_->Increment();
+        }
+      } else {
+        shed.status = Status::Unavailable(
+            "overloaded: deadline budget " + std::to_string(deadline_ms) +
+            " ms below queue-wait estimate " +
+            std::to_string(overload_->smoothed_wait_ms()) +
+            " ms; refused as predicted late");
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.shed_predicted_late;
+        }
+        if (requests_shed_predicted_late_ != nullptr) {
+          requests_shed_predicted_late_->Increment();
+        }
+      }
+      task->promise.set_value(std::move(shed));
+      return future;
+    }
+  }
   // Admission rides on the pool's bounded queue. The cancel callback is
   // the shutdown contract: a request still queued when Shutdown() runs is
   // resolved to kUnavailable — its future is always eventually satisfied,
   // never hung, never dropped.
+  task->enqueue_ms = now_ms_();
   Status admitted = pool_.TrySubmit(
-      [this, task] { task->promise.set_value(Handle(task->request)); },
+      [this, task] {
+        // Measured sojourn: the number the controller, the response field
+        // and the serve_queue_wait_ms histogram all agree on.
+        const double wait_ms = std::max(0.0, now_ms_() - task->enqueue_ms);
+        if (overload_ != nullptr) overload_->OnDequeue(wait_ms);
+        task->promise.set_value(Handle(task->request, wait_ms));
+      },
       [this, task] {
         if (requests_cancelled_ != nullptr) requests_cancelled_->Increment();
         RecResponse response;
@@ -389,8 +476,71 @@ RecServiceStats RecService::stats() const {
   return stats_;
 }
 
-RecResponse RecService::Handle(const RecRequest& request) {
+int64_t RecService::brownout_level() const {
+  return overload_ != nullptr ? overload_->brownout_level() : 0;
+}
+
+bool RecService::overloaded() const {
+  return overload_ != nullptr && overload_->overloaded();
+}
+
+std::string RecService::HealthJson() const {
+  const std::shared_ptr<const EmbeddingSnapshot> snap = snapshot();
+  const int64_t level = brownout_level();
+  const bool over = overloaded();
+  const double published = last_publish_ms_.load(std::memory_order_relaxed);
+  const double staleness_ms =
+      (snap != nullptr && published >= 0.0)
+          ? std::max(0.0, now_ms_() - published)
+          : 0.0;
+  const bool stale =
+      options_.max_snapshot_staleness_ms > 0.0 &&
+      staleness_ms > options_.max_snapshot_staleness_ms;
+  const CircuitBreaker::State breaker = breaker_.state();
+  // Coarse triage verdict, most severe first: "degraded" (no real scores
+  // for at least some traffic), "browned_out" (reduced quality), "ok".
+  const char* status = "ok";
+  if (snap == nullptr || breaker == CircuitBreaker::State::kOpen || stale) {
+    status = "degraded";
+  } else if (level > 0 || over) {
+    status = "browned_out";
+  }
+  std::ostringstream out;
+  out << "{\"status\":\"" << status << "\""
+      << ",\"breaker\":\"" << CircuitBreaker::StateName(breaker) << "\""
+      << ",\"brownout_level\":" << level
+      << ",\"overloaded\":" << (over ? "true" : "false")
+      << ",\"smoothed_queue_wait_ms\":"
+      << (overload_ != nullptr ? overload_->smoothed_wait_ms() : 0.0)
+      << ",\"snapshot\":{"
+      << "\"loaded\":" << (snap != nullptr ? "true" : "false")
+      << ",\"version\":" << (snap != nullptr ? snap->version() : 0)
+      << ",\"staleness_ms\":" << staleness_ms
+      << ",\"stale\":" << (stale ? "true" : "false")
+      << ",\"quarantined_shards\":"
+      << (snap != nullptr ? snap->quarantined_count() : 0)
+      << ",\"stale_shards\":" << (snap != nullptr ? snap->stale_count() : 0)
+      << "}}";
+  return out.str();
+}
+
+RecResponse RecService::Handle(const RecRequest& request,
+                               double queue_wait_ms) {
   ScopedTimer latency_timer(request_latency_ms_);
+  if (queue_wait_ms_ != nullptr) queue_wait_ms_->Record(queue_wait_ms);
+  // Ladder level is read once per request so one response reflects one
+  // consistent level.
+  const int64_t level =
+      overload_ != nullptr ? overload_->brownout_level() : 0;
+  RecResponse response = HandleScored(request, queue_wait_ms, level);
+  response.queue_wait_ms = queue_wait_ms;
+  response.brownout_level = level;
+  return response;
+}
+
+RecResponse RecService::HandleScored(const RecRequest& request,
+                                     double queue_wait_ms,
+                                     int64_t brownout_level) {
   const int64_t top_k =
       request.top_k > 0 ? request.top_k : options_.default_top_k;
   const double deadline_ms = request.deadline_ms == 0.0
@@ -435,6 +585,29 @@ RecResponse RecService::Handle(const RecRequest& request) {
     ++stats_.invalid_requests;
     RecResponse response;
     response.status = std::move(invalid);
+    return response;
+  }
+
+  // Deadline already burned in the queue: with the controller on, a
+  // request whose measured sojourn ate its whole budget is refused here —
+  // scoring it would waste a worker on an answer nobody can use, the
+  // wasted-work path that turns overload into collapse. Same
+  // `shed_predicted_late` outcome as the admission-time prediction; only
+  // the timing of the refusal differs.
+  if (overload_ != nullptr && deadline_ms > 0.0 &&
+      queue_wait_ms >= deadline_ms) {
+    if (requests_shed_predicted_late_ != nullptr) {
+      requests_shed_predicted_late_->Increment();
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.shed_predicted_late;
+    }
+    RecResponse response;
+    response.status = Status::Unavailable(
+        "overloaded: deadline budget " + std::to_string(deadline_ms) +
+        " ms expired in queue (waited " + std::to_string(queue_wait_ms) +
+        " ms); refused instead of scored");
     return response;
   }
 
@@ -490,12 +663,46 @@ RecResponse RecService::Handle(const RecRequest& request) {
                             request.item_end);
   }
 
+  // Brownout level >= 2: batch-priority traffic is served from the
+  // popularity fallback so the remaining scoring capacity goes to
+  // interactive requests. Same `degraded` outcome as the breaker path —
+  // the response's brownout_level tells the two apart.
+  if (brownout_level >= 2 && request.priority == RequestPriority::kBatch) {
+    return DegradedResponse(top_k, request.exclude, request.item_begin,
+                            request.item_end);
+  }
+
+  // Overload-aware budgets. Scoring gets the *remaining* deadline (total
+  // minus measured queue wait) so the client-observed latency honours the
+  // deadline the client set; with the controller off the legacy semantics
+  // (full budget from scoring start) are preserved bit-for-bit. Brownout
+  // level >= 1 additionally caps how much of the catalogue is scored:
+  // fraction^level of the requested range.
+  double scoring_deadline_ms = deadline_ms;
+  if (overload_ != nullptr && deadline_ms > 0.0) {
+    scoring_deadline_ms = deadline_ms - queue_wait_ms;
+  }
+  int64_t max_scored_items = 0;
+  if (overload_ != nullptr && brownout_level > 0) {
+    const int64_t range_begin = request.item_begin;
+    const int64_t range_end =
+        request.item_end > 0 ? request.item_end : snapshot->num_items();
+    double fraction = 1.0;
+    for (int64_t l = 0; l < brownout_level; ++l) {
+      fraction *= overload_->options().scoring_fraction;
+    }
+    max_scored_items = std::max<int64_t>(
+        1, static_cast<int64_t>(
+               static_cast<double>(range_end - range_begin) * fraction));
+  }
+
   RecResponse response;
   int64_t quarantined_skipped = 0;
   response.status = recommender_.TopK(*snapshot, request.user, top_k,
-                                      deadline_ms, request.exclude,
+                                      scoring_deadline_ms, request.exclude,
                                       request.item_begin, request.item_end,
-                                      &response.items, &quarantined_skipped);
+                                      &response.items, &quarantined_skipped,
+                                      max_scored_items);
   if (response.status.ok()) {
     response.snapshot_version = snapshot->version();
     response.quarantined_shards = snapshot->quarantined_count();

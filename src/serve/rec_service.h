@@ -13,6 +13,7 @@
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "serve/circuit_breaker.h"
+#include "serve/overload.h"
 #include "serve/popularity.h"
 #include "serve/recommender.h"
 #include "serve/snapshot.h"
@@ -32,6 +33,13 @@
 ///    queueing unboundedly and blowing latency for everyone (admission
 ///    control and workers ride on the shared ThreadPool substrate, so the
 ///    enqueue-vs-shutdown contract is the pool's tested contract);
+///  - adaptive overload control (opt-in, overload.h): a CoDel-style
+///    controller on measured queue sojourn sheds batch-priority traffic
+///    early instead of at queue-full, refuses requests predicted to miss
+///    their deadline in the queue (`shed_predicted_late`), and under
+///    sustained pressure walks a hysteretic brownout ladder — reduced
+///    scoring budgets, then popularity fallback for batch traffic — so
+///    goodput holds instead of collapsing metastably;
 ///  - deadline budgets: scoring checks the per-request deadline between
 ///    blocks and returns kDeadlineExceeded instead of hanging;
 ///  - snapshot loading retries with exponential backoff + jitter;
@@ -63,6 +71,16 @@ namespace imcat {
 struct RecServiceStats {
   int64_t accepted = 0;          ///< Requests admitted to the queue.
   int64_t shed = 0;              ///< Rejected kUnavailable: queue full.
+  /// Rejected kUnavailable by the overload controller: queue sojourn above
+  /// the CoDel target for a full interval, batch-priority arrival shed.
+  int64_t shed_queue_delay = 0;
+  /// Rejected kUnavailable by the overload controller: remaining deadline
+  /// budget below the smoothed queue-wait estimate (at admission), or the
+  /// deadline already expired in the queue (at dequeue) — either way the
+  /// request is refused instead of scored-then-expired.
+  int64_t shed_predicted_late = 0;
+  /// Brownout ladder level changes (each step up or down counts one).
+  int64_t brownout_transitions = 0;
   int64_t served_real = 0;       ///< Answered with real model scores.
   int64_t served_degraded = 0;   ///< Answered from the popularity fallback.
   /// Answered with real scores for healthy shards plus popularity backfill
@@ -99,6 +117,11 @@ struct RecServiceOptions {
   BackoffOptions load_backoff;
   /// Loader policy for snapshot files (partial loads, per-shard re-reads).
   SnapshotLoadOptions snapshot_load;
+  /// Adaptive overload control (overload.h). Disabled by default — the
+  /// service then sheds only at queue-full, exactly the pre-controller
+  /// behaviour. When `overload.enabled` is true and `overload.now_ms` is
+  /// empty, the controller shares the service clock below.
+  OverloadOptions overload;
   /// Bounded-staleness budget: when > 0 and the live snapshot was
   /// published more than this many milliseconds ago (repeated reload
   /// failures), requests are answered from the popularity fallback until a
@@ -114,8 +137,9 @@ struct RecServiceOptions {
   /// maintains the `serve_*` request-accounting counters (which satisfy
   /// `serve_requests_total` == sum of the per-outcome counters once every
   /// submitted future has resolved), the `serve_request_latency_ms`
-  /// histogram (Handle wall time; queue wait is `serve_pool_queue_wait_ms`
-  /// on the embedded pool), the `serve_breaker_state` gauge, and the
+  /// histogram (Handle wall time) and `serve_queue_wait_ms` (measured
+  /// per-request sojourn, the overload controller's input signal), the
+  /// `serve_breaker_state` / `serve_brownout_level` gauges, and the
   /// snapshot reload counters. Null keeps the service uninstrumented.
   MetricsRegistry* metrics = nullptr;
   /// Optional run journal: snapshot (re)loads and circuit-breaker state
@@ -191,13 +215,35 @@ class RecService {
   CircuitBreaker::State breaker_state() const { return breaker_.state(); }
   RecServiceStats stats() const;
 
+  /// Current brownout ladder level (0 when the controller is disabled).
+  int64_t brownout_level() const;
+  /// True while the overload controller declares CoDel overload.
+  bool overloaded() const;
+
+  /// One-line JSON health report: breaker state, brownout ladder level,
+  /// overload flag, smoothed queue-wait estimate, and snapshot health
+  /// (version, staleness, quarantined/stale shards). Wire it into
+  /// MetricsScrapeServer::set_health_provider to serve `GET /healthz`.
+  std::string HealthJson() const;
+
  private:
   struct Task {
     RecRequest request;
     std::promise<RecResponse> promise;
+    /// now_ms_ reading when the request entered the work queue; the worker
+    /// measures the sojourn against it (satellite of the overload layer:
+    /// controller and client see the same number).
+    double enqueue_ms = 0.0;
   };
 
-  RecResponse Handle(const RecRequest& request);
+  /// Full request handling; `queue_wait_ms` is the measured sojourn the
+  /// worker computed from Task::enqueue_ms (threaded into the response and
+  /// the deadline math).
+  RecResponse Handle(const RecRequest& request, double queue_wait_ms);
+  /// Handle minus the latency timer / response-field stamping:
+  /// `brownout_level` is the ladder level read once at dequeue.
+  RecResponse HandleScored(const RecRequest& request, double queue_wait_ms,
+                           int64_t brownout_level);
   /// Full-fallback response; when `item_end` > 0 the popularity ranking is
   /// restricted to [item_begin, item_end).
   RecResponse DegradedResponse(int64_t top_k,
@@ -208,6 +254,8 @@ class RecService {
   std::shared_ptr<const PopularityRanker> fallback_;
   Recommender recommender_;
   CircuitBreaker breaker_;
+  /// Overload controller; null when options.overload.enabled is false.
+  std::unique_ptr<OverloadController> overload_;
   std::function<double()> now_ms_;
   std::function<void(double)> sleep_ms_;
 
@@ -238,6 +286,7 @@ class RecService {
   /// Request-accounting metric handles (all null when options.metrics is
   /// null). The exact-accounting identity, asserted by the chaos suite:
   ///   requests_total == ok + degraded + partial_degraded + shed
+  ///                     + shed_queue_delay + shed_predicted_late
   ///                     + deadline_exceeded + invalid + error + cancelled
   /// once every submitted future has resolved.
   Counter* requests_total_ = nullptr;
@@ -245,6 +294,8 @@ class RecService {
   Counter* requests_degraded_ = nullptr;
   Counter* requests_partial_degraded_ = nullptr;
   Counter* requests_shed_ = nullptr;
+  Counter* requests_shed_queue_delay_ = nullptr;
+  Counter* requests_shed_predicted_late_ = nullptr;
   Counter* requests_deadline_ = nullptr;
   Counter* requests_invalid_ = nullptr;
   Counter* requests_error_ = nullptr;
@@ -257,12 +308,18 @@ class RecService {
   Counter* breaker_transitions_total_ = nullptr;
   Counter* delta_publishes_total_ = nullptr;
   Counter* delta_rejected_total_ = nullptr;
+  Counter* brownout_transitions_total_ = nullptr;
+  Gauge* brownout_level_gauge_ = nullptr;
   Gauge* breaker_state_gauge_ = nullptr;
   Gauge* quarantined_shards_gauge_ = nullptr;
   Gauge* staleness_ms_gauge_ = nullptr;
   Gauge* stale_shards_gauge_ = nullptr;
   Gauge* delta_lag_ms_gauge_ = nullptr;
   Histogram* request_latency_ms_ = nullptr;
+  /// Measured per-request queue sojourn (the controller's input signal),
+  /// recorded for every dequeued request whether or not the controller is
+  /// enabled.
+  Histogram* queue_wait_ms_ = nullptr;
   RunJournal* journal_ = nullptr;
 
   /// Records a delta refusal (stats + counter + "delta_rejected" journal).

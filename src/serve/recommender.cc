@@ -35,7 +35,8 @@ Status Recommender::TopK(const EmbeddingSnapshot& snapshot, int64_t user,
                          const std::vector<int64_t>& exclude,
                          int64_t item_begin, int64_t item_end,
                          std::vector<ScoredItem>* out,
-                         int64_t* quarantined_skipped) const {
+                         int64_t* quarantined_skipped,
+                         int64_t max_items) const {
   out->clear();
   if (quarantined_skipped != nullptr) *quarantined_skipped = 0;
   IMCAT_RETURN_IF_ERROR(snapshot.ValidateUser(user));
@@ -50,6 +51,11 @@ Status Recommender::TopK(const EmbeddingSnapshot& snapshot, int64_t user,
         "item range [" + std::to_string(item_begin) + ", " +
         std::to_string(item_end) + ") invalid for catalogue of " +
         std::to_string(snapshot.num_items()) + " items");
+  }
+  if (max_items > 0) {
+    // Brownout scoring budget: truncate the scan to a prefix of the range
+    // (validation above still ran against the caller's full range).
+    item_end = std::min(item_end, item_begin + max_items);
   }
   const double start_ms = now_ms_();
   const std::unordered_set<int64_t> excluded(exclude.begin(), exclude.end());

@@ -55,11 +55,16 @@ class Recommender {
   /// null); when it is non-zero the caller should backfill from the
   /// popularity ranking and mark the response partially degraded. A
   /// malformed range is kInvalidArgument.
+  ///
+  /// `max_items` caps how many in-range items are scored (a brownout
+  /// scoring budget): a positive value truncates the scan to the first
+  /// `max_items` ids of the range, trading ranking coverage for a
+  /// proportionally cheaper pass. 0 (the default) scores the whole range.
   Status TopK(const EmbeddingSnapshot& snapshot, int64_t user, int64_t k,
               double deadline_ms, const std::vector<int64_t>& exclude,
               int64_t item_begin, int64_t item_end,
-              std::vector<ScoredItem>* out,
-              int64_t* quarantined_skipped) const;
+              std::vector<ScoredItem>* out, int64_t* quarantined_skipped,
+              int64_t max_items = 0) const;
 
  private:
   int64_t block_items_;

@@ -18,6 +18,19 @@ struct ScoredItem {
   float score = 0.0f;
 };
 
+/// Request priority class, used by the overload controller's shedding
+/// order: under CoDel-declared overload, batch traffic is shed first so
+/// interactive traffic keeps the queue.
+enum class RequestPriority {
+  kInteractive = 0,
+  kBatch = 1,
+};
+
+/// Human-readable priority name ("interactive" / "batch").
+inline const char* PriorityName(RequestPriority priority) {
+  return priority == RequestPriority::kBatch ? "batch" : "interactive";
+}
+
 /// A recommendation request. Zero-valued fields fall back to the service
 /// defaults, so `RecRequest{.user = 7}` is a complete request.
 struct RecRequest {
@@ -36,6 +49,8 @@ struct RecRequest {
   /// catalogue size, or end <= begin) is kInvalidArgument.
   int64_t item_begin = 0;
   int64_t item_end = 0;
+  /// Priority class for overload shedding; interactive by default.
+  RequestPriority priority = RequestPriority::kInteractive;
 };
 
 /// A recommendation response. `status` is always definite: OK (possibly
@@ -59,6 +74,15 @@ struct RecResponse {
   /// Version of the snapshot that scored this response (0 for degraded
   /// fallback responses, which use no snapshot).
   int64_t snapshot_version = 0;
+  /// Measured time this request spent in the work queue (enqueue to
+  /// dequeue), in milliseconds — the same sojourn the overload controller
+  /// sees. 0 for requests refused before enqueue (shed / invalid).
+  double queue_wait_ms = 0.0;
+  /// Brownout ladder level in effect when this response was produced
+  /// (0 = full quality). Level >= 1 shrinks the scoring budget; level >= 2
+  /// additionally serves batch-priority traffic from the popularity
+  /// fallback.
+  int64_t brownout_level = 0;
 };
 
 }  // namespace imcat

@@ -119,13 +119,15 @@ double GaugeValue(const MetricsSnapshot& snapshot, const std::string& name) {
   return 0.0;
 }
 
-/// Asserts the extended 8-outcome accounting identity with equality.
+/// Asserts the extended 10-outcome accounting identity with equality.
 void ExpectAccountingIdentity(const MetricsSnapshot& ms) {
   EXPECT_EQ(ms.CounterValue("serve_requests_total"),
             ms.CounterValue("serve_requests_ok_total") +
                 ms.CounterValue("serve_requests_degraded_total") +
                 ms.CounterValue("serve_requests_partial_degraded_total") +
                 ms.CounterValue("serve_requests_shed_total") +
+                ms.CounterValue("serve_requests_shed_queue_delay_total") +
+                ms.CounterValue("serve_requests_shed_predicted_late_total") +
                 ms.CounterValue("serve_requests_deadline_exceeded_total") +
                 ms.CounterValue("serve_requests_invalid_total") +
                 ms.CounterValue("serve_requests_error_total") +

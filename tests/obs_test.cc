@@ -526,6 +526,8 @@ TEST(ServiceMetricsTest, RequestAccountingIdentityHoldsAfterResolution) {
       snapshot.CounterValue("serve_requests_ok_total") +
       snapshot.CounterValue("serve_requests_degraded_total") +
       snapshot.CounterValue("serve_requests_shed_total") +
+      snapshot.CounterValue("serve_requests_shed_queue_delay_total") +
+      snapshot.CounterValue("serve_requests_shed_predicted_late_total") +
       snapshot.CounterValue("serve_requests_deadline_exceeded_total") +
       snapshot.CounterValue("serve_requests_invalid_total") +
       snapshot.CounterValue("serve_requests_error_total") +

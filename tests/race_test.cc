@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,6 +21,7 @@
 
 #include "data/dataset.h"
 #include "obs/metrics.h"
+#include "serve/circuit_breaker.h"
 #include "serve/rec_service.h"
 #include "serve/shard_format.h"
 #include "tensor/checkpoint.h"
@@ -266,6 +268,8 @@ TEST_F(RaceTest, MetricsChurnStaysConsistentUnderConcurrentSnapshots) {
       snapshot.CounterValue("serve_requests_ok_total") +
       snapshot.CounterValue("serve_requests_degraded_total") +
       snapshot.CounterValue("serve_requests_shed_total") +
+      snapshot.CounterValue("serve_requests_shed_queue_delay_total") +
+      snapshot.CounterValue("serve_requests_shed_predicted_late_total") +
       snapshot.CounterValue("serve_requests_deadline_exceeded_total") +
       snapshot.CounterValue("serve_requests_invalid_total") +
       snapshot.CounterValue("serve_requests_error_total") +
@@ -491,12 +495,132 @@ TEST_F(RaceTest, UpdaterPublishingDeltasWhileServingStaysConsistent) {
       snapshot.CounterValue("serve_requests_degraded_total") +
       snapshot.CounterValue("serve_requests_partial_degraded_total") +
       snapshot.CounterValue("serve_requests_shed_total") +
+      snapshot.CounterValue("serve_requests_shed_queue_delay_total") +
+      snapshot.CounterValue("serve_requests_shed_predicted_late_total") +
       snapshot.CounterValue("serve_requests_deadline_exceeded_total") +
       snapshot.CounterValue("serve_requests_invalid_total") +
       snapshot.CounterValue("serve_requests_error_total") +
       snapshot.CounterValue("serve_requests_cancelled_total");
   EXPECT_EQ(snapshot.CounterValue("serve_requests_total"), accounted);
   std::remove(base_path.c_str());
+}
+
+/// Trips a breaker on a fake clock and records every transition under a
+/// mutex (the breaker fires its listener on whichever thread caused the
+/// change). Shared by the two half-open probe race tests below.
+struct TrippedBreaker {
+  std::shared_ptr<std::atomic<double>> clock =
+      std::make_shared<std::atomic<double>>(0.0);
+  std::unique_ptr<CircuitBreaker> breaker;
+  std::mutex mu;
+  std::vector<std::pair<CircuitBreaker::State, CircuitBreaker::State>>
+      transitions;
+
+  TrippedBreaker() {
+    CircuitBreaker::Options options;
+    options.failure_threshold = 3;
+    options.cooldown_ms = 50.0;
+    auto clock_copy = clock;
+    breaker = std::make_unique<CircuitBreaker>(
+        options, [clock_copy] { return clock_copy->load(); });
+    breaker->set_on_transition(
+        [this](CircuitBreaker::State from, CircuitBreaker::State to) {
+          std::lock_guard<std::mutex> lock(mu);
+          transitions.emplace_back(from, to);
+        });
+    for (int i = 0; i < 3; ++i) breaker->RecordFailure();
+    EXPECT_EQ(breaker->state(), CircuitBreaker::State::kOpen);
+    clock->store(60.0);  // Past the cooldown: next AllowRequest probes.
+  }
+};
+
+// Half-open probe race: after the cooldown, many threads race
+// AllowRequest. Exactly one must win the probe slot — and the open →
+// half-open edge must be a single transition event no matter how many
+// threads pile onto the cooldown boundary at once.
+TEST_F(RaceTest, HalfOpenAdmitsExactlyOneProbeUnderContention) {
+  TrippedBreaker fixture;
+  constexpr int kThreads = 8;
+  std::atomic<int> admitted{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fixture, &admitted, &go] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 100; ++i) {
+        if (fixture.breaker->AllowRequest()) ++admitted;
+      }
+    });
+  }
+  go = true;
+  for (std::thread& t : threads) t.join();
+
+  // One probe admitted, everyone else rejected until it reports back.
+  EXPECT_EQ(admitted.load(), 1);
+  EXPECT_EQ(fixture.breaker->state(), CircuitBreaker::State::kHalfOpen);
+  ASSERT_EQ(fixture.transitions.size(), 2u);
+  EXPECT_EQ(fixture.transitions[0],
+            std::make_pair(CircuitBreaker::State::kClosed,
+                           CircuitBreaker::State::kOpen));
+  EXPECT_EQ(fixture.transitions[1],
+            std::make_pair(CircuitBreaker::State::kOpen,
+                           CircuitBreaker::State::kHalfOpen));
+
+  // The probe succeeds — reported by many racing threads at once (e.g. a
+  // snapshot reload broadcasting recovery). The half-open → closed edge
+  // must still be exactly one transition event.
+  constexpr int kReporters = 8;
+  std::atomic<bool> report{false};
+  std::vector<std::thread> reporters;
+  for (int t = 0; t < kReporters; ++t) {
+    reporters.emplace_back([&fixture, &report] {
+      while (!report.load()) std::this_thread::yield();
+      fixture.breaker->RecordSuccess();
+    });
+  }
+  report = true;
+  for (std::thread& t : reporters) t.join();
+
+  EXPECT_EQ(fixture.breaker->state(), CircuitBreaker::State::kClosed);
+  ASSERT_EQ(fixture.transitions.size(), 3u);
+  EXPECT_EQ(fixture.transitions[2],
+            std::make_pair(CircuitBreaker::State::kHalfOpen,
+                           CircuitBreaker::State::kClosed));
+}
+
+// The unlucky variant: the admitted probe fails while other threads are
+// failing too. The half-open → open re-trip must be one transition event,
+// and the breaker must end open (no ghost half-open flapping).
+TEST_F(RaceTest, HalfOpenProbeFailureReopensWithSingleTransition) {
+  TrippedBreaker fixture;
+  ASSERT_TRUE(fixture.breaker->AllowRequest());  // The probe slot.
+  ASSERT_EQ(fixture.breaker->state(), CircuitBreaker::State::kHalfOpen);
+
+  constexpr int kThreads = 8;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fixture, &go] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 50; ++i) fixture.breaker->RecordFailure();
+    });
+  }
+  go = true;
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(fixture.breaker->state(), CircuitBreaker::State::kOpen);
+  ASSERT_EQ(fixture.transitions.size(), 3u);
+  EXPECT_EQ(fixture.transitions[2],
+            std::make_pair(CircuitBreaker::State::kHalfOpen,
+                           CircuitBreaker::State::kOpen));
+
+  // And the cycle still works afterwards: cooldown again, one probe,
+  // success closes — no state corruption from the racing failures.
+  fixture.clock->store(200.0);
+  EXPECT_TRUE(fixture.breaker->AllowRequest());
+  fixture.breaker->RecordSuccess();
+  EXPECT_EQ(fixture.breaker->state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(fixture.transitions.size(), 5u);
 }
 
 // ParallelFor under submission pressure from other threads: helper

@@ -14,8 +14,10 @@
 
 #include <gtest/gtest.h>
 
+#include "data/dataset.h"
 #include "obs/metrics.h"
 #include "obs/scrape.h"
+#include "serve/rec_service.h"
 #include "util/status.h"
 
 namespace imcat {
@@ -96,6 +98,68 @@ TEST(ScrapeTest, UnknownPathAndNonGetAreRefused) {
                 .find("HTTP/1.0 405 Method Not Allowed"),
             std::string::npos);
   server.Stop();
+}
+
+TEST(ScrapeTest, HealthzIs404WithoutProviderAndJsonWithOne) {
+  MetricsRegistry registry;
+
+  // Without a provider /healthz is just another unknown path.
+  {
+    MetricsScrapeServer server(&registry);
+    const std::string path = SocketPath("scrape_healthz_off.sock");
+    ASSERT_TRUE(server.Start(path).ok());
+    EXPECT_NE(Scrape(path, "GET /healthz HTTP/1.0\r\n\r\n")
+                  .find("HTTP/1.0 404 Not Found"),
+              std::string::npos);
+    server.Stop();
+  }
+
+  // With one, /healthz serves the provider's JSON per request.
+  MetricsScrapeServer server(&registry);
+  std::string status = "ok";
+  server.set_health_provider(
+      [&status] { return "{\"status\":\"" + status + "\"}"; });
+  const std::string path = SocketPath("scrape_healthz_on.sock");
+  ASSERT_TRUE(server.Start(path).ok());
+  const std::string response = Scrape(path, "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  EXPECT_NE(response.find("{\"status\":\"ok\"}"), std::string::npos);
+
+  // Called per request: state changes are visible on the next scrape.
+  status = "browned_out";
+  EXPECT_NE(Scrape(path, "GET /healthz HTTP/1.0\r\n\r\n")
+                .find("{\"status\":\"browned_out\"}"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(ScrapeTest, HealthzServesRecServiceHealthReport) {
+  // The intended wiring: provider = RecService::HealthJson. A service with
+  // no snapshot loaded reports itself degraded, with breaker and
+  // brownout-ladder state inline.
+  MetricsRegistry registry;
+  EdgeList train{{0, 1}, {0, 2}, {1, 2}};
+  auto fallback = std::make_shared<PopularityRanker>(4, train);
+  RecServiceOptions options;
+  options.num_workers = 1;
+  options.metrics = &registry;
+  RecService service(fallback, options);
+
+  MetricsScrapeServer server(&registry);
+  server.set_health_provider([&service] { return service.HealthJson(); });
+  const std::string path = SocketPath("scrape_healthz_svc.sock");
+  ASSERT_TRUE(server.Start(path).ok());
+  const std::string response = Scrape(path, "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"status\":\"degraded\""), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"breaker\":"), std::string::npos);
+  EXPECT_NE(response.find("\"brownout_level\":0"), std::string::npos);
+  EXPECT_NE(response.find("\"overloaded\":false"), std::string::npos);
+  EXPECT_NE(response.find("\"loaded\":false"), std::string::npos);
+  server.Stop();
+  service.Shutdown();
 }
 
 TEST(ScrapeTest, DoubleStartIsRefusedAndTooLongPathIsIoError) {

@@ -326,7 +326,12 @@ TEST_F(ServeChaosTest, MetricsAccountingIdentityHoldsExactlyUnderChaos) {
       snapshot.CounterValue("serve_requests_degraded_total");
   const int64_t partial =
       snapshot.CounterValue("serve_requests_partial_degraded_total");
-  EXPECT_EQ(total, ok + shed + deadline + degraded + partial);
+  const int64_t shed_queue_delay =
+      snapshot.CounterValue("serve_requests_shed_queue_delay_total");
+  const int64_t shed_predicted_late =
+      snapshot.CounterValue("serve_requests_shed_predicted_late_total");
+  EXPECT_EQ(total, ok + shed + shed_queue_delay + shed_predicted_late +
+                       deadline + degraded + partial);
   EXPECT_EQ(total, 10 + 13 + 2 + 5);
   EXPECT_GE(ok, 10);
   EXPECT_EQ(shed, shed_seen);
@@ -334,8 +339,11 @@ TEST_F(ServeChaosTest, MetricsAccountingIdentityHoldsExactlyUnderChaos) {
   EXPECT_EQ(degraded, 5);
   // The outcomes not driven here stayed exactly zero (the monolithic v2
   // snapshot has no shards to quarantine, so partial-degraded cannot
-  // occur).
+  // occur, and the overload controller is disabled so neither adaptive
+  // shed outcome can fire).
   EXPECT_EQ(partial, 0);
+  EXPECT_EQ(shed_queue_delay, 0);
+  EXPECT_EQ(shed_predicted_late, 0);
   EXPECT_EQ(snapshot.CounterValue("serve_requests_invalid_total"), 0);
   EXPECT_EQ(snapshot.CounterValue("serve_requests_error_total"), 0);
   EXPECT_EQ(snapshot.CounterValue("serve_requests_cancelled_total"), 0);

@@ -471,6 +471,8 @@ TEST_F(ShardFaultTest, ServicePartialDegradedServingAndSelfHeal) {
                 ms.CounterValue("serve_requests_degraded_total") +
                 ms.CounterValue("serve_requests_partial_degraded_total") +
                 ms.CounterValue("serve_requests_shed_total") +
+                ms.CounterValue("serve_requests_shed_queue_delay_total") +
+                ms.CounterValue("serve_requests_shed_predicted_late_total") +
                 ms.CounterValue("serve_requests_deadline_exceeded_total") +
                 ms.CounterValue("serve_requests_invalid_total") +
                 ms.CounterValue("serve_requests_error_total") +
@@ -655,6 +657,8 @@ TEST_F(ShardFaultTest, ChaosConcurrentClientsAgainstQuarantinedShard) {
                 ms.CounterValue("serve_requests_degraded_total") +
                 ms.CounterValue("serve_requests_partial_degraded_total") +
                 ms.CounterValue("serve_requests_shed_total") +
+                ms.CounterValue("serve_requests_shed_queue_delay_total") +
+                ms.CounterValue("serve_requests_shed_predicted_late_total") +
                 ms.CounterValue("serve_requests_deadline_exceeded_total") +
                 ms.CounterValue("serve_requests_invalid_total") +
                 ms.CounterValue("serve_requests_error_total") +
