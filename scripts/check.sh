@@ -18,6 +18,7 @@
 #   scripts/check.sh --tsan     # tsan leg only (full suite + race/chaos)
 #   scripts/check.sh --chaos    # fault-injection + serving chaos suites
 #   scripts/check.sh --overload # overload/brownout suite (plain + TSan)
+#   scripts/check.sh --store    # snapshot-store durability suite (plain + ASan)
 #   scripts/check.sh --fuzz     # ingestion corruption-fuzz sweep (sanitized)
 #   scripts/check.sh --docs     # docs link check + BENCH_serving.json schema
 set -euo pipefail
@@ -30,6 +31,7 @@ run_sanitized=1
 run_tsan=1
 run_chaos=0
 run_overload=0
+run_store=0
 run_fuzz=0
 run_docs=0
 case "${1:-}" in
@@ -38,10 +40,11 @@ case "${1:-}" in
   --tsan)     run_plain=0; run_sanitized=0 ;;
   --chaos)    run_plain=0; run_sanitized=0; run_tsan=0; run_chaos=1 ;;
   --overload) run_plain=0; run_sanitized=0; run_tsan=0; run_overload=1 ;;
+  --store)    run_plain=0; run_sanitized=0; run_tsan=0; run_store=1 ;;
   --fuzz)     run_plain=0; run_sanitized=0; run_tsan=0; run_fuzz=1 ;;
   --docs)     run_plain=0; run_sanitized=0; run_tsan=0; run_docs=1 ;;
   "") run_docs=1 ;;
-  *) echo "usage: $0 [--plain|--sanitize|--tsan|--chaos|--overload|--fuzz|--docs]" >&2
+  *) echo "usage: $0 [--plain|--sanitize|--tsan|--chaos|--overload|--fuzz|--docs|--store]" >&2
      exit 2 ;;
 esac
 
@@ -128,6 +131,12 @@ if [[ "$run_sanitized" == 1 ]]; then
   # delta files and mid-chain rejections walk the delta reader's boundary
   # checks, which is ASan/UBSan's home turf.
   (cd build-asan && ctest -L delta_fault --output-on-failure --timeout 300)
+  echo "=== sanitized snapshot-store durability sweep (ctest -L store_fault) ==="
+  # The snapshot-store suite includes the kill-at-every-step crash-point
+  # sweep over publish -> manifest -> GC: every interleaving replays the
+  # recovery scan over partially-deleted directories, exactly the
+  # filename/manifest parsing paths ASan/UBSan should watch.
+  (cd build-asan && ctest -L store_fault --output-on-failure --timeout 300)
 fi
 
 if [[ "$run_tsan" == 1 ]]; then
@@ -149,11 +158,11 @@ if [[ "$run_chaos" == 1 ]]; then
   # Chaos suites drive the FaultInjector under concurrency; run them
   # label-selected with a hard per-test timeout so a hang (a lost wakeup,
   # a stuck future) fails loudly instead of wedging CI.
-  echo "=== chaos suites (ctest -L 'chaos|shard_fault|delta_fault') ==="
+  echo "=== chaos suites (ctest -L 'chaos|shard_fault|delta_fault|store_fault') ==="
   cmake -B build -S . >/dev/null
   cmake --build build -j "$jobs"
-  (cd build && ctest -L 'chaos|shard_fault|delta_fault' --output-on-failure \
-      --repeat until-pass:1 --timeout 120)
+  (cd build && ctest -L 'chaos|shard_fault|delta_fault|store_fault' \
+      --output-on-failure --repeat until-pass:1 --timeout 120)
 fi
 
 if [[ "$run_overload" == 1 ]]; then
@@ -171,6 +180,22 @@ if [[ "$run_overload" == 1 ]]; then
   cmake --build build-tsan -j "$jobs"
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
       ctest -L overload --output-on-failure --timeout 240)
+fi
+
+if [[ "$run_store" == 1 ]]; then
+  # The snapshot-store durability suite (startup recovery, chain-aware
+  # retention GC, the kill-at-every-step publish sweep, ENOSPC/fsync
+  # faults) runs twice: plain for exact recovery accounting, then under
+  # ASan/UBSan because recovery parses attacker-adjacent inputs — torn
+  # manifests, truncated artifacts, mis-labeled filenames.
+  echo "=== snapshot-store suite, plain build (ctest -L store_fault) ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs"
+  (cd build && ctest -L store_fault --output-on-failure --timeout 240)
+  echo "=== snapshot-store suite under ASan/UBSan (ctest -L store_fault) ==="
+  cmake -B build-asan -S . -DIMCAT_SANITIZE="address;undefined" >/dev/null
+  cmake --build build-asan -j "$jobs"
+  (cd build-asan && ctest -L store_fault --output-on-failure --timeout 300)
 fi
 
 if [[ "$run_fuzz" == 1 ]]; then

@@ -17,11 +17,14 @@ namespace {
 constexpr int kPollMs = 100;
 
 /// Writes the whole buffer, retrying on EINTR/partial writes. Best-effort:
-/// a scraper that hung up mid-response is its own problem.
+/// a scraper that hung up mid-response is its own problem — MSG_NOSIGNAL
+/// turns the resulting SIGPIPE (which would kill the whole process) into a
+/// plain EPIPE that ends this response only.
 void WriteAll(int fd, const char* data, size_t size) {
   size_t written = 0;
   while (written < size) {
-    const ssize_t n = ::write(fd, data + written, size - written);
+    const ssize_t n =
+        ::send(fd, data + written, size - written, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       return;

@@ -6,6 +6,7 @@
 
 #include "serve/shard_format.h"
 #include "serve/snapshot.h"
+#include "serve/snapshot_store.h"
 #include "tensor/checkpoint.h"
 #include "tensor/tensor.h"
 #include "util/check.h"
@@ -411,6 +412,19 @@ Status OnlineUpdater::PublishFull(const std::string& path) {
   users_dirty_ = false;
   if (publishes_total_ != nullptr) publishes_total_->Increment();
   return Status::OK();
+}
+
+Status OnlineUpdater::PublishDelta(SnapshotStore* store) {
+  const int64_t base = published_version_;
+  const int64_t version = published_version_ + 1;
+  IMCAT_RETURN_IF_ERROR(PublishDelta(store->DeltaPath(base, version)));
+  return store->CommitDelta(base, version);
+}
+
+Status OnlineUpdater::PublishFull(SnapshotStore* store) {
+  const int64_t version = published_version_ + 1;
+  IMCAT_RETURN_IF_ERROR(PublishFull(store->FullPath(version)));
+  return store->CommitFull(version);
 }
 
 Status OnlineUpdater::Checkpoint(const std::string& path) const {

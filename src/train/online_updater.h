@@ -51,6 +51,8 @@
 
 namespace imcat {
 
+class SnapshotStore;
+
 /// Updater configuration.
 struct OnlineUpdaterOptions {
   /// Ridge regulariser λ of the fold-in solve (> 0 keeps the system SPD).
@@ -134,6 +136,16 @@ class OnlineUpdater {
   /// delta chain (e.g. after repeated delta_rejected). Also clears the
   /// dirty set and advances the chain.
   Status PublishFull(const std::string& path);
+
+  /// Store-routed publishes (snapshot_store.h): the artifact is written
+  /// to the store's versioned path for the chain
+  /// published_version() -> published_version() + 1 and then registered
+  /// in the store manifest. A crash between the two steps leaves a valid
+  /// unregistered file the store's startup recovery readmits; a failed
+  /// artifact write leaves the updater state unchanged (the next publish
+  /// retries the same chain step) and no half-written file behind.
+  Status PublishDelta(SnapshotStore* store);
+  Status PublishFull(SnapshotStore* store);
 
   /// Saves the complete updater state (factor tables, adjacency, pending
   /// edges, dirty shards, version chain) atomically in checkpoint v2

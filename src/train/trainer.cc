@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "serve/shard_format.h"
+#include "serve/snapshot_store.h"
 #include "tensor/checkpoint.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -463,6 +464,26 @@ Status ExportServingCheckpoint(TrainableModel* model, const std::string& path,
 Status ExportServingCheckpoint(TrainableModel* model,
                                const std::string& path) {
   return ExportServingCheckpoint(model, path, ServingExportOptions{});
+}
+
+Status ExportServingCheckpoint(TrainableModel* model, SnapshotStore* store,
+                               const ServingExportOptions& options) {
+  std::vector<Tensor> params = model->Parameters();
+  if (params.size() != 2 || params[0].rows() <= 0 || params[1].rows() <= 0 ||
+      params[0].cols() <= 0 || params[0].cols() != params[1].cols()) {
+    return Status::InvalidArgument(
+        "store-routed serving export requires the two-tensor factor "
+        "layout (user table, item table); export this model with the "
+        "path-based ExportServingCheckpoint instead");
+  }
+  const int64_t version =
+      options.version > 0 ? options.version : store->NextVersion();
+  ShardedSnapshotOptions sharded;
+  sharded.items_per_shard = options.items_per_shard;
+  sharded.version = version;
+  IMCAT_RETURN_IF_ERROR(WriteShardedSnapshot(store->FullPath(version),
+                                             params[0], params[1], sharded));
+  return store->CommitFull(version);
 }
 
 }  // namespace imcat

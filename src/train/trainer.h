@@ -183,6 +183,18 @@ Status ExportServingCheckpoint(TrainableModel* model, const std::string& path,
 /// Export with default options (4096-item shards, unversioned).
 Status ExportServingCheckpoint(TrainableModel* model, const std::string& path);
 
+class SnapshotStore;
+
+/// Store-routed export (serve/snapshot_store.h): the snapshot is written
+/// to the store's versioned path — `options.version` when assigned (> 0),
+/// else the store's NextVersion() — and registered in the store manifest,
+/// so the file participates in startup recovery and retention GC. Only
+/// the two-tensor factor layout can be store-managed (the store validates
+/// artifacts by their sharded manifests); other layouts get
+/// kInvalidArgument and must use the path-based export above.
+Status ExportServingCheckpoint(TrainableModel* model, SnapshotStore* store,
+                               const ServingExportOptions& options = {});
+
 /// Orchestrates epochs, periodic validation, early stopping, divergence
 /// rollback and restoring the best parameters.
 class Trainer {

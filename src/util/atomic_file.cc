@@ -1,12 +1,54 @@
 #include "util/atomic_file.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <cstring>
 #include <vector>
 
 #include "util/fault_injector.h"
 
 namespace imcat {
+
+namespace {
+
+/// "errno detail" suffix for IoError messages: " (errno 28: No space left
+/// on device)". Captured eagerly — callers must pass the errno observed at
+/// the failing call, before any cleanup syscall overwrites it.
+std::string ErrnoDetail(int err) {
+  return " (errno " + std::to_string(err) + ": " + std::strerror(err) + ")";
+}
+
+/// Fsyncs the directory containing `path`, making the rename that put the
+/// file there durable: without it, a power cut after rename can roll the
+/// directory entry back to the old file even though the data blocks were
+/// fsynced. Paths with no '/' live in the CWD, so "." is the parent.
+Status FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open directory " + dir +
+                           " for fsync after renaming " + path +
+                           ErrnoDetail(errno));
+  }
+  FaultInjector& injector = FaultInjector::Instance();
+  const bool injected =
+      injector.enabled() && injector.ConsumeFsyncFailure();
+  const int rc = injected ? -1 : ::fsync(fd);
+  const int err = injected ? EIO : errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("directory fsync failed for " + dir +
+                           " after renaming " + path + ErrnoDetail(err));
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 AtomicFileWriter::~AtomicFileWriter() {
   if (file_ != nullptr) {
@@ -17,7 +59,9 @@ AtomicFileWriter::~AtomicFileWriter() {
 
 Status AtomicFileWriter::Open() {
   file_ = std::fopen(tmp_path_.c_str(), "wb");
-  if (file_ == nullptr) return Status::IoError("cannot write " + tmp_path_);
+  if (file_ == nullptr) {
+    return Status::IoError("cannot write " + tmp_path_ + ErrnoDetail(errno));
+  }
   return Status::OK();
 }
 
@@ -28,6 +72,10 @@ Status AtomicFileWriter::Write(const void* data, size_t size) {
   std::vector<unsigned char> scratch;
   FaultInjector& injector = FaultInjector::Instance();
   if (injector.enabled()) {
+    if (injector.ConsumeEnospc()) {
+      return Status::ResourceExhausted("injected ENOSPC writing " +
+                                       tmp_path_ + ": disk full");
+    }
     scratch.assign(bytes, bytes + size);
     to_write = injector.FilterWrite(offset_, scratch.data(), size,
                                     &injected_failure);
@@ -45,21 +93,41 @@ Status AtomicFileWriter::Write(const void* data, size_t size) {
 }
 
 Status AtomicFileWriter::Commit() {
-  if (std::fflush(file_) != 0 || fsync(fileno(file_)) != 0) {
-    return Status::IoError("flush failed for " + tmp_path_);
+  FaultInjector& injector = FaultInjector::Instance();
+  if (injector.enabled() && injector.ConsumeEnospc()) {
+    return Status::ResourceExhausted("injected ENOSPC committing " +
+                                     tmp_path_ + ": disk full");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("flush failed for " + tmp_path_ +
+                           ErrnoDetail(errno));
+  }
+  const bool injected_fsync =
+      injector.enabled() && injector.ConsumeFsyncFailure();
+  if (injected_fsync || fsync(fileno(file_)) != 0) {
+    const int err = injected_fsync ? EIO : errno;
+    return Status::IoError("fsync failed for " + tmp_path_ +
+                           ErrnoDetail(err));
   }
   std::FILE* file = file_;
   file_ = nullptr;
   if (std::fclose(file) != 0) {
+    const int err = errno;
     std::remove(tmp_path_.c_str());
-    return Status::IoError("close failed for " + tmp_path_);
+    return Status::IoError("close failed for " + tmp_path_ +
+                           ErrnoDetail(err));
   }
   if (std::rename(tmp_path_.c_str(), final_path_.c_str()) != 0) {
+    const int err = errno;
     std::remove(tmp_path_.c_str());
     return Status::IoError("cannot rename " + tmp_path_ + " to " +
-                           final_path_);
+                           final_path_ + ErrnoDetail(err));
   }
-  return Status::OK();
+  // The rename itself must survive a power cut: fsync the directory that
+  // now holds the entry. The file is already in place when this fails, but
+  // the publish is only durable — and only reported OK — once the
+  // directory entry is too.
+  return FsyncParentDir(final_path_);
 }
 
 }  // namespace imcat

@@ -44,7 +44,10 @@ class AtomicFileWriter {
     return Write(text.data(), text.size());
   }
 
-  /// Flushes, fsyncs, closes and renames the temp file into place.
+  /// Flushes, fsyncs, closes, renames the temp file into place and fsyncs
+  /// the parent directory so the rename itself is durable. IoError
+  /// messages carry errno detail; an injected ENOSPC fault surfaces as
+  /// kResourceExhausted.
   Status Commit();
 
  private:

@@ -20,6 +20,9 @@ void FaultInjector::Reset() {
   short_read_armed_ = false;
   slow_op_count_ = 0;
   load_failure_count_ = 0;
+  enospc_count_ = 0;
+  fsync_failure_count_ = 0;
+  crash_point_armed_ = false;
   RecomputeEnabledLocked();
 }
 
@@ -27,7 +30,9 @@ void FaultInjector::RecomputeEnabledLocked() {
   enabled_.store(write_failure_armed_ || short_write_armed_ ||
                      bit_flip_armed_ || nan_loss_armed_ ||
                      read_flip_count_ > 0 || short_read_armed_ ||
-                     slow_op_count_ > 0 || load_failure_count_ > 0,
+                     slow_op_count_ > 0 || load_failure_count_ > 0 ||
+                     enospc_count_ > 0 || fsync_failure_count_ > 0 ||
+                     crash_point_armed_,
                  std::memory_order_relaxed);
 }
 
@@ -163,6 +168,53 @@ double FaultInjector::ConsumeSlowOp() {
   ++faults_fired_;
   RecomputeEnabledLocked();
   return slow_op_millis_;
+}
+
+void FaultInjector::ArmEnospc(int64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enospc_count_ = count;
+  RecomputeEnabledLocked();
+}
+
+void FaultInjector::ArmFsyncFailures(int64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fsync_failure_count_ = count;
+  RecomputeEnabledLocked();
+}
+
+void FaultInjector::ArmCrashPoint(int64_t after_steps) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_point_armed_ = true;
+  crash_point_countdown_ = after_steps;
+  RecomputeEnabledLocked();
+}
+
+bool FaultInjector::ConsumeEnospc() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (enospc_count_ <= 0) return false;
+  --enospc_count_;
+  ++faults_fired_;
+  RecomputeEnabledLocked();
+  return true;
+}
+
+bool FaultInjector::ConsumeFsyncFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fsync_failure_count_ <= 0) return false;
+  --fsync_failure_count_;
+  ++faults_fired_;
+  RecomputeEnabledLocked();
+  return true;
+}
+
+bool FaultInjector::ConsumeCrashStep() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!crash_point_armed_) return false;
+  if (crash_point_countdown_-- > 0) return false;
+  crash_point_armed_ = false;
+  ++faults_fired_;
+  RecomputeEnabledLocked();
+  return true;
 }
 
 bool FaultInjector::ConsumeLoadFailure() {

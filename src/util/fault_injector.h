@@ -30,6 +30,20 @@
 ///    file is longer (failing media, a file still being copied), so readers
 ///    must treat an unexpected EOF — including mid-record — as a definite
 ///    error, never as a clean end of data;
+///  - ENOSPC: AtomicFileWriter::Write/Commit fail with kResourceExhausted
+///    as if the disk filled mid-write — the next `count` durable writes
+///    observe a full disk, so publish pipelines can prove they survive
+///    disk-full without leaving half-written files behind;
+///  - fsync failure: the fsync of the data file or of the parent directory
+///    in AtomicFileWriter::Commit reports an I/O error (a lying disk, a
+///    detached volume), so callers can prove a failed durability barrier
+///    never counts as a successful publish;
+///  - crash point: multi-step durable pipelines (the SnapshotStore
+///    publish -> manifest -> GC sequence) poll ConsumeCrashStep() at every
+///    step boundary; after the armed number of completed steps the poll
+///    fires and the pipeline must abandon the operation immediately —
+///    on-disk state is then exactly what a kill -9 between those two
+///    steps would leave, and the startup-recovery path has to cope;
 ///  - forced-NaN loss: a TrainableModel test wrapper polls
 ///    ConsumeNanLoss() each TrainStep and poisons the loss when it fires;
 ///  - forced-slow operation: instrumented hot paths poll ConsumeSlowOp()
@@ -95,6 +109,24 @@ class FaultInjector {
   /// ConsumeLoadFailure() return true.
   void ArmLoadFailures(int64_t count);
 
+  /// Arms `count` ENOSPC faults: the next `count` calls to
+  /// ConsumeEnospc() return true, and AtomicFileWriter::Write/Commit
+  /// report kResourceExhausted ("disk full") instead of writing.
+  void ArmEnospc(int64_t count);
+
+  /// Arms `count` fsync failures: the next `count` calls to
+  /// ConsumeFsyncFailure() return true, and AtomicFileWriter::Commit
+  /// reports the durability barrier (file or parent-directory fsync) as
+  /// failed.
+  void ArmFsyncFailures(int64_t count);
+
+  /// Arms a simulated kill: the first `after_steps` calls to
+  /// ConsumeCrashStep() return false (those durable steps complete), the
+  /// next call fires and returns true. The polling pipeline must then
+  /// abandon the operation without any further writes or cleanup, leaving
+  /// on-disk state exactly as a crash between the two steps would.
+  void ArmCrashPoint(int64_t after_steps);
+
   /// Write hook used by instrumented writers. `stream_offset` is the
   /// absolute offset of `buf` within the logical stream. May corrupt bytes
   /// of `buf` in place (bit flip). Returns the number of leading bytes the
@@ -128,6 +160,16 @@ class FaultInjector {
   /// Poll point for injected load failures; returns true while armed.
   bool ConsumeLoadFailure();
 
+  /// Poll point for injected disk-full faults; returns true while armed.
+  bool ConsumeEnospc();
+
+  /// Poll point for injected fsync failures; returns true while armed.
+  bool ConsumeFsyncFailure();
+
+  /// Poll point at durable-step boundaries of multi-step pipelines;
+  /// returns true exactly once, after the armed number of steps completed.
+  bool ConsumeCrashStep();
+
   /// Total number of faults that have fired since the last Reset().
   int64_t faults_fired() const;
 
@@ -156,6 +198,10 @@ class FaultInjector {
   int64_t slow_op_count_ = 0;
   double slow_op_millis_ = 0.0;
   int64_t load_failure_count_ = 0;
+  int64_t enospc_count_ = 0;
+  int64_t fsync_failure_count_ = 0;
+  bool crash_point_armed_ = false;
+  int64_t crash_point_countdown_ = 0;
 };
 
 }  // namespace imcat

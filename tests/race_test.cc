@@ -7,9 +7,14 @@
 // resolves to a definite status, every task is resolved exactly once,
 // counters stay consistent). Any data race is TSan's to report; any lost
 // or doubly-resolved task is ours.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -21,6 +26,7 @@
 
 #include "data/dataset.h"
 #include "obs/metrics.h"
+#include "obs/scrape.h"
 #include "serve/circuit_breaker.h"
 #include "serve/rec_service.h"
 #include "serve/shard_format.h"
@@ -651,6 +657,103 @@ TEST_F(RaceTest, ParallelForUnderConcurrentSubmissionPressure) {
   stop = true;
   noisemaker.join();
   pool.Shutdown();
+}
+
+/// Best-effort one-shot scrape client: a single connect attempt (the
+/// server may be mid-restart), then read until EOF. Returns "" on any
+/// failure — the restart churn makes refused connections a legal outcome.
+std::string TryScrape(const std::string& socket_path,
+                      const std::string& request) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return "";
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  // MSG_NOSIGNAL: the server restarting mid-request closes the connection,
+  // and a plain write() into it would SIGPIPE the whole test binary.
+  if (::send(fd, request.data(), request.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return "";
+  }
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buffer, sizeof(buffer))) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+// Scrape-server lifecycle churn: client threads hammer /healthz while the
+// main thread cycles Stop()/Start() on the same socket path. Every client
+// outcome must be definite (a complete response or a cleanly failed
+// connect — never a torn read or a crash), the socket file must be gone
+// after every Stop (unlinked exactly once, by the server), and the final
+// restart must still serve. TSan polices the provider/accept-thread and
+// Start/Stop handoffs.
+TEST_F(RaceTest, ScrapeRestartRacingInFlightHealthz) {
+  MetricsRegistry registry;
+  MetricsScrapeServer server(&registry);
+  std::atomic<int64_t> provider_calls{0};
+  server.set_health_provider([&provider_calls] {
+    provider_calls.fetch_add(1, std::memory_order_relaxed);
+    return std::string("{\"status\":\"churning\"}");
+  });
+  const std::string path = TempPath("race_scrape_restart.sock");
+  ASSERT_TRUE(server.Start(path).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> served{0};
+  std::atomic<int64_t> torn{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::string response =
+            TryScrape(path, "GET /healthz HTTP/1.0\r\n\r\n");
+        if (response.empty()) continue;  // Refused mid-restart: legal.
+        if (response.find("HTTP/1.0 200 OK") != std::string::npos &&
+            response.find("\"status\":\"churning\"}") != std::string::npos) {
+          served.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    server.Stop();
+    // Only the server ever creates or unlinks the socket file, so right
+    // here — stopped, not yet restarted — it must be gone.
+    ASSERT_FALSE(::access(path.c_str(), F_OK) == 0) << "cycle " << cycle;
+    ASSERT_TRUE(server.Start(path).ok()) << "cycle " << cycle;
+  }
+  // Let the clients land at least one complete response on the final
+  // incarnation, so the test demonstrably exercised the served path.
+  while (served.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& client : clients) client.join();
+  server.Stop();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_GT(served.load(), 0);
+  EXPECT_GE(provider_calls.load(), served.load());
+  EXPECT_FALSE(::access(path.c_str(), F_OK) == 0);
 }
 
 }  // namespace

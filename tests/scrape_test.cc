@@ -8,9 +8,11 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -194,6 +196,67 @@ TEST(ScrapeTest, StopUnlinksSocketAndServerRestartsOnSamePath) {
                 .find("scrape_restart_total 1"),
             std::string::npos);
   server.Stop();
+}
+
+TEST(ScrapeTest, RedundantStopUnlinksOnlyItsOwnSocket) {
+  // Stop must unlink the socket exactly once: after a stopped server's
+  // path is re-bound by another server, calling the first server's Stop
+  // again must be a no-op — not unlink the new owner's endpoint.
+  MetricsRegistry registry;
+  registry.GetCounter("scrape_owner_total")->Add(2);
+  MetricsScrapeServer first(&registry);
+  const std::string path = SocketPath("scrape_once.sock");
+  ASSERT_TRUE(first.Start(path).ok());
+  first.Stop();
+  EXPECT_FALSE(PathExists(path));
+  first.Stop();  // Idempotent while nobody owns the path.
+
+  MetricsScrapeServer second(&registry);
+  ASSERT_TRUE(second.Start(path).ok());
+  EXPECT_TRUE(PathExists(path));
+  first.Stop();  // Must not touch the second server's socket.
+  EXPECT_TRUE(PathExists(path));
+  EXPECT_NE(Scrape(path, "GET /metrics HTTP/1.0\r\n\r\n")
+                .find("scrape_owner_total 2"),
+            std::string::npos);
+  second.Stop();
+  EXPECT_FALSE(PathExists(path));
+}
+
+TEST(ScrapeTest, StopDuringInFlightHealthzCompletesThenRestarts) {
+  // Stop() joins the accept thread, so a /healthz request already being
+  // served (the provider is mid-call) finishes with a complete response
+  // before the socket is unlinked — and the server restarts cleanly on
+  // the same path afterwards.
+  MetricsRegistry registry;
+  MetricsScrapeServer server(&registry);
+  std::atomic<bool> provider_entered{false};
+  server.set_health_provider([&provider_entered] {
+    provider_entered.store(true);
+    ::usleep(100 * 1000);  // Hold the request while Stop() races it.
+    return std::string("{\"status\":\"slow_but_complete\"}");
+  });
+  const std::string path = SocketPath("scrape_inflight.sock");
+  ASSERT_TRUE(server.Start(path).ok());
+
+  std::string response;
+  std::thread scraper([&] {
+    response = Scrape(path, "GET /healthz HTTP/1.0\r\n\r\n");
+  });
+  while (!provider_entered.load()) ::usleep(1000);
+  server.Stop();  // Races the in-flight request; must wait it out.
+  scraper.join();
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("slow_but_complete"), std::string::npos);
+  EXPECT_FALSE(PathExists(path));
+
+  // Restart on the same path serves immediately.
+  ASSERT_TRUE(server.Start(path).ok());
+  EXPECT_NE(Scrape(path, "GET /healthz HTTP/1.0\r\n\r\n")
+                .find("slow_but_complete"),
+            std::string::npos);
+  server.Stop();
+  EXPECT_FALSE(PathExists(path));
 }
 
 }  // namespace
