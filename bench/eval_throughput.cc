@@ -1,13 +1,33 @@
-// Evaluator throughput: serial Evaluate versus the ThreadPool-parallel
-// path at 1, 2 and 8 threads. Two claims are checked, matching the
-// threading-model contract (DESIGN.md §8):
-//   1. every parallel run is bit-identical to the serial run (the
-//      deterministic index-ordered reduction), and
-//   2. parallelism actually pays: wall-clock speedup at 8 threads.
+// Evaluator throughput: serial per-user Evaluate versus the batched
+// multi-user kernel (tensor/score_kernel.h) and the ThreadPool-parallel
+// path, swept over batch sizes and thread counts. Three claims are
+// checked, matching the threading and batching contracts (DESIGN.md §8,
+// §12):
+//   1. every run — any batch size, any thread count — is bit-identical
+//      to the serial per-user run (deterministic index-ordered reduction
+//      plus the kernel's bit-exactness contract);
+//   2. batching pays serially: the blocked kernel beats per-user scoring
+//      on one thread by streaming the item table through cache once per
+//      batch;
+//   3. parallelism pays on top — wall-clock speedup at 8 threads on a
+//      multi-core host. The artifact records host_cores so the validator
+//      can scale this expectation: on a single-core runner the pool path
+//      can only add overhead, and the criterion becomes "does not regress".
 // Honours the standard IMCAT_BENCH_* environment overrides.
+//
+// Output: BENCH_eval.json (schema "imcat-bench-eval/1", validated by
+// scripts/validate_bench_eval.py in the check.sh --docs leg).
+//
+// Usage: eval_throughput [output.json]      (default BENCH_eval.json)
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
 
 #include "bench/runner.h"
 #include "util/string_util.h"
@@ -36,19 +56,37 @@ bool BitIdentical(const imcat::EvalResult& a, const imcat::EvalResult& b) {
          a.hit_rate == b.hit_rate && a.mrr == b.mrr;
 }
 
+struct SweepRun {
+  int64_t threads = 0;  ///< 0 = serial (no pool).
+  int64_t batch_users = 1;
+  double median_sec = 0.0;
+  double speedup = 0.0;
+  bool bit_identical = false;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string output_path = argc > 1 ? argv[1] : "BENCH_eval.json";
   using imcat::bench::BenchEnv;
   BenchEnv env = BenchEnv::FromEnvironment();
+  // The Table-I presets are scaled down so the accuracy benches train in
+  // seconds, but at that size one Evaluate finishes in single-digit
+  // milliseconds and pool dispatch plus timer noise swamp the kernel.
+  // Default this bench to an 8x larger workload (an Evaluate in the
+  // hundreds of milliseconds; the sweep still completes in well under a
+  // minute). IMCAT_BENCH_SCALE overrides as usual.
+  if (std::getenv("IMCAT_BENCH_SCALE") == nullptr) {
+    env.scale_multiplier = 8.0;
+  }
   imcat::bench::PrintBanner(
-      "Evaluator throughput — serial vs parallel Evaluate", env);
+      "Evaluator throughput — scalar vs batched kernel vs parallel", env);
 
   imcat::bench::Workload workload =
       imcat::bench::MakeWorkload("CiteULike", env, /*seed=*/1);
 
   // One briefly-trained real model: the scoring cost (and hence the
-  // parallel speedup) does not depend on how converged it is.
+  // batching/parallel speedup) does not depend on how converged it is.
   BenchEnv train_env = env;
   train_env.max_epochs = 2;
   imcat::bench::TrainedModel trained =
@@ -57,44 +95,97 @@ int main() {
 
   const int top_n = 20;
   const int reps = 5;
-  const imcat::EvalResult serial_result =
+  // Reference: serial, per-user scoring (batch_users = 1 routes each user
+  // through a batch of one, which is literally the scalar loop).
+  workload.evaluator.set_batch_users(1);
+  const imcat::EvalResult reference =
       workload.evaluator.Evaluate(ranker, workload.split.test, top_n);
   const double serial_sec = MedianSeconds(
       [&] { workload.evaluator.Evaluate(ranker, workload.split.test, top_n); },
       reps);
 
   std::printf("\ntest users evaluated: %lld, items scored per user: %lld\n",
-              static_cast<long long>(serial_result.num_users),
+              static_cast<long long>(reference.num_users),
               static_cast<long long>(workload.dataset.num_items));
 
+  std::vector<SweepRun> runs;
   imcat::TablePrinter table(
-      {"threads", "median sec", "speedup", "bit-identical"});
-  table.AddRow({"serial", imcat::FormatDouble(serial_sec, 4), "1.00", "ref"});
-  for (int64_t threads : {1, 2, 8}) {
-    imcat::ThreadPoolOptions options;
-    options.num_threads = threads;
-    imcat::ThreadPool pool(options);
-    const imcat::EvalResult parallel_result = workload.evaluator.Evaluate(
-        ranker, workload.split.test, top_n, {}, &pool);
-    const double parallel_sec = MedianSeconds(
-        [&] {
-          workload.evaluator.Evaluate(ranker, workload.split.test, top_n, {},
-                                      &pool);
-        },
-        reps);
-    table.AddRow({std::to_string(threads),
-                  imcat::FormatDouble(parallel_sec, 4),
-                  imcat::FormatDouble(serial_sec / parallel_sec, 2),
-                  BitIdentical(serial_result, parallel_result) ? "yes"
-                                                               : "NO"});
-    if (!BitIdentical(serial_result, parallel_result)) {
-      std::fprintf(stderr,
-                   "FATAL: parallel Evaluate at %lld threads diverged from "
-                   "the serial result\n",
-                   static_cast<long long>(threads));
-      return 1;
+      {"threads", "batch users", "median sec", "speedup", "bit-identical"});
+  table.AddRow({"serial", "1", imcat::FormatDouble(serial_sec, 4), "1.00",
+                "ref"});
+  bool all_identical = true;
+  for (int64_t batch_users : {1, 8, 32}) {
+    workload.evaluator.set_batch_users(batch_users);
+    for (int64_t threads : {0, 1, 2, 8}) {
+      if (threads == 0 && batch_users == 1) continue;  // The reference row.
+      std::unique_ptr<imcat::ThreadPool> pool;
+      if (threads > 0) {
+        imcat::ThreadPoolOptions options;
+        options.num_threads = threads;
+        pool = std::make_unique<imcat::ThreadPool>(options);
+      }
+      const imcat::EvalResult result = workload.evaluator.Evaluate(
+          ranker, workload.split.test, top_n, {}, pool.get());
+      const double median_sec = MedianSeconds(
+          [&] {
+            workload.evaluator.Evaluate(ranker, workload.split.test, top_n,
+                                        {}, pool.get());
+          },
+          reps);
+      SweepRun run;
+      run.threads = threads;
+      run.batch_users = batch_users;
+      run.median_sec = median_sec;
+      run.speedup = serial_sec / median_sec;
+      run.bit_identical = BitIdentical(reference, result);
+      runs.push_back(run);
+      table.AddRow({threads == 0 ? "serial" : std::to_string(threads),
+                    std::to_string(batch_users),
+                    imcat::FormatDouble(median_sec, 4),
+                    imcat::FormatDouble(run.speedup, 2),
+                    run.bit_identical ? "yes" : "NO"});
+      if (!run.bit_identical) {
+        all_identical = false;
+        std::fprintf(stderr,
+                     "FATAL: Evaluate at %lld threads / batch %lld diverged "
+                     "from the serial per-user result\n",
+                     static_cast<long long>(threads),
+                     static_cast<long long>(batch_users));
+      }
     }
   }
   table.Print();
-  return 0;
+  workload.evaluator.set_batch_users(1);
+
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(6);
+  out << "{\n"
+      << "  \"schema\": \"imcat-bench-eval/1\",\n"
+      << "  \"generated_by\": \"bench/eval_throughput\",\n"
+      << "  \"config\": {\"dataset\":\"CiteULike\""
+      << ",\"users\":" << workload.dataset.num_users
+      << ",\"items\":" << workload.dataset.num_items
+      << ",\"test_users\":" << reference.num_users
+      << ",\"dim\":" << env.embedding_dim << ",\"top_n\":" << top_n
+      << ",\"reps\":" << reps << ",\"host_cores\":"
+      << std::max(1u, std::thread::hardware_concurrency()) << "},\n"
+      << "  \"serial_sec\": " << serial_sec << ",\n"
+      << "  \"runs\": [\n";
+  out.precision(6);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const SweepRun& run = runs[i];
+    out << "    {\"threads\":" << run.threads
+        << ",\"batch_users\":" << run.batch_users
+        << ",\"median_sec\":" << run.median_sec
+        << ",\"speedup\":" << run.speedup << ",\"bit_identical\":"
+        << (run.bit_identical ? "true" : "false") << "}"
+        << (i + 1 < runs.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::ofstream file(output_path);
+  file << out.str();
+  file.close();
+  std::fprintf(stderr, "wrote %s\n", output_path.c_str());
+  return all_identical ? 0 : 1;
 }

@@ -93,8 +93,15 @@ int main(int argc, char** argv) {
   options.default_deadline_ms = 50.0;
   options.breaker.failure_threshold = 2;
   options.breaker.cooldown_ms = 10.0;
+  // Opt into request coalescing: a worker wakeup drains up to this many
+  // compatible queued requests and scores them through one TopKBatch
+  // pass. The same configuration is echoed by GET /healthz ("batching").
+  options.max_batch_size = 4;
   options.metrics = &metrics;
   RecService service(fallback, options);
+  std::printf("batching: max_batch_size=%lld block_items=%lld\n",
+              (long long)options.max_batch_size,
+              (long long)options.recommender.block_items);
 
   std::printf("\n=== Before any snapshot: degraded popularity fallback ===\n");
   PrintResponse("no snapshot yet", service.Recommend(Req(7)));
@@ -153,6 +160,9 @@ int main(int argc, char** argv) {
               (long long)stats.invalid_requests,
               (long long)stats.snapshot_reloads,
               (long long)stats.snapshot_load_failures, (long long)stats.shed);
+
+  std::printf("\n=== Health endpoint (GET /healthz payload) ===\n%s\n",
+              service.HealthJson().c_str());
 
   std::printf("\n=== Metrics snapshot (Prometheus text format) ===\n%s",
               DumpPrometheusText(metrics.Snapshot()).c_str());

@@ -18,9 +18,10 @@
 #   scripts/check.sh --tsan     # tsan leg only (full suite + race/chaos)
 #   scripts/check.sh --chaos    # fault-injection + serving chaos suites
 #   scripts/check.sh --overload # overload/brownout suite (plain + TSan)
+#   scripts/check.sh --kernel   # batched-scoring suite (plain + TSan)
 #   scripts/check.sh --store    # snapshot-store durability suite (plain + ASan)
 #   scripts/check.sh --fuzz     # ingestion corruption-fuzz sweep (sanitized)
-#   scripts/check.sh --docs     # docs link check + BENCH_serving.json schema
+#   scripts/check.sh --docs     # docs link check + bench artifact schemas
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,6 +32,7 @@ run_sanitized=1
 run_tsan=1
 run_chaos=0
 run_overload=0
+run_kernel=0
 run_store=0
 run_fuzz=0
 run_docs=0
@@ -40,11 +42,12 @@ case "${1:-}" in
   --tsan)     run_plain=0; run_sanitized=0 ;;
   --chaos)    run_plain=0; run_sanitized=0; run_tsan=0; run_chaos=1 ;;
   --overload) run_plain=0; run_sanitized=0; run_tsan=0; run_overload=1 ;;
+  --kernel)   run_plain=0; run_sanitized=0; run_tsan=0; run_kernel=1 ;;
   --store)    run_plain=0; run_sanitized=0; run_tsan=0; run_store=1 ;;
   --fuzz)     run_plain=0; run_sanitized=0; run_tsan=0; run_fuzz=1 ;;
   --docs)     run_plain=0; run_sanitized=0; run_tsan=0; run_docs=1 ;;
   "") run_docs=1 ;;
-  *) echo "usage: $0 [--plain|--sanitize|--tsan|--chaos|--overload|--fuzz|--docs|--store]" >&2
+  *) echo "usage: $0 [--plain|--sanitize|--tsan|--chaos|--overload|--kernel|--fuzz|--docs|--store]" >&2
      exit 2 ;;
 esac
 
@@ -91,8 +94,9 @@ check_docs() {
 
 check_bench_serving() {
   # The serving-bench artifact (bench/load_gen output) is committed; its
-  # schema, per-point accounting identity and no-metastable-collapse
-  # criteria must keep holding for the numbers the docs cite.
+  # schema, per-point accounting identity, no-metastable-collapse and
+  # coalescing-contrast criteria must keep holding for the numbers the
+  # docs cite.
   echo "=== BENCH_serving.json schema + acceptance check ==="
   if [[ -f BENCH_serving.json ]]; then
     python3 scripts/validate_bench_serving.py BENCH_serving.json
@@ -102,9 +106,23 @@ check_bench_serving() {
   fi
 }
 
+check_bench_eval() {
+  # Same contract for the offline-eval artifact (bench/eval_throughput
+  # output): schema, universal bit-identity across the batch x thread
+  # sweep, and the batched-kernel / parallel speedups the docs cite.
+  echo "=== BENCH_eval.json schema + acceptance check ==="
+  if [[ -f BENCH_eval.json ]]; then
+    python3 scripts/validate_bench_eval.py BENCH_eval.json
+  else
+    echo "BENCH_eval.json missing: run build/bench/eval_throughput" >&2
+    exit 1
+  fi
+}
+
 if [[ "$run_docs" == 1 ]]; then
   check_docs
   check_bench_serving
+  check_bench_eval
 fi
 
 if [[ "$run_plain" == 1 ]]; then
@@ -137,6 +155,11 @@ if [[ "$run_sanitized" == 1 ]]; then
   # recovery scan over partially-deleted directories, exactly the
   # filename/manifest parsing paths ASan/UBSan should watch.
   (cd build-asan && ctest -L store_fault --output-on-failure --timeout 300)
+  echo "=== sanitized batched-scoring sweep (ctest -L kernel) ==="
+  # The batched kernel and the coalescing drain juggle raw row pointers,
+  # stride arithmetic and shared queues; the batch-identity sweep and the
+  # batched accounting chaos test must stay ASan/UBSan-clean.
+  (cd build-asan && ctest -L kernel --output-on-failure --timeout 300)
 fi
 
 if [[ "$run_tsan" == 1 ]]; then
@@ -180,6 +203,25 @@ if [[ "$run_overload" == 1 ]]; then
   cmake --build build-tsan -j "$jobs"
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
       ctest -L overload --output-on-failure --timeout 240)
+fi
+
+if [[ "$run_kernel" == 1 ]]; then
+  # The batched-scoring suite proves the two batching contracts twice:
+  # plain for exact bit-identity (kernel vs scalar loop, TopKBatch vs
+  # scalar TopK, batched Evaluate vs per-user), then under TSan because
+  # request coalescing moves queue ownership across submitter, drain
+  # tickets and cancel callbacks — exactly where a lost wakeup or a torn
+  # dequeue would hide. The overload suite rides along: batching must not
+  # disturb the admission-control invariants it pins.
+  echo "=== batched-scoring suite, plain build (ctest -L 'kernel|overload') ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs"
+  (cd build && ctest -L 'kernel|overload' --output-on-failure --timeout 240)
+  echo "=== batched-scoring suite under TSan (ctest -L 'kernel|overload') ==="
+  cmake -B build-tsan -S . -DIMCAT_SANITIZE="thread" >/dev/null
+  cmake --build build-tsan -j "$jobs"
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
+      ctest -L 'kernel|overload' --output-on-failure --timeout 240)
 fi
 
 if [[ "$run_store" == 1 ]]; then

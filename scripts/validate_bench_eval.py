@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validates BENCH_eval.json (emitted by bench/eval_throughput).
+
+Checks, in order:
+  1. schema tag and structural shape (config, serial reference, runs
+     covering the batch-size x thread-count sweep);
+  2. the bit-identity contract: every run — any batch size, any thread
+     count — must report bit_identical true against the serial per-user
+     reference (the same invariant tests/batch_test.cc pins on live
+     EvalResults, re-checked offline on the published artifact);
+  3. the batching win: the best serial (threads 0) batched run must beat
+     the serial per-user reference — the blocked kernel exists to make
+     offline evaluation cheaper, not just different;
+  4. the parallel win, scaled to the host the artifact was generated on
+     (config.host_cores): on a multi-core host the best multi-threaded run
+     must beat the serial reference by a real margin; on a single-core
+     host parallelism cannot pay, so the criterion degrades to "the pool
+     path does not regress below the serial reference by more than the
+     bounded dispatch overhead".
+
+Usage: validate_bench_eval.py [path]      (default BENCH_eval.json)
+Exit 0 when valid, 1 with a message per violation otherwise.
+"""
+import json
+import sys
+
+SCHEMA = "imcat-bench-eval/1"
+RUN_KEYS = ["threads", "batch_users", "median_sec", "speedup",
+            "bit_identical"]
+# The serial batched win is asserted leniently: the kernel's advantage is
+# cache-residency and chain ILP, which on a noisy shared runner can thin
+# out — but the batched path must never be a real regression.
+MIN_SERIAL_BATCH_SPEEDUP = 0.95
+MIN_PARALLEL_SPEEDUP = 1.5
+# On one core the pool can only add overhead; the best parallel run must
+# still stay within this factor of the serial reference (in practice it
+# wins anyway, because it rides the batched kernel).
+MIN_PARALLEL_SPEEDUP_SINGLE_CORE = 0.85
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_eval.json"
+    errors = []
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"validate_bench_eval: cannot read {path}: {e}",
+              file=sys.stderr)
+        return 1
+
+    def check(cond, message):
+        if not cond:
+            errors.append(message)
+
+    check(doc.get("schema") == SCHEMA,
+          f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    config = doc.get("config", {})
+    for key in ("dataset", "users", "items", "test_users", "top_n", "reps",
+                "host_cores"):
+        check(key in config, f"config.{key} missing")
+    serial_sec = doc.get("serial_sec", 0)
+    check(isinstance(serial_sec, (int, float)) and serial_sec > 0,
+          "serial_sec must be > 0")
+
+    runs = doc.get("runs", [])
+    check(len(runs) >= 6,
+          f"want >= 6 sweep runs (batch sizes x thread counts), "
+          f"got {len(runs)}")
+    batch_sizes = set()
+    thread_counts = set()
+    for i, run in enumerate(runs):
+        where = f"runs[{i}]"
+        for key in RUN_KEYS:
+            check(key in run, f"{where}.{key} missing")
+        check(run.get("median_sec", 0) > 0, f"{where}.median_sec must be > 0")
+        # The identity is non-negotiable: a fast-but-different Evaluate is
+        # a broken Evaluate.
+        check(run.get("bit_identical") is True,
+              f"{where} (threads {run.get('threads')}, batch "
+              f"{run.get('batch_users')}): bit_identical is not true")
+        batch_sizes.add(run.get("batch_users"))
+        thread_counts.add(run.get("threads"))
+
+    check(any(b > 1 for b in batch_sizes if isinstance(b, int)),
+          f"no batched run (batch_users > 1) in sweep: {sorted(batch_sizes)}")
+    check(any(t >= 2 for t in thread_counts if isinstance(t, int)),
+          f"no multi-threaded run in sweep: {sorted(thread_counts)}")
+
+    if not errors:
+        serial_batched = [r for r in runs
+                          if r["threads"] == 0 and r["batch_users"] > 1]
+        check(bool(serial_batched),
+              "no serial (threads 0) batched run to prove the kernel win")
+        if serial_batched:
+            best = max(serial_batched, key=lambda r: r["speedup"])
+            check(best["speedup"] >= MIN_SERIAL_BATCH_SPEEDUP,
+                  f"best serial batched speedup {best['speedup']:.2f}x "
+                  f"(batch {best['batch_users']}) below "
+                  f"{MIN_SERIAL_BATCH_SPEEDUP}x: batching regressed the "
+                  "serial path")
+        parallel = [r for r in runs if r["threads"] >= 2]
+        if parallel:
+            best = max(parallel, key=lambda r: r["speedup"])
+            cores = config.get("host_cores", 1)
+            floor = (MIN_PARALLEL_SPEEDUP if cores >= 2
+                     else MIN_PARALLEL_SPEEDUP_SINGLE_CORE)
+            check(best["speedup"] >= floor,
+                  f"best parallel speedup {best['speedup']:.2f}x (threads "
+                  f"{best['threads']}, batch {best['batch_users']}) below "
+                  f"{floor}x (host_cores {cores})")
+
+    if errors:
+        for message in errors:
+            print(f"validate_bench_eval: {message}", file=sys.stderr)
+        print(f"validate_bench_eval: FAILED ({len(errors)} violations)",
+              file=sys.stderr)
+        return 1
+    print(f"validate_bench_eval: {path} ok ({len(runs)} runs, serial "
+          f"{serial_sec:.3f} s, batches {sorted(batch_sizes)}, threads "
+          f"{sorted(thread_counts)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,11 @@ Checks, in order:
      harvester scheduling noise on a loaded single-core runner);
   4. the contrast: the baseline (controller disabled) must actually
      collapse — its goodput fraction at the highest load below half the
-     controller's.
+     controller's;
+  5. when the optional controller_nobatch mode is present (controller on,
+     request coalescing off), the batched controller must not lose to it:
+     goodput at the top sweep point within 10% of the unbatched run's
+     (batching exists to help at saturation, and must never hurt).
 
 Usage: validate_bench_serving.py [path]      (default BENCH_serving.json)
 Exit 0 when valid, 1 with a message per violation otherwise.
@@ -64,7 +68,9 @@ def main() -> int:
     check(doc.get("capacity_qps", 0) > 0, "capacity_qps must be > 0")
 
     sweep = doc.get("sweep", [])
-    by_mode = {"controller": [], "baseline": []}
+    # controller_nobatch is optional: artifacts predating request
+    # coalescing carry only the two original modes.
+    by_mode = {"controller": [], "controller_nobatch": [], "baseline": []}
     for i, run in enumerate(sweep):
         where = f"sweep[{i}]"
         for key in RUN_KEYS:
@@ -87,6 +93,8 @@ def main() -> int:
             errors.append(f"{where}: unknown mode {run.get('mode')!r}")
 
     for mode, runs in by_mode.items():
+        if mode == "controller_nobatch" and not runs:
+            continue  # Optional mode, absent in pre-coalescing artifacts.
         check(len(runs) >= 4, f"mode {mode}: want >= 4 sweep points, "
                               f"got {len(runs)}")
 
@@ -128,6 +136,22 @@ def main() -> int:
               f"baseline goodput fraction {base_top['goodput_fraction']:.2f} "
               f"at x{base_top['qps_multiplier']} is not < half the "
               f"controller's {top['goodput_fraction']:.2f}: no contrast")
+
+        # Coalescing contrast (only when the mode was swept): the batched
+        # controller must be at least on par with the unbatched one at the
+        # top sweep point. The margin is lenient — on a loaded runner both
+        # shed most of a 2x overload and the residual goodput is noisy —
+        # but a batched run that *loses* badly means the coalescing path
+        # regressed.
+        if by_mode["controller_nobatch"]:
+            nobatch = sorted(by_mode["controller_nobatch"],
+                             key=lambda r: r["qps_multiplier"])
+            nb_top = nobatch[-1]
+            check(top["goodput_qps"] >= 0.9 * nb_top["goodput_qps"],
+                  f"batched controller goodput {top['goodput_qps']:.0f} qps "
+                  f"at x{top['qps_multiplier']} fell more than 10% below "
+                  f"the unbatched controller's {nb_top['goodput_qps']:.0f}: "
+                  "coalescing regression")
 
     if errors:
         for message in errors:

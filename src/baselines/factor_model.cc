@@ -2,6 +2,7 @@
 
 #include "tensor/autograd.h"
 #include "tensor/ops.h"
+#include "tensor/score_kernel.h"
 #include "util/check.h"
 
 namespace imcat {
@@ -61,6 +62,19 @@ void FactorModelBase::ScoreItemsForUser(int64_t user,
     for (int64_t c = 0; c < dim_; ++c) acc += u[c] * iv[c];
     (*scores)[v] = acc;
   }
+}
+
+void FactorModelBase::ScoreItemsForUsers(const std::vector<int64_t>& users,
+                                         std::vector<float>* scores) const {
+  if (!cache_valid_) PrepareScoring();
+  scores->assign(users.size() * static_cast<size_t>(num_items_), 0.0f);
+  std::vector<const float*> user_rows(users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    user_rows[i] = user_factors_.data() + users[i] * dim_;
+  }
+  ScoreAllItemsBlocked(user_rows.data(), static_cast<int64_t>(users.size()),
+                       item_factors_.data(), num_items_, dim_,
+                       kDefaultScoreBlockItems, scores->data(), num_items_);
 }
 
 Tensor BprLossFromScores(const Tensor& positive_scores,

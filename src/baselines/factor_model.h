@@ -34,6 +34,11 @@ class FactorModelBase : public TrainableModel {
   std::vector<Tensor> Parameters() override { return parameters_; }
   void ScoreItemsForUser(int64_t user,
                          std::vector<float>* scores) const final;
+  /// Batched scoring through the blocked multi-user kernel
+  /// (tensor/score_kernel.h): bit-identical to the per-user loop, but the
+  /// cached item-factor table streams through cache once per batch.
+  void ScoreItemsForUsers(const std::vector<int64_t>& users,
+                          std::vector<float>* scores) const final;
   /// Recomputes the shared factor cache up front; required before
   /// concurrent ScoreItemsForUser calls.
   void PrepareScoring() const final;

@@ -7,6 +7,19 @@
 
 namespace imcat {
 
+void Ranker::ScoreItemsForUsers(const std::vector<int64_t>& users,
+                                std::vector<float>* scores) const {
+  // Fallback for rankers without a batched kernel: one scalar scoring
+  // pass per user, copied into the batch layout. Bit-identical to calling
+  // ScoreItemsForUser directly, by construction.
+  scores->clear();
+  std::vector<float> row;
+  for (size_t i = 0; i < users.size(); ++i) {
+    ScoreItemsForUser(users[i], &row);
+    scores->insert(scores->end(), row.begin(), row.end());
+  }
+}
+
 Evaluator::Evaluator(const Dataset& dataset, const DataSplit& split)
     : num_users_(dataset.num_users), num_items_(dataset.num_items) {
   train_items_.resize(num_users_);
@@ -46,6 +59,11 @@ std::vector<int64_t> Evaluator::TopNForUser(const Ranker& ranker, int64_t user,
   std::vector<float> scores;
   ranker.ScoreItemsForUser(user, &scores);
   IMCAT_CHECK_EQ(static_cast<int64_t>(scores.size()), num_items_);
+  return TopNFromScores(user, scores.data(), top_n);
+}
+
+std::vector<int64_t> Evaluator::TopNFromScores(int64_t user, float* scores,
+                                               int top_n) const {
   for (int64_t v : train_items_[user]) {
     scores[v] = -std::numeric_limits<float>::infinity();
   }
@@ -53,7 +71,7 @@ std::vector<int64_t> Evaluator::TopNForUser(const Ranker& ranker, int64_t user,
   std::vector<int64_t> order(num_items_);
   for (int64_t i = 0; i < num_items_; ++i) order[i] = i;
   std::partial_sort(order.begin(), order.begin() + limit, order.end(),
-                    [&scores](int64_t a, int64_t b) {
+                    [scores](int64_t a, int64_t b) {
                       if (scores[a] != scores[b]) return scores[a] > scores[b];
                       return a < b;  // Deterministic tie-break.
                     });
@@ -65,6 +83,11 @@ std::vector<int64_t> Evaluator::TopNForUser(const Ranker& ranker, int64_t user,
     order.pop_back();
   }
   return order;
+}
+
+void Evaluator::set_batch_users(int64_t batch_users) {
+  IMCAT_CHECK(batch_users >= 1);
+  batch_users_ = batch_users;
 }
 
 EvalResult Evaluator::Evaluate(const Ranker& ranker,
@@ -94,24 +117,50 @@ EvalResult Evaluator::Evaluate(const Ranker& ranker,
     bool counted = false;
   };
   std::vector<PerUser> slots(users.size());
-  auto eval_one = [&](int64_t idx) {
-    const int64_t u = users[static_cast<size_t>(idx)];
-    if (relevant[u].empty()) return;
-    const std::vector<int64_t> top = TopNForUser(ranker, u, top_n);
-    PerUser& slot = slots[static_cast<size_t>(idx)];
-    slot.recall = RecallAtN(top, relevant[u], top_n);
-    slot.ndcg = NdcgAtN(top, relevant[u], top_n);
-    slot.precision = PrecisionAtN(top, relevant[u], top_n);
-    slot.hit_rate = HitRateAtN(top, relevant[u], top_n);
-    slot.mrr = MrrAtN(top, relevant[u], top_n);
-    slot.counted = true;
-  };
   const int64_t n = static_cast<int64_t>(users.size());
+  const int64_t batch = std::max<int64_t>(1, batch_users_);
+  // One ParallelFor index = one user block: the block's users with
+  // held-out items are scored by a single batched ScoreItemsForUsers call
+  // (the multi-user kernel streams each item block through cache once per
+  // batch), then ranked per user from their slice of the score buffer.
+  // Each slot is still written by exactly one block, and the reduction
+  // below stays serial in index order, so the result is bit-identical to
+  // the per-user path at any thread count and batch size.
+  auto eval_block = [&](int64_t block) {
+    const int64_t lo = block * batch;
+    const int64_t hi = std::min(n, lo + batch);
+    std::vector<int64_t> block_users;
+    std::vector<size_t> block_idx;
+    for (int64_t idx = lo; idx < hi; ++idx) {
+      const int64_t u = users[static_cast<size_t>(idx)];
+      if (relevant[u].empty()) continue;  // Same skip as the scalar path.
+      block_users.push_back(u);
+      block_idx.push_back(static_cast<size_t>(idx));
+    }
+    if (block_users.empty()) return;
+    std::vector<float> scores;
+    ranker.ScoreItemsForUsers(block_users, &scores);
+    IMCAT_CHECK_EQ(static_cast<int64_t>(scores.size()),
+                   static_cast<int64_t>(block_users.size()) * num_items_);
+    for (size_t pos = 0; pos < block_users.size(); ++pos) {
+      const int64_t u = block_users[pos];
+      const std::vector<int64_t> top = TopNFromScores(
+          u, scores.data() + static_cast<int64_t>(pos) * num_items_, top_n);
+      PerUser& slot = slots[block_idx[pos]];
+      slot.recall = RecallAtN(top, relevant[u], top_n);
+      slot.ndcg = NdcgAtN(top, relevant[u], top_n);
+      slot.precision = PrecisionAtN(top, relevant[u], top_n);
+      slot.hit_rate = HitRateAtN(top, relevant[u], top_n);
+      slot.mrr = MrrAtN(top, relevant[u], top_n);
+      slot.counted = true;
+    }
+  };
+  const int64_t num_blocks = (n + batch - 1) / batch;
   if (pool != nullptr) {
-    Status st = pool->ParallelFor(0, n, eval_one);
+    Status st = pool->ParallelFor(0, num_blocks, eval_block);
     IMCAT_CHECK(st.ok());  // Metric code does not throw.
   } else {
-    for (int64_t idx = 0; idx < n; ++idx) eval_one(idx);
+    for (int64_t block = 0; block < num_blocks; ++block) eval_block(block);
   }
 
   EvalResult result;

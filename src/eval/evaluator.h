@@ -12,12 +12,15 @@
 /// \file evaluator.h
 /// Full-ranking evaluation (Sec. V-B): for every user with held-out items,
 /// score all items, mask the user's training items, take the top N and
-/// average the ranking metrics over users. Evaluation parallelizes per
-/// user over a ThreadPool with a reduction that is deterministic by
+/// average the ranking metrics over users. Scoring runs in user batches
+/// through Ranker::ScoreItemsForUsers (the blocked multi-user kernel for
+/// inner-product rankers, DESIGN.md §12) and parallelizes per user block
+/// over a ThreadPool with a reduction that is deterministic by
 /// construction: per-user metrics are written into slots owned by the
 /// user's position and accumulated serially in index order afterwards, so
 /// the EvalResult — floating-point summation order included — is
-/// bit-identical to the serial path at any thread count.
+/// bit-identical to the serial per-user path at any thread count and any
+/// batch size.
 
 namespace imcat {
 
@@ -35,6 +38,18 @@ class Ranker {
   /// must be safe — the parallel evaluator calls this from many threads.
   virtual void ScoreItemsForUser(int64_t user,
                                  std::vector<float>* scores) const = 0;
+
+  /// Batched variant: scores every item for each of `users`, writing
+  /// user i's scores at `(*scores)[i * num_items .. (i+1) * num_items)`
+  /// (the vector is resized to users.size() * num_items). The default
+  /// loops over ScoreItemsForUser; inner-product rankers override it with
+  /// the blocked multi-user kernel (tensor/score_kernel.h) so the item
+  /// table streams through cache once per batch instead of once per user.
+  /// Overrides must be bit-identical to the per-user path — the evaluator
+  /// relies on it (same ascending-dim fp32 accumulation per pair).
+  /// Same thread-safety contract as ScoreItemsForUser.
+  virtual void ScoreItemsForUsers(const std::vector<int64_t>& users,
+                                  std::vector<float>* scores) const;
 
   /// Builds any lazily derived evaluation state (propagated factor
   /// caches, ...) up front. Rankers whose ScoreItemsForUser would
@@ -75,6 +90,24 @@ class Evaluator {
   std::vector<int64_t> TopNForUser(const Ranker& ranker, int64_t user,
                                    int top_n) const;
 
+  /// Rank from precomputed scores: masks `user`'s training items to -inf
+  /// in `scores` (one full-catalogue row, mutated in place) and returns
+  /// the top-N ids (score desc, id asc; masked-tail truncated). The
+  /// batched Evaluate path calls this once per user on its slice of the
+  /// multi-user score buffer; TopNForUser is this after a scalar scoring
+  /// call, so the two paths rank identically by construction.
+  std::vector<int64_t> TopNFromScores(int64_t user, float* scores,
+                                      int top_n) const;
+
+  /// Users scored per batched ScoreItemsForUsers call inside Evaluate
+  /// (default 8). 1 reproduces the per-user scoring path exactly; any
+  /// value yields bit-identical results (the contract the batch-identity
+  /// property suite pins), larger values amortise the item-table cache
+  /// streaming better up to the point where batch x block_items score
+  /// rows outgrow L2. Applies to serial and pooled evaluation alike.
+  void set_batch_users(int64_t batch_users);
+  int64_t batch_users() const { return batch_users_; }
+
   int64_t num_items() const { return num_items_; }
 
   /// Training-degree of a user (number of training interactions).
@@ -97,6 +130,7 @@ class Evaluator {
  private:
   int64_t num_users_ = 0;
   int64_t num_items_ = 0;
+  int64_t batch_users_ = 8;
   std::vector<std::vector<int64_t>> train_items_;  // Sorted per user.
   std::vector<int64_t> item_degree_;
   Counter* runs_total_ = nullptr;

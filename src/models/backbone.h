@@ -86,6 +86,10 @@ class BprModel : public TrainableModel {
   void set_thread_pool(ThreadPool* pool) override { pool_ = pool; }
   void ScoreItemsForUser(int64_t user,
                          std::vector<float>* scores) const override;
+  void ScoreItemsForUsers(const std::vector<int64_t>& users,
+                          std::vector<float>* scores) const override {
+    backbone_->ScoreItemsForUsers(users, scores);
+  }
   void PrepareScoring() const override { backbone_->PrepareScoring(); }
 
   Backbone* backbone() { return backbone_.get(); }

@@ -2,6 +2,7 @@
 
 #include "tensor/init.h"
 #include "tensor/ops.h"
+#include "tensor/score_kernel.h"
 
 namespace imcat {
 
@@ -34,6 +35,18 @@ void Bprmf::ScoreItemsForUser(int64_t user,
     for (int64_t c = 0; c < dim_; ++c) acc += u[c] * iv[c];
     (*scores)[v] = acc;
   }
+}
+
+void Bprmf::ScoreItemsForUsers(const std::vector<int64_t>& users,
+                               std::vector<float>* scores) const {
+  scores->assign(users.size() * static_cast<size_t>(num_items_), 0.0f);
+  std::vector<const float*> user_rows(users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    user_rows[i] = user_table_.data() + users[i] * dim_;
+  }
+  ScoreAllItemsBlocked(user_rows.data(), static_cast<int64_t>(users.size()),
+                       item_table_.data(), num_items_, dim_,
+                       kDefaultScoreBlockItems, scores->data(), num_items_);
 }
 
 }  // namespace imcat

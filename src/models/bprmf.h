@@ -30,6 +30,10 @@ class Bprmf : public Backbone {
 
   void ScoreItemsForUser(int64_t user,
                          std::vector<float>* scores) const override;
+  /// Batched scoring via the blocked multi-user kernel
+  /// (tensor/score_kernel.h); bit-identical to the per-user loop.
+  void ScoreItemsForUsers(const std::vector<int64_t>& users,
+                          std::vector<float>* scores) const override;
 
  private:
   int64_t num_users_;

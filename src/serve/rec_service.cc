@@ -46,6 +46,7 @@ RecService::RecService(std::shared_ptr<const PopularityRanker> fallback,
       pool_(ServicePoolOptions(options)) {
   IMCAT_CHECK(fallback_ != nullptr);
   IMCAT_CHECK(options_.default_top_k >= 1);
+  IMCAT_CHECK(options_.max_batch_size >= 1);
   if (options_.overload.enabled) {
     OverloadOptions oopts = options_.overload;
     if (!oopts.now_ms) oopts.now_ms = now_ms_;
@@ -91,6 +92,11 @@ RecService::RecService(std::shared_ptr<const PopularityRanker> fallback,
     delta_lag_ms_gauge_ = m->GetGauge("serve_snapshot_delta_lag_ms");
     request_latency_ms_ = m->GetHistogram("serve_request_latency_ms");
     queue_wait_ms_ = m->GetHistogram("serve_queue_wait_ms");
+    if (options_.max_batch_size > 1) {
+      batch_size_ = m->GetHistogram("serve_batch_size");
+      batched_requests_total_ =
+          m->GetCounter("serve_batched_requests_total");
+    }
   }
   if (options.metrics != nullptr || journal_ != nullptr) {
     // Observe breaker transitions for the gauge / counter / journal. The
@@ -411,20 +417,57 @@ std::future<RecResponse> RecService::Submit(RecRequest request) {
   // resolved to kUnavailable — its future is always eventually satisfied,
   // never hung, never dropped.
   task->enqueue_ms = now_ms_();
-  Status admitted = pool_.TrySubmit(
-      [this, task] {
-        // Measured sojourn: the number the controller, the response field
-        // and the serve_queue_wait_ms histogram all agree on.
-        const double wait_ms = std::max(0.0, now_ms_() - task->enqueue_ms);
-        if (overload_ != nullptr) overload_->OnDequeue(wait_ms);
-        task->promise.set_value(Handle(task->request, wait_ms));
-      },
-      [this, task] {
-        if (requests_cancelled_ != nullptr) requests_cancelled_->Increment();
-        RecResponse response;
-        response.status = Status::Unavailable("service is shut down");
-        task->promise.set_value(std::move(response));
-      });
+  Status admitted;
+  if (options_.max_batch_size > 1) {
+    // Coalescing mode: the task goes onto the batch queue and a
+    // lightweight drain ticket onto the pool — admission (and queue-full
+    // shedding) still rides the pool's bounded queue, one ticket per
+    // request. A running ticket drains a compatible FIFO prefix of up to
+    // max_batch_size tasks; surplus tickets find an empty queue and
+    // no-op. #queued tasks never exceeds #outstanding tickets, so
+    // shutdown's per-ticket cancellations resolve every queued future.
+    {
+      std::lock_guard<std::mutex> lock(batch_mu_);
+      batch_queue_.push_back(task);
+    }
+    admitted = pool_.TrySubmit([this] { DrainAndProcess(); },
+                               [this] { CancelOneQueued(); });
+    if (!admitted.ok()) {
+      // Ticket refused: reclaim the queued task so it can be shed — unless
+      // a concurrently running drain (or a shutdown cancellation) already
+      // claimed and resolved it, in which case the request went through.
+      bool reclaimed = false;
+      {
+        std::lock_guard<std::mutex> lock(batch_mu_);
+        for (auto it = batch_queue_.rbegin(); it != batch_queue_.rend();
+             ++it) {
+          if (it->get() == task.get()) {
+            batch_queue_.erase(std::next(it).base());
+            reclaimed = true;
+            break;
+          }
+        }
+      }
+      if (!reclaimed) admitted = Status::OK();
+    }
+  } else {
+    admitted = pool_.TrySubmit(
+        [this, task] {
+          // Measured sojourn: the number the controller, the response
+          // field and the serve_queue_wait_ms histogram all agree on.
+          const double wait_ms = std::max(0.0, now_ms_() - task->enqueue_ms);
+          if (overload_ != nullptr) overload_->OnDequeue(wait_ms);
+          task->promise.set_value(Handle(task->request, wait_ms));
+        },
+        [this, task] {
+          if (requests_cancelled_ != nullptr) {
+            requests_cancelled_->Increment();
+          }
+          RecResponse response;
+          response.status = Status::Unavailable("service is shut down");
+          task->promise.set_value(std::move(response));
+        });
+  }
   if (admitted.ok()) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.accepted;
@@ -512,6 +555,9 @@ std::string RecService::HealthJson() const {
       << ",\"overloaded\":" << (over ? "true" : "false")
       << ",\"smoothed_queue_wait_ms\":"
       << (overload_ != nullptr ? overload_->smoothed_wait_ms() : 0.0)
+      << ",\"batching\":{"
+      << "\"max_batch_size\":" << options_.max_batch_size
+      << ",\"block_items\":" << recommender_.block_items() << "}"
       << ",\"snapshot\":{"
       << "\"loaded\":" << (snap != nullptr ? "true" : "false")
       << ",\"version\":" << (snap != nullptr ? snap->version() : 0)
@@ -541,12 +587,30 @@ RecResponse RecService::Handle(const RecRequest& request,
 RecResponse RecService::HandleScored(const RecRequest& request,
                                      double queue_wait_ms,
                                      int64_t brownout_level) {
+  std::shared_ptr<const EmbeddingSnapshot> snapshot = this->snapshot();
+  ScorePlan plan =
+      PlanRequest(request, queue_wait_ms, snapshot, brownout_level);
+  if (plan.done) return plan.response;
+  std::vector<ScoredItem> items;
+  int64_t quarantined_skipped = 0;
+  Status status = recommender_.TopK(
+      *snapshot, request.user, plan.top_k, plan.scoring_deadline_ms,
+      request.exclude, request.item_begin, request.item_end, &items,
+      &quarantined_skipped, plan.max_scored_items);
+  return FinishScored(request, *snapshot, plan.top_k, std::move(status),
+                      std::move(items), quarantined_skipped);
+}
+
+RecService::ScorePlan RecService::PlanRequest(
+    const RecRequest& request, double queue_wait_ms,
+    const std::shared_ptr<const EmbeddingSnapshot>& snapshot,
+    int64_t brownout_level) {
+  ScorePlan plan;
   const int64_t top_k =
       request.top_k > 0 ? request.top_k : options_.default_top_k;
   const double deadline_ms = request.deadline_ms == 0.0
                                  ? options_.default_deadline_ms
                                  : request.deadline_ms;
-  std::shared_ptr<const EmbeddingSnapshot> snapshot = this->snapshot();
 
   // Validation: out-of-range ids are a clean error, never UB. The upper
   // bound is checked against the snapshot when one is published; in
@@ -581,11 +645,13 @@ RecResponse RecService::HandleScored(const RecRequest& request,
   }
   if (!invalid.ok()) {
     if (requests_invalid_ != nullptr) requests_invalid_->Increment();
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.invalid_requests;
-    RecResponse response;
-    response.status = std::move(invalid);
-    return response;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.invalid_requests;
+    }
+    plan.done = true;
+    plan.response.status = std::move(invalid);
+    return plan;
   }
 
   // Deadline already burned in the queue: with the controller on, a
@@ -603,12 +669,12 @@ RecResponse RecService::HandleScored(const RecRequest& request,
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.shed_predicted_late;
     }
-    RecResponse response;
-    response.status = Status::Unavailable(
+    plan.done = true;
+    plan.response.status = Status::Unavailable(
         "overloaded: deadline budget " + std::to_string(deadline_ms) +
         " ms expired in queue (waited " + std::to_string(queue_wait_ms) +
         " ms); refused instead of scored");
-    return response;
+    return plan;
   }
 
   // Delta lag: time since the live snapshot last advanced via a delta
@@ -651,16 +717,20 @@ RecResponse RecService::HandleScored(const RecRequest& request,
                   .Set("snapshot_version", snapshot->version()));
         }
       }
-      return DegradedResponse(top_k, request.exclude, request.item_begin,
-                              request.item_end);
+      plan.done = true;
+      plan.response = DegradedResponse(top_k, request.exclude,
+                                       request.item_begin, request.item_end);
+      return plan;
     }
   }
 
   // Degraded path: no loadable snapshot, or the breaker refuses the real
   // path. Either way the caller gets an answer.
   if (snapshot == nullptr || !breaker_.AllowRequest()) {
-    return DegradedResponse(top_k, request.exclude, request.item_begin,
-                            request.item_end);
+    plan.done = true;
+    plan.response = DegradedResponse(top_k, request.exclude,
+                                     request.item_begin, request.item_end);
+    return plan;
   }
 
   // Brownout level >= 2: batch-priority traffic is served from the
@@ -668,8 +738,10 @@ RecResponse RecService::HandleScored(const RecRequest& request,
   // interactive requests. Same `degraded` outcome as the breaker path —
   // the response's brownout_level tells the two apart.
   if (brownout_level >= 2 && request.priority == RequestPriority::kBatch) {
-    return DegradedResponse(top_k, request.exclude, request.item_begin,
-                            request.item_end);
+    plan.done = true;
+    plan.response = DegradedResponse(top_k, request.exclude,
+                                     request.item_begin, request.item_end);
+    return plan;
   }
 
   // Overload-aware budgets. Scoring gets the *remaining* deadline (total
@@ -678,11 +750,11 @@ RecResponse RecService::HandleScored(const RecRequest& request,
   // (full budget from scoring start) are preserved bit-for-bit. Brownout
   // level >= 1 additionally caps how much of the catalogue is scored:
   // fraction^level of the requested range.
-  double scoring_deadline_ms = deadline_ms;
+  plan.top_k = top_k;
+  plan.scoring_deadline_ms = deadline_ms;
   if (overload_ != nullptr && deadline_ms > 0.0) {
-    scoring_deadline_ms = deadline_ms - queue_wait_ms;
+    plan.scoring_deadline_ms = deadline_ms - queue_wait_ms;
   }
-  int64_t max_scored_items = 0;
   if (overload_ != nullptr && brownout_level > 0) {
     const int64_t range_begin = request.item_begin;
     const int64_t range_end =
@@ -691,21 +763,24 @@ RecResponse RecService::HandleScored(const RecRequest& request,
     for (int64_t l = 0; l < brownout_level; ++l) {
       fraction *= overload_->options().scoring_fraction;
     }
-    max_scored_items = std::max<int64_t>(
+    plan.max_scored_items = std::max<int64_t>(
         1, static_cast<int64_t>(
                static_cast<double>(range_end - range_begin) * fraction));
   }
+  return plan;
+}
 
+RecResponse RecService::FinishScored(const RecRequest& request,
+                                     const EmbeddingSnapshot& snapshot,
+                                     int64_t top_k, Status status,
+                                     std::vector<ScoredItem> items,
+                                     int64_t quarantined_skipped) {
   RecResponse response;
-  int64_t quarantined_skipped = 0;
-  response.status = recommender_.TopK(*snapshot, request.user, top_k,
-                                      scoring_deadline_ms, request.exclude,
-                                      request.item_begin, request.item_end,
-                                      &response.items, &quarantined_skipped,
-                                      max_scored_items);
+  response.status = std::move(status);
+  response.items = std::move(items);
   if (response.status.ok()) {
-    response.snapshot_version = snapshot->version();
-    response.quarantined_shards = snapshot->quarantined_count();
+    response.snapshot_version = snapshot.version();
+    response.quarantined_shards = snapshot.quarantined_count();
     breaker_.RecordSuccess();
     if (quarantined_skipped > 0) {
       // kPartialDegraded: healthy shards scored normally; items the
@@ -721,13 +796,13 @@ RecResponse RecService::HandleScored(const RecRequest& request,
         }
         const int64_t begin = request.item_begin;
         const int64_t end = request.item_end > 0 ? request.item_end
-                                                 : snapshot->num_items();
+                                                 : snapshot.num_items();
         std::vector<ScoredItem> backfill;
         fallback_->TopKFiltered(
             top_k - static_cast<int64_t>(response.items.size()), already,
             [&snapshot, begin, end](int64_t item) {
               return item >= begin && item < end &&
-                     !snapshot->item_available(item);
+                     !snapshot.item_available(item);
             },
             &backfill);
         response.items.insert(response.items.end(), backfill.begin(),
@@ -746,8 +821,8 @@ RecResponse RecService::HandleScored(const RecRequest& request,
     // just the flag.
     const int64_t range_begin = request.item_begin;
     const int64_t range_end =
-        request.item_end > 0 ? request.item_end : snapshot->num_items();
-    if (snapshot->RangeTouchesStale(range_begin, range_end)) {
+        request.item_end > 0 ? request.item_end : snapshot.num_items();
+    if (snapshot.RangeTouchesStale(range_begin, range_end)) {
       response.partial_degraded = true;
       if (requests_partial_degraded_ != nullptr) {
         requests_partial_degraded_->Increment();
@@ -799,6 +874,130 @@ RecResponse RecService::DegradedResponse(
     ++stats_.served_degraded;
   }
   return response;
+}
+
+void RecService::DrainAndProcess() {
+  std::vector<std::shared_ptr<Task>> batch;
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    // An earlier ticket may have over-drained this ticket's request
+    // already; the surplus wakeup is a no-op.
+    if (batch_queue_.empty()) return;
+    batch.push_back(std::move(batch_queue_.front()));
+    batch_queue_.pop_front();
+    // Compatibility rule: a batch shares one TopKBatch call, so every
+    // member must share the head's (item_begin, item_end). The scan is a
+    // FIFO prefix — an incompatible head-of-line request ends the batch
+    // rather than being jumped over, preserving per-range ordering.
+    const RecRequest& head = batch.front()->request;
+    while (static_cast<int64_t>(batch.size()) < options_.max_batch_size &&
+           !batch_queue_.empty()) {
+      const RecRequest& next = batch_queue_.front()->request;
+      if (next.item_begin != head.item_begin ||
+          next.item_end != head.item_end) {
+        break;
+      }
+      batch.push_back(std::move(batch_queue_.front()));
+      batch_queue_.pop_front();
+    }
+  }
+  ProcessBatch(batch);
+}
+
+void RecService::CancelOneQueued() {
+  std::shared_ptr<Task> task;
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    if (!batch_queue_.empty()) {
+      task = std::move(batch_queue_.front());
+      batch_queue_.pop_front();
+    }
+  }
+  // No task: a drain consumed more requests than its own, leaving this
+  // ticket nothing to cancel — the corresponding future already resolved.
+  if (task == nullptr) return;
+  if (requests_cancelled_ != nullptr) requests_cancelled_->Increment();
+  RecResponse response;
+  response.status = Status::Unavailable("service is shut down");
+  task->promise.set_value(std::move(response));
+}
+
+void RecService::ProcessBatch(
+    const std::vector<std::shared_ptr<Task>>& batch) {
+  const double start_ms = now_ms_();
+  if (batch_size_ != nullptr) {
+    batch_size_->Record(static_cast<double>(batch.size()));
+  }
+  if (batched_requests_total_ != nullptr) {
+    batched_requests_total_->Add(static_cast<int64_t>(batch.size()));
+  }
+  // Snapshot and ladder level are pinned once per batch: every member
+  // scores against the same snapshot and reports one consistent level.
+  const int64_t level =
+      overload_ != nullptr ? overload_->brownout_level() : 0;
+  std::shared_ptr<const EmbeddingSnapshot> snapshot = this->snapshot();
+
+  // Per-member pre-scoring pass: measured sojourns feed the controller,
+  // and PlanRequest resolves everything that must not reach the kernel —
+  // invalid requests, deadline-expired-in-queue refusals, degraded and
+  // brownout fallbacks — exactly as the per-request path would.
+  std::vector<double> waits(batch.size());
+  std::vector<ScorePlan> plans(batch.size());
+  std::vector<size_t> scored;
+  std::vector<Recommender::BatchQuery> queries;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    waits[i] = std::max(0.0, start_ms - batch[i]->enqueue_ms);
+    if (overload_ != nullptr) overload_->OnDequeue(waits[i]);
+    if (queue_wait_ms_ != nullptr) queue_wait_ms_->Record(waits[i]);
+    plans[i] = PlanRequest(batch[i]->request, waits[i], snapshot, level);
+    if (plans[i].done) continue;
+    Recommender::BatchQuery query;
+    query.user = batch[i]->request.user;
+    query.k = plans[i].top_k;
+    query.deadline_ms = plans[i].scoring_deadline_ms;
+    query.exclude = &batch[i]->request.exclude;
+    queries.push_back(query);
+    scored.push_back(i);
+  }
+
+  // The survivors share one blocked multi-user kernel pass. All plans of
+  // a batch agree on max_scored_items: the brownout budget is a function
+  // of the shared item range and the pinned level.
+  std::vector<Recommender::BatchQueryResult> results;
+  if (!queries.empty()) {
+    const RecRequest& head = batch[scored.front()]->request;
+    const Status batch_status = recommender_.TopKBatch(
+        *snapshot, queries, head.item_begin, head.item_end,
+        plans[scored.front()].max_scored_items, &results);
+    if (!batch_status.ok()) {
+      // A malformed shared range (PlanRequest validated against this same
+      // snapshot, so only reachable through a racing catalogue change):
+      // every scored member carries the definite batch status.
+      for (Recommender::BatchQueryResult& result : results) {
+        result.status = batch_status;
+        result.items.clear();
+        result.quarantined_skipped = 0;
+      }
+    }
+    for (size_t s = 0; s < scored.size(); ++s) {
+      const size_t i = scored[s];
+      plans[i].response = FinishScored(
+          batch[i]->request, *snapshot, plans[i].top_k,
+          std::move(results[s].status), std::move(results[s].items),
+          results[s].quarantined_skipped);
+    }
+  }
+
+  const double handle_ms = std::max(0.0, now_ms_() - start_ms);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    RecResponse response = std::move(plans[i].response);
+    response.queue_wait_ms = waits[i];
+    response.brownout_level = level;
+    if (request_latency_ms_ != nullptr) {
+      request_latency_ms_->Record(handle_ms);
+    }
+    batch[i]->promise.set_value(std::move(response));
+  }
 }
 
 }  // namespace imcat

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
@@ -107,6 +108,17 @@ struct RecServiceStats {
 struct RecServiceOptions {
   int64_t num_workers = 2;
   int64_t queue_capacity = 32;
+  /// Request coalescing (DESIGN.md §12): a worker wakeup drains up to this
+  /// many compatible queued requests — same (item_begin, item_end) range,
+  /// FIFO prefix — and scores them through the multi-user batched kernel
+  /// against one pinned snapshot and one brownout-ladder level. Per-request
+  /// deadlines, exclusions, validation and the full response taxonomy are
+  /// preserved per batch member; deadline-expired and predicted-late
+  /// requests are still refused at dequeue, before scoring. 1 (the
+  /// default) keeps the strict one-request-per-wakeup behaviour; 8 is a
+  /// good starting point for throughput-bound deployments (see
+  /// docs/PERFORMANCE.md for tuning).
+  int64_t max_batch_size = 1;
   int64_t default_top_k = 20;
   /// Deadline applied when a request does not set one.
   double default_deadline_ms = 50.0;
@@ -137,8 +149,12 @@ struct RecServiceOptions {
   /// maintains the `serve_*` request-accounting counters (which satisfy
   /// `serve_requests_total` == sum of the per-outcome counters once every
   /// submitted future has resolved), the `serve_request_latency_ms`
-  /// histogram (Handle wall time) and `serve_queue_wait_ms` (measured
-  /// per-request sojourn, the overload controller's input signal), the
+  /// histogram (Handle wall time; with coalescing on, each batch member
+  /// records the batch's handling wall time) and `serve_queue_wait_ms`
+  /// (measured per-request sojourn, the overload controller's input
+  /// signal), the `serve_batch_size` histogram + `serve_batched_requests_
+  /// total` counter (one sample per worker drain / one count per coalesced
+  /// request, recorded only when max_batch_size > 1), the
   /// `serve_breaker_state` / `serve_brownout_level` gauges, and the
   /// snapshot reload counters. Null keeps the service uninstrumented.
   MetricsRegistry* metrics = nullptr;
@@ -221,9 +237,10 @@ class RecService {
   bool overloaded() const;
 
   /// One-line JSON health report: breaker state, brownout ladder level,
-  /// overload flag, smoothed queue-wait estimate, and snapshot health
-  /// (version, staleness, quarantined/stale shards). Wire it into
-  /// MetricsScrapeServer::set_health_provider to serve `GET /healthz`.
+  /// overload flag, smoothed queue-wait estimate, snapshot health
+  /// (version, staleness, quarantined/stale shards), and the effective
+  /// batch configuration (max_batch_size, kernel block_items). Wire it
+  /// into MetricsScrapeServer::set_health_provider to serve `GET /healthz`.
   std::string HealthJson() const;
 
  private:
@@ -244,6 +261,43 @@ class RecService {
   /// `brownout_level` is the ladder level read once at dequeue.
   RecResponse HandleScored(const RecRequest& request, double queue_wait_ms,
                            int64_t brownout_level);
+
+  /// Everything HandleScored decides *before* scoring: validation,
+  /// expired-in-queue refusal, staleness/degraded/brownout early-outs, and
+  /// the scoring budgets. When `done` is set the response is final without
+  /// touching the recommender (its outcome counters are already bumped);
+  /// otherwise top_k / scoring_deadline_ms / max_scored_items parameterise
+  /// the scoring call, scalar or batched.
+  struct ScorePlan {
+    bool done = false;
+    RecResponse response;
+    int64_t top_k = 0;
+    double scoring_deadline_ms = 0.0;
+    int64_t max_scored_items = 0;
+  };
+  ScorePlan PlanRequest(const RecRequest& request, double queue_wait_ms,
+                        const std::shared_ptr<const EmbeddingSnapshot>& snap,
+                        int64_t brownout_level);
+  /// Everything HandleScored does *after* scoring: partial-degraded
+  /// backfill, stale-range flagging, outcome counters and breaker
+  /// feedback. Shared verbatim by the scalar and batched paths so one
+  /// request's accounting is identical whichever path scored it.
+  RecResponse FinishScored(const RecRequest& request,
+                           const EmbeddingSnapshot& snap, int64_t top_k,
+                           Status status, std::vector<ScoredItem> items,
+                           int64_t quarantined_skipped);
+
+  /// Coalescing worker body (max_batch_size > 1): pops a FIFO prefix of up
+  /// to max_batch_size compatible requests (same item range) off
+  /// batch_queue_ and scores them as one TopKBatch call. A wakeup whose
+  /// request was already drained by an earlier wakeup is a no-op — there
+  /// is one pool ticket per submitted request, so #queued requests never
+  /// exceeds #outstanding tickets and shutdown resolves every future.
+  void DrainAndProcess();
+  /// Coalescing cancel path (pool shutdown): resolves one queued request
+  /// to kUnavailable, mirroring the per-request cancel contract.
+  void CancelOneQueued();
+  void ProcessBatch(const std::vector<std::shared_ptr<Task>>& batch);
   /// Full-fallback response; when `item_end` > 0 the popularity ranking is
   /// restricted to [item_begin, item_end).
   RecResponse DegradedResponse(int64_t top_k,
@@ -320,6 +374,11 @@ class RecService {
   /// recorded for every dequeued request whether or not the controller is
   /// enabled.
   Histogram* queue_wait_ms_ = nullptr;
+  /// Coalescing instrumentation (recorded only when max_batch_size > 1):
+  /// one serve_batch_size sample per worker drain, one
+  /// serve_batched_requests_total count per request scored via a drain.
+  Histogram* batch_size_ = nullptr;
+  Counter* batched_requests_total_ = nullptr;
   RunJournal* journal_ = nullptr;
 
   /// Records a delta refusal (stats + counter + "delta_rejected" journal).
@@ -330,6 +389,13 @@ class RecService {
   /// `serve_snapshot_delta_lag_ms` measures against it on every request so
   /// a scraper sees delta lag grow live while publishes fail.
   std::atomic<double> last_delta_publish_ms_{-1.0};
+
+  /// Coalescing queue (used only when max_batch_size > 1). Each Submit
+  /// pushes its task here and enqueues one lightweight drain ticket on the
+  /// pool; a running ticket drains a compatible FIFO prefix. Declared
+  /// before pool_ so it outlives the pool's shutdown cancellations.
+  std::mutex batch_mu_;
+  std::deque<std::shared_ptr<Task>> batch_queue_;
 
   /// Workers + bounded queue + shutdown contract. Declared last so the
   /// pool (and with it every in-flight Handle referencing this service)

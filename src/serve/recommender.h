@@ -13,14 +13,24 @@
 /// Deadline-aware top-k scoring over an EmbeddingSnapshot: the full item
 /// catalogue is scored in fixed-size blocks with the per-request deadline
 /// budget checked between blocks, so a slow or stalled scoring pass
-/// surfaces as a clean kDeadlineExceeded instead of a hung request.
+/// surfaces as a clean kDeadlineExceeded instead of a hung request. A
+/// batch entry point (TopKBatch) scores many users against each resident
+/// item block before moving on, so the item table streams through cache
+/// once per batch instead of once per user (DESIGN.md §12).
 
 namespace imcat {
 
 /// Scoring configuration. The defaults suit catalogues up to a few million
-/// items; shrink `block_items` for tighter deadline granularity.
+/// items.
 struct RecommenderOptions {
-  /// Items scored between two deadline checks.
+  /// Items scored between two deadline checks — and the item-block tile of
+  /// the batched kernel: each block of item factors stays cache-resident
+  /// while every user of a batch scores against it, so `block_items * dim`
+  /// floats should fit comfortably in L2 alongside the batch's score
+  /// buffer. Smaller blocks give tighter deadline granularity (and faster
+  /// brownout/deadline reaction mid-request); larger blocks amortise the
+  /// per-block bookkeeping better. The default suits dims up to a few
+  /// hundred.
   int64_t block_items = 1024;
   /// Monotonic clock in milliseconds; overridable for deterministic tests.
   /// Defaults to std::chrono::steady_clock.
@@ -34,6 +44,29 @@ double SteadyNowMs();
 /// Stateless scoring engine; thread-safe (all state is per-call).
 class Recommender {
  public:
+  /// One user's query within a TopKBatch call. All queries of a batch
+  /// share the item range; deadline and exclusions are per query.
+  struct BatchQuery {
+    int64_t user = 0;
+    int64_t k = 0;
+    /// Total budget from TopKBatch entry; checked between scoring blocks.
+    /// Non-positive = no limit.
+    double deadline_ms = 0.0;
+    /// Item ids excluded from this user's ranking (may be null = none).
+    const std::vector<int64_t>* exclude = nullptr;
+  };
+
+  /// Per-query outcome of a TopKBatch call.
+  struct BatchQueryResult {
+    /// kInvalidArgument (bad user/k), kDeadlineExceeded (this query's
+    /// budget ran out between blocks; `items` empty), or OK.
+    Status status;
+    std::vector<ScoredItem> items;
+    /// In-range items skipped because their shard is quarantined (0 when
+    /// the query did not finish).
+    int64_t quarantined_skipped = 0;
+  };
+
   explicit Recommender(const RecommenderOptions& options = {});
 
   /// Scores every item of `snapshot` for `user` and fills `out` with the
@@ -66,7 +99,33 @@ class Recommender {
               std::vector<ScoredItem>* out, int64_t* quarantined_skipped,
               int64_t max_items = 0) const;
 
+  /// Multi-user batch: scores all of `queries` over the shared item range
+  /// in one blocked pass — each item block streams through cache once for
+  /// the whole batch. Results land in `results` (resized to match
+  /// `queries`, index-aligned). Per-query validation failures (bad user,
+  /// non-positive k) land in that query's result status; the returned
+  /// batch status is kInvalidArgument for a malformed range (all results
+  /// then carry empty items) and OK otherwise.
+  ///
+  /// Semantics per query are identical to the scalar TopK above —
+  /// bit-identical scores, the same (score desc, id asc) order, the same
+  /// quarantine skip counts, and per-query deadlines still checked at
+  /// every block boundary (an expired query drops out of the batch with
+  /// kDeadlineExceeded while the others keep scoring). `max_items`
+  /// applies to the shared range, as in the scalar variant.
+  Status TopKBatch(const EmbeddingSnapshot& snapshot,
+                   const std::vector<BatchQuery>& queries, int64_t item_begin,
+                   int64_t item_end, int64_t max_items,
+                   std::vector<BatchQueryResult>* results) const;
+
+  int64_t block_items() const { return block_items_; }
+
  private:
+  Status TopKBatchImpl(const EmbeddingSnapshot& snapshot,
+                       const BatchQuery* queries, int64_t num_queries,
+                       int64_t item_begin, int64_t item_end,
+                       int64_t max_items, BatchQueryResult* results) const;
+
   int64_t block_items_;
   std::function<double()> now_ms_;
 };

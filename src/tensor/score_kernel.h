@@ -1,0 +1,51 @@
+#ifndef IMCAT_TENSOR_SCORE_KERNEL_H_
+#define IMCAT_TENSOR_SCORE_KERNEL_H_
+
+#include <cstdint>
+
+/// \file score_kernel.h
+/// The blocked multi-user scoring kernel shared by the serving and
+/// offline-eval hot paths (DESIGN.md §12). Scoring U users against N items
+/// is a U x N slice of a matrix-matrix product; doing it one user at a
+/// time streams the whole item-factor table through cache once *per user*.
+/// The kernel instead walks the item table in blocks of `block_items` rows
+/// and scores every user of the batch against the resident block, so the
+/// table streams through cache once *per batch* — the same cache-resident
+/// restructuring iALS++ applies to the solver side.
+///
+/// Bit-exactness contract: each (user, item) score is accumulated over the
+/// factor dimension in ascending index order in plain fp32 — exactly the
+/// loop EmbeddingSnapshot::Score and the scalar rankers run. Blocking and
+/// batching only reorder which (user, item) pairs are computed when, never
+/// the accumulation order within a pair, so batched results are
+/// bit-identical to the scalar path for any batch size or block size.
+
+namespace imcat {
+
+/// Default item-block tile: 1024 rows x up to a few hundred fp32 dims
+/// stays comfortably inside L2 next to the batch's score rows. Serving
+/// overrides this through RecommenderOptions::block_items.
+inline constexpr int64_t kDefaultScoreBlockItems = 1024;
+
+/// Scores `num_users` users against one resident block of `num_items`
+/// item rows. `user_rows[u]` points at user u's factor row (`dim` floats);
+/// `item_rows` is the row-major block (num_items x dim). Scores land at
+/// `out[u * out_stride + i]`. `out_stride` >= num_items lets callers score
+/// into a larger per-user row (e.g. a full-catalogue buffer) one block at
+/// a time.
+void ScoreBlock(const float* const* user_rows, int64_t num_users,
+                const float* item_rows, int64_t num_items, int64_t dim,
+                float* out, int64_t out_stride);
+
+/// Full-catalogue convenience: tiles `item_table` (num_items x dim,
+/// row-major) into blocks of `block_items` rows and runs ScoreBlock on
+/// each. Equivalent to ScoreBlock over the whole table but keeps each
+/// block cache-resident across the user batch.
+void ScoreAllItemsBlocked(const float* const* user_rows, int64_t num_users,
+                          const float* item_table, int64_t num_items,
+                          int64_t dim, int64_t block_items, float* out,
+                          int64_t out_stride);
+
+}  // namespace imcat
+
+#endif  // IMCAT_TENSOR_SCORE_KERNEL_H_
